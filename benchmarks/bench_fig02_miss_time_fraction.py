@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 2: miss share of data access time vs depth.
+
+Expected shape (paper): the fraction grows with hierarchy depth, reaching
+roughly a quarter of the data access time at 5 levels.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_print
+from repro.experiments.figures import run_figure2
+
+
+@pytest.mark.benchmark(group="fig02")
+def test_fig02_miss_time_fraction(benchmark, bench_settings):
+    result = run_and_print(benchmark, run_figure2, bench_settings)
+    mean = result.rows[-1]
+    depth_means = mean[1:]
+    # the 5-level fraction must be substantial and larger than 2-level
+    assert depth_means[2] > depth_means[0]
+    assert 5.0 < depth_means[2] < 70.0

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Table 1: the RMNM worked example.
+
+The scenario is executed against the real RMNM cache; the bench asserts
+the paper's punchline — the access after the replacement is identified as
+a definite L2 miss.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_print
+from repro.experiments.tables import run_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_rmnm_scenario(benchmark, bench_settings):
+    result = run_and_print(benchmark, run_table1, bench_settings)
+    assert "YES" in result.notes
+    answers = {row[0]: row[1] for row in result.rows}
+    assert answers["access to 0x2fc0 arrives"] == "miss"
+    assert answers["block 0x2fc0 re-placed into L2"] == "maybe"

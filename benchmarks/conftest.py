@@ -1,0 +1,38 @@
+"""Shared settings for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure at a reduced scale (all
+ten workloads, shorter traces than the full harness) and prints the same
+rows the paper reports.  Absolute numbers live in EXPERIMENTS.md; run
+``repro-mnm all`` for full-scale output.
+
+pytest-benchmark measures the wall time of each experiment; rounds are
+pinned to 1 because the runners are deterministic and expensive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ExperimentSettings
+
+#: Reduced-scale settings used by every benchmark.
+BENCH_SETTINGS = ExperimentSettings(
+    num_instructions=24_000,
+    warmup_fraction=0.4,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> ExperimentSettings:
+    return BENCH_SETTINGS
+
+
+def run_and_print(benchmark, runner, settings: ExperimentSettings):
+    """Benchmark one experiment runner once and print its table."""
+    result = benchmark.pedantic(
+        runner, args=(settings,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render(float_digits=1))
+    return result

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Design-space exploration: coverage vs hardware budget for every technique.
+
+Sweeps the four MNM techniques across their configuration spaces on one
+workload and prints coverage against filter storage, reproducing the
+paper's central trade-off (Section 3): small structures, one-sided
+answers, very different coverage per invested bit.
+
+All designs are evaluated against a *single* shared simulation pass —
+bypasses never change cache contents, so every filter can observe the same
+run (the trick the experiment harness uses throughout).
+
+Usage::
+
+    python examples/filter_design_exploration.py [workload] [instructions]
+"""
+
+import sys
+
+from repro import get_trace, paper_hierarchy_5level, run_reference_pass
+from repro.analysis.report import TextTable, banner
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core import (
+    MostlyNoMachine,
+    cmnm_design,
+    rmnm_design,
+    smnm_design,
+    tmnm_design,
+)
+
+
+def sweep_designs():
+    """Every configuration from Figures 10-13 plus a few extra points."""
+    designs = []
+    for blocks, assoc in ((128, 1), (512, 2), (2048, 4), (4096, 8)):
+        designs.append(rmnm_design(blocks, assoc))
+    for width, replication in ((10, 2), (13, 2), (15, 2), (20, 3)):
+        designs.append(smnm_design(width, replication))
+    for bits, replication in ((10, 1), (11, 2), (10, 3), (12, 3)):
+        designs.append(tmnm_design(bits, replication))
+    for registers, low_bits in ((2, 9), (4, 10), (8, 10), (8, 12)):
+        designs.append(cmnm_design(registers, low_bits))
+    return designs
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 40_000
+
+    print(banner(f"MNM design-space exploration — {workload}"))
+    hierarchy_config = paper_hierarchy_5level()
+    designs = sweep_designs()
+
+    trace = get_trace(workload, instructions)
+    references = list(trace.memory_references())
+    result = run_reference_pass(
+        references, hierarchy_config, designs, workload,
+        warmup=len(references) // 3,
+    )
+
+    # size each design via a throwaway machine
+    table = TextTable(["design", "technique", "storage [KB]",
+                       "coverage", "coverage per KB"], float_digits=2)
+    rows = []
+    for design in designs:
+        machine = MostlyNoMachine(CacheHierarchy(hierarchy_config), design)
+        size_kb = machine.storage_bits / 8 / 1024
+        coverage = result.designs[design.name].coverage.coverage
+        rows.append((design.name, design.name.split("_")[0],
+                     size_kb, coverage))
+    for name, technique, size_kb, coverage in rows:
+        table.add_row([
+            name, technique, size_kb, f"{coverage * 100:.1f}%",
+            f"{coverage * 100 / size_kb:.1f}" if size_kb else "-",
+        ])
+    print(table)
+
+    best = max(rows, key=lambda r: r[3])
+    thriftiest = max(rows, key=lambda r: r[3] / max(r[2], 1e-9))
+    print(f"\nhighest coverage:   {best[0]} ({best[3] * 100:.1f}%)")
+    print(f"best coverage/KB:   {thriftiest[0]}")
+    print(f"references evaluated: {result.references} "
+          f"(one shared simulation for {len(designs)} designs)")
+
+
+if __name__ == "__main__":
+    main()

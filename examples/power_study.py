@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Power study: serial vs parallel MNM placement across workloads.
+
+Section 2 of the paper describes two MNM positions (Figure 1): parallel
+with the L1 lookup (best performance — the MNM delay hides under L1) and
+serial after an L1 miss (best energy — the MNM is consulted only when it
+can matter).  This example quantifies the trade-off: for each placement it
+reports the execution-cycle change and the cache+MNM energy change of the
+HMNM2 hybrid against a no-MNM baseline.
+
+Usage::
+
+    python examples/power_study.py [instructions] [workload ...]
+"""
+
+import sys
+
+from repro import (
+    Placement,
+    get_trace,
+    paper_hierarchy_5level,
+    parse_design,
+    run_core_trace,
+)
+from repro.analysis.report import TextTable, banner
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 40_000
+    workloads = sys.argv[2:] or ["twolf", "gcc", "art", "mcf"]
+    warmup = instructions // 3
+    hierarchy = paper_hierarchy_5level()
+    design = parse_design("HMNM2")
+
+    print(banner("Serial vs parallel MNM placement (HMNM2)"))
+    table = TextTable(
+        ["workload", "placement", "Δcycles", "Δenergy", "MNM energy share"],
+        float_digits=1,
+    )
+
+    for workload in workloads:
+        trace = get_trace(workload, instructions)
+        baseline = run_core_trace(trace, hierarchy, None, warmup=warmup)
+        for placement in (Placement.PARALLEL, Placement.SERIAL):
+            run = run_core_trace(
+                trace, hierarchy, design.with_placement(placement),
+                warmup=warmup,
+            )
+            cycle_delta = (baseline.cycles - run.cycles) / baseline.cycles
+            energy_delta = (
+                baseline.energy.total_nj - run.energy.total_nj
+            ) / baseline.energy.total_nj
+            mnm_share = run.energy.mnm_nj / run.energy.total_nj
+            table.add_row([
+                workload,
+                placement.value,
+                f"-{cycle_delta * 100:.1f}%",
+                f"-{energy_delta * 100:.1f}%",
+                f"{mnm_share * 100:.1f}%",
+            ])
+
+    print(table)
+    print(
+        "\nReading the table: the parallel MNM saves more cycles (its "
+        "decisions are\nfree time-wise) but consults the MNM on every "
+        "reference; the serial MNM\npays a 2-cycle delay past L1 yet only "
+        "spends MNM energy on L1 misses —\nexactly the paper's rationale "
+        "for evaluating performance with the parallel\nposition (Figure 15) "
+        "and power with the serial one (Figure 16)."
+    )
+
+
+if __name__ == "__main__":
+    main()

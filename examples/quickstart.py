@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: attach a Mostly No Machine to the paper's 5-level hierarchy.
+
+Runs one workload through the out-of-order core three times — without an
+MNM, with the paper's best hybrid (HMNM4), and with the perfect oracle —
+and reports miss coverage, execution-cycle savings and cache-energy
+savings, the paper's three headline metrics.
+
+Usage::
+
+    python examples/quickstart.py [workload] [instructions]
+"""
+
+import sys
+
+from repro import (
+    get_trace,
+    paper_hierarchy_5level,
+    parse_design,
+    run_core_trace,
+)
+from repro.analysis.report import TextTable, banner
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "twolf"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
+    warmup = instructions // 3
+
+    print(banner(f"Mostly No Machine quickstart — {workload}"))
+    print(f"trace: {instructions} instructions ({warmup} warmup)\n")
+
+    hierarchy = paper_hierarchy_5level()
+    print(hierarchy.describe(), "\n")
+
+    trace = get_trace(workload, instructions)
+    baseline = run_core_trace(trace, hierarchy, None, warmup=warmup)
+
+    table = TextTable(
+        ["design", "cycles", "cycle savings", "coverage", "energy savings"],
+        float_digits=1,
+    )
+    table.add_row(["(no MNM)", baseline.cycles, "-", "-", "-"])
+
+    for name in ("HMNM4", "PERFECT"):
+        design = parse_design(name)
+        run = run_core_trace(trace, hierarchy, design, warmup=warmup)
+        cycle_saving = (baseline.cycles - run.cycles) / baseline.cycles
+        energy_saving = (
+            baseline.energy.total_nj - run.energy.total_nj
+        ) / baseline.energy.total_nj
+        table.add_row([
+            name,
+            run.cycles,
+            f"{cycle_saving * 100:.1f}%",
+            f"{run.coverage.coverage * 100:.1f}%",
+            f"{energy_saving * 100:.1f}%",
+        ])
+        assert run.coverage.violations == 0, "MNM soundness violated!"
+
+    print(table)
+    print(
+        "\nEvery identified miss was a *proven* miss: the MNM never flags "
+        "a block\nthat is actually resident (checked on every access above)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""repro — reproduction of *Just Say No: Benefits of Early Cache Miss
+Determination* (Memik, Reinman, Mangione-Smith; HPCA 2003).
+
+The package implements the paper's Mostly No Machine (five miss-filtering
+techniques plus hybrids and an oracle) together with every substrate its
+evaluation needs: a multi-level cache simulator, a SimpleScalar-style
+out-of-order core model, synthetic SPEC2000-flavoured workloads and a
+CACTI-inspired power model.
+
+Typical use::
+
+    from repro import (
+        CacheHierarchy, MostlyNoMachine, paper_hierarchy_5level,
+        parse_design, run_core_trace, get_trace,
+    )
+
+    trace = get_trace("mcf", num_instructions=50_000)
+    run = run_core_trace(trace, paper_hierarchy_5level(), parse_design("HMNM4"))
+    print(run.cycles, run.coverage.coverage)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.cache import (
+    AccessKind,
+    Cache,
+    CacheConfig,
+    CacheHierarchy,
+    HierarchyConfig,
+    TierConfig,
+    hierarchy_preset,
+    paper_hierarchy_2level,
+    paper_hierarchy_3level,
+    paper_hierarchy_5level,
+    paper_hierarchy_7level,
+)
+from repro.core import (
+    MNMDesign,
+    MostlyNoMachine,
+    Placement,
+    hmnm_design,
+    parse_design,
+    perfect_design,
+)
+from repro.cpu import CoreConfig, OutOfOrderCore, paper_core
+from repro.simulate import (
+    ReferencePassResult,
+    SimulatedMemory,
+    WorkloadRun,
+    build_memory,
+    run_core_trace,
+    run_reference_pass,
+)
+from repro.workloads import Trace, generate_trace, get_trace, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessKind",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CoreConfig",
+    "HierarchyConfig",
+    "MNMDesign",
+    "MostlyNoMachine",
+    "OutOfOrderCore",
+    "Placement",
+    "ReferencePassResult",
+    "SimulatedMemory",
+    "TierConfig",
+    "Trace",
+    "WorkloadRun",
+    "build_memory",
+    "generate_trace",
+    "get_trace",
+    "hierarchy_preset",
+    "hmnm_design",
+    "paper_core",
+    "paper_hierarchy_2level",
+    "paper_hierarchy_3level",
+    "paper_hierarchy_5level",
+    "paper_hierarchy_7level",
+    "parse_design",
+    "perfect_design",
+    "run_core_trace",
+    "run_reference_pass",
+    "workload_names",
+]

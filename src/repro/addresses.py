@@ -1,0 +1,117 @@
+"""Address arithmetic shared by the cache simulator and the MNM filters.
+
+The paper works on *block addresses*: the tag plus index portion of an
+address (Figure 4), i.e. the address shifted right by ``log2(block_size)``.
+The MNM normalises every block address to the granularity of the level-2
+caches; when a cache with a larger block replaces a block, the MNM performs
+``large_block / l2_block`` updates, one per covered L2-sized block
+(Section 3.1).  :class:`BlockMapper` implements that normalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Width of simulated addresses, in bits (the paper assumes 32-bit addresses).
+ADDRESS_BITS = 32
+
+#: One past the largest representable address.
+ADDRESS_SPACE = 1 << ADDRESS_BITS
+
+#: Mask selecting the valid address bits.
+ADDRESS_MASK = ADDRESS_SPACE - 1
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two.
+
+    Raises:
+        ValueError: if ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"expected a power of two, got {value!r}")
+    return value.bit_length() - 1
+
+
+def validate_address(address: int) -> int:
+    """Check that ``address`` fits in the simulated address space."""
+    if not 0 <= address < ADDRESS_SPACE:
+        raise ValueError(
+            f"address {address:#x} outside the {ADDRESS_BITS}-bit address space"
+        )
+    return address
+
+
+def block_address(address: int, block_size: int) -> int:
+    """Return the block address of ``address`` for the given block size.
+
+    This is the tag ++ index portion of the address from Figure 4 of the
+    paper: the address shifted right by the block-offset width.
+    """
+    return validate_address(address) >> log2_exact(block_size)
+
+
+def block_base(address: int, block_size: int) -> int:
+    """Return the first byte address covered by the block of ``address``."""
+    offset_bits = log2_exact(block_size)
+    return validate_address(address) >> offset_bits << offset_bits
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of the power-of-two alignment."""
+    if not is_power_of_two(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment!r}")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+@dataclass(frozen=True)
+class BlockMapper:
+    """Converts block addresses between two block-size granularities.
+
+    The MNM bookkeeps at the L2 block granularity (``granule``).  A cache
+    whose blocks are larger covers several granules per block; placing or
+    replacing one of its blocks therefore touches several MNM entries.
+
+    Attributes:
+        granule: the MNM bookkeeping block size, in bytes (the L2 block size).
+        block_size: the block size of the cache being tracked, in bytes.
+    """
+
+    granule: int
+    block_size: int
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.granule):
+            raise ValueError(f"granule must be a power of two, got {self.granule}")
+        if not is_power_of_two(self.block_size):
+            raise ValueError(
+                f"block_size must be a power of two, got {self.block_size}"
+            )
+        if self.block_size < self.granule:
+            raise ValueError(
+                "cache block size must be at least the MNM granule "
+                f"(got block_size={self.block_size} < granule={self.granule})"
+            )
+
+    @property
+    def fanout(self) -> int:
+        """How many granules one cache block covers."""
+        return self.block_size // self.granule
+
+    def to_granules(self, cache_block_addr: int) -> range:
+        """Granule-block addresses covered by one cache block address."""
+        first = cache_block_addr * self.fanout
+        return range(first, first + self.fanout)
+
+    def to_cache_block(self, granule_addr: int) -> int:
+        """Cache block address containing the given granule-block address."""
+        return granule_addr // self.fanout
+
+    def byte_to_granule(self, address: int) -> int:
+        """Granule-block address of a byte address."""
+        return block_address(address, self.granule)

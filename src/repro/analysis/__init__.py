@@ -1,0 +1,53 @@
+"""Timing, coverage and reporting analytics.
+
+* :mod:`repro.analysis.timing` — per-access data-access-time model with and
+  without MNM bypasses (what Figures 2 and 15 measure).
+* :mod:`repro.analysis.equations` — the paper's Equations 1 and 2
+  (analytical average data-access time from per-level miss rates).
+* :mod:`repro.analysis.coverage` — the coverage metric of Section 4.2 and
+  miss classification (cold/capacity/conflict) used to explain RMNM.
+* :mod:`repro.analysis.report` — plain-text table rendering for the
+  experiment harness.
+"""
+
+from repro.analysis.attribution import (
+    AttributionMeter,
+    AttributionTotals,
+    attribute_hybrid,
+)
+from repro.analysis.coverage import CoverageMeter, MissClassifier, MissClass
+from repro.analysis.equations import (
+    LevelRates,
+    average_access_time,
+    average_access_time_with_mnm,
+    measured_level_rates,
+)
+from repro.analysis.stats import CellStats, MultiSeedResult, run_multi_seed
+from repro.analysis.sweep import (
+    SweepPoint,
+    dominated,
+    pareto_frontier,
+    sweep_designs,
+)
+from repro.analysis.timing import AccessTimingModel
+
+__all__ = [
+    "AccessTimingModel",
+    "AttributionMeter",
+    "AttributionTotals",
+    "CellStats",
+    "CoverageMeter",
+    "LevelRates",
+    "MissClass",
+    "MissClassifier",
+    "MultiSeedResult",
+    "SweepPoint",
+    "attribute_hybrid",
+    "average_access_time",
+    "average_access_time_with_mnm",
+    "dominated",
+    "measured_level_rates",
+    "pareto_frontier",
+    "run_multi_seed",
+    "sweep_designs",
+]

@@ -1,0 +1,168 @@
+"""Coverage metric (Section 4.2) and miss classification.
+
+*Coverage* is the fraction of identifiable cache misses the MNM identifies.
+A request served by tier *j* missed tiers 1..j-1; the MNM never predicts
+level-1 misses, so tiers 2..j-1 are the *candidates* (the paper's example:
+a hit in level 4 offers two bypassable misses; identifying one of them is
+50% coverage).  Coverage is a property of the technique, not of the MNM's
+position (Section 4.2).
+
+:class:`MissClassifier` implements the classic three-C decomposition
+(cold / capacity / conflict) used by the extension experiments to explain
+*why* RMNM coverage varies so much across applications: RMNM can only ever
+catch conflict and capacity misses (Section 3.1), so its ceiling is
+``1 - cold_fraction``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.cache.hierarchy import AccessOutcome
+
+
+@dataclass
+class _TierCoverage:
+    candidates: int = 0
+    identified: int = 0
+
+    @property
+    def coverage(self) -> float:
+        return self.identified / self.candidates if self.candidates else 0.0
+
+
+class CoverageMeter:
+    """Accumulates MNM coverage over a run.
+
+    Also counts *soundness violations* — a definite-miss bit raised for the
+    tier that actually supplied the data.  Any nonzero count is a bug in a
+    filter; the test suite asserts it stays zero for every technique.
+    """
+
+    def __init__(self, num_tiers: int) -> None:
+        if num_tiers < 1:
+            raise ValueError(f"num_tiers must be >= 1, got {num_tiers}")
+        self.num_tiers = num_tiers
+        self.accesses = 0
+        self.violations = 0
+        self._tiers: List[_TierCoverage] = [_TierCoverage() for _ in range(num_tiers)]
+
+    def reset(self) -> None:
+        """Zero all counters (warmup boundary)."""
+        self.accesses = 0
+        self.violations = 0
+        self._tiers = [_TierCoverage() for _ in range(self.num_tiers)]
+
+    def record(self, outcome: AccessOutcome, bits: Sequence[bool]) -> None:
+        """Fold one (outcome, miss-bit vector) pair into the totals."""
+        self.accesses += 1
+        missed = outcome.tiers_missed
+        for tier in range(2, missed + 1):
+            stats = self._tiers[tier - 1]
+            stats.candidates += 1
+            if bits[tier - 1]:
+                stats.identified += 1
+        supplier = outcome.supplier
+        if supplier is not None and supplier >= 2 and bits[supplier - 1]:
+            self.violations += 1
+
+    @property
+    def candidates(self) -> int:
+        return sum(t.candidates for t in self._tiers)
+
+    @property
+    def identified(self) -> int:
+        return sum(t.identified for t in self._tiers)
+
+    @property
+    def coverage(self) -> float:
+        """Identified misses over identifiable misses, 0..1."""
+        candidates = self.candidates
+        return self.identified / candidates if candidates else 0.0
+
+    def tier_coverage(self, tier: int) -> float:
+        """Coverage restricted to one tier (1-based)."""
+        return self._tiers[tier - 1].coverage
+
+    def tier_candidates(self, tier: int) -> int:
+        return self._tiers[tier - 1].candidates
+
+    def merge(self, other: "CoverageMeter") -> None:
+        """Fold another meter (e.g. from a different trace) into this one."""
+        if other.num_tiers != self.num_tiers:
+            raise ValueError("cannot merge meters over different hierarchies")
+        self.accesses += other.accesses
+        self.violations += other.violations
+        for mine, theirs in zip(self._tiers, other._tiers):
+            mine.candidates += theirs.candidates
+            mine.identified += theirs.identified
+
+
+class MissClass(enum.Enum):
+    """The classic three-C miss taxonomy."""
+
+    COLD = "cold"
+    CAPACITY = "capacity"
+    CONFLICT = "conflict"
+
+
+@dataclass
+class MissBreakdown:
+    """Counts per miss class for one cache."""
+
+    cold: int = 0
+    capacity: int = 0
+    conflict: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.cold + self.capacity + self.conflict
+
+    def fraction(self, miss_class: MissClass) -> float:
+        total = self.total
+        if not total:
+            return 0.0
+        return getattr(self, miss_class.value) / total
+
+
+class MissClassifier:
+    """Classifies one cache's misses as cold, capacity or conflict.
+
+    Feed it every probe of the cache via :meth:`observe`.  Cold = first
+    touch of the block; conflict = a fully-associative LRU cache of the
+    same capacity would have hit; capacity = even the fully-associative
+    cache would have missed.
+    """
+
+    def __init__(self, capacity_blocks: int) -> None:
+        if capacity_blocks < 1:
+            raise ValueError(f"capacity_blocks must be >= 1, got {capacity_blocks}")
+        self.capacity_blocks = capacity_blocks
+        self.breakdown = MissBreakdown()
+        self._seen: Set[int] = set()
+        self._fully_assoc: "OrderedDict[int, None]" = OrderedDict()
+
+    def observe(self, block_addr: int, was_hit: bool) -> Optional[MissClass]:
+        """Record one probe; returns the class when it was a miss."""
+        result: Optional[MissClass] = None
+        if not was_hit:
+            if block_addr not in self._seen:
+                result = MissClass.COLD
+                self.breakdown.cold += 1
+            elif block_addr in self._fully_assoc:
+                result = MissClass.CONFLICT
+                self.breakdown.conflict += 1
+            else:
+                result = MissClass.CAPACITY
+                self.breakdown.capacity += 1
+        self._seen.add(block_addr)
+        if block_addr in self._fully_assoc:
+            self._fully_assoc.move_to_end(block_addr)
+        else:
+            self._fully_assoc[block_addr] = None
+            if len(self._fully_assoc) > self.capacity_blocks:
+                self._fully_assoc.popitem(last=False)
+        return result

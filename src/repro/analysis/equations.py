@@ -1,0 +1,140 @@
+"""Equations 1 and 2 of the paper: analytical average data-access time.
+
+Equation 1 (no MNM)::
+
+    Σ_{i=1..levels} (Π_{n=1..i-1} miss_rate_n)
+        * (hit_time_i * (1 - miss_rate_i) + miss_time_i * miss_rate_i)
+
+Main memory is modelled as the final level with ``miss_rate = 0`` and
+``hit_time = memory latency``.  Equation 2 scales each level's miss-time
+term by the fraction of its misses the MNM does *not* abort (an aborted
+miss costs nothing: the lookup is bypassed).
+
+These closed forms assume a serial lookup walk, exactly like the per-access
+model in :mod:`repro.analysis.timing`; the consistency test in
+``tests/analysis/test_equations.py`` checks that pricing a simulated trace
+per access and evaluating Equation 1 on its measured rates agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class LevelRates:
+    """One memory level's parameters for the analytical model.
+
+    Attributes:
+        hit_time: cycles to supply data on a hit (``cache_hit_time``).
+        miss_time: cycles to detect a miss (``cache_miss_time``).
+        miss_rate: local miss rate — misses over accesses *at this level*.
+    """
+
+    hit_time: float
+    miss_time: float
+    miss_rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.miss_rate <= 1.0:
+            raise ValueError(f"miss_rate must be in [0, 1], got {self.miss_rate}")
+        if self.hit_time < 0 or self.miss_time < 0:
+            raise ValueError("latencies must be non-negative")
+
+
+def average_access_time(levels: Sequence[LevelRates]) -> float:
+    """Equation 1: average data access time without an MNM."""
+    if not levels:
+        raise ValueError("need at least one memory level")
+    if levels[-1].miss_rate != 0.0:
+        raise ValueError(
+            "the last level must be backing store with miss_rate == 0"
+        )
+    total = 0.0
+    reach = 1.0  # Π of earlier miss rates: fraction of requests reaching i
+    for level in levels:
+        total += reach * (
+            level.hit_time * (1.0 - level.miss_rate)
+            + level.miss_time * level.miss_rate
+        )
+        reach *= level.miss_rate
+    return total
+
+
+def average_access_time_with_mnm(
+    levels: Sequence[LevelRates],
+    aborted_fractions: Sequence[float],
+    serial_delay: float = 0.0,
+) -> float:
+    """Equation 2: average data access time with an MNM.
+
+    Args:
+        levels: per-level parameters (backing store last).
+        aborted_fractions: per-level fraction of that level's *misses* the
+            MNM identifies and aborts; must align with ``levels`` (use 0.0
+            for level 1 and the backing store).
+        serial_delay: extra cycles a serial MNM adds to every request that
+            misses level 1 (0 for a parallel MNM).
+    """
+    if len(aborted_fractions) != len(levels):
+        raise ValueError(
+            f"need one aborted fraction per level "
+            f"({len(levels)}), got {len(aborted_fractions)}"
+        )
+    for fraction in aborted_fractions:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"aborted fraction must be in [0, 1], got {fraction}")
+
+    total = 0.0
+    reach = 1.0
+    for index, level in enumerate(levels):
+        unaborted = 1.0 - aborted_fractions[index]
+        total += reach * (
+            level.hit_time * (1.0 - level.miss_rate)
+            + level.miss_time * unaborted * level.miss_rate
+        )
+        reach *= level.miss_rate
+    if levels:
+        total += levels[0].miss_rate * serial_delay
+    return total
+
+
+def miss_time_fraction(levels: Sequence[LevelRates]) -> float:
+    """Figure 2's metric: share of access time spent detecting misses."""
+    total = average_access_time(levels)
+    if total == 0.0:
+        return 0.0
+    miss_component = 0.0
+    reach = 1.0
+    for level in levels:
+        miss_component += reach * level.miss_time * level.miss_rate
+        reach *= level.miss_rate
+    return miss_component / total
+
+
+def measured_level_rates(
+    hit_counts: Sequence[int],
+    probe_counts: Sequence[int],
+    hit_times: Sequence[float],
+    miss_times: Sequence[float],
+    memory_latency: float,
+) -> list:
+    """Build :class:`LevelRates` from simulated per-level counters.
+
+    ``hit_counts``/``probe_counts`` cover the cache levels only; a final
+    memory level (miss rate 0, hit time = ``memory_latency``) is appended.
+    Levels that were never probed get miss rate 0 (they are never reached,
+    so their term contributes nothing).
+    """
+    sizes = {len(hit_counts), len(probe_counts), len(hit_times), len(miss_times)}
+    if len(sizes) != 1:
+        raise ValueError("per-level sequences must have equal length")
+    levels = []
+    for hits, probes, hit_time, miss_time in zip(
+        hit_counts, probe_counts, hit_times, miss_times
+    ):
+        miss_rate = 1.0 - hits / probes if probes else 0.0
+        levels.append(LevelRates(hit_time, miss_time, miss_rate))
+    levels.append(LevelRates(memory_latency, 0.0, 0.0))
+    return levels

@@ -1,0 +1,105 @@
+"""Plain-text tables for the experiment harness.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports; this module renders them consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Render 0.0531 as ``5.3%``."""
+    return f"{value * 100:.{digits}f}%"
+
+
+class TextTable:
+    """Minimal monospace table with column alignment.
+
+    >>> table = TextTable(["app", "coverage"])
+    >>> table.add_row(["gcc", 0.531])
+    >>> print(table.render())            # doctest: +NORMALIZE_WHITESPACE
+    app | coverage
+    ----+---------
+    gcc |    0.531
+    """
+
+    def __init__(self, headers: Sequence[str], float_digits: int = 3) -> None:
+        self.headers = list(headers)
+        self.float_digits = float_digits
+        self._rows: List[List[str]] = []
+
+    def _format(self, cell: Cell) -> str:
+        if cell is None:
+            return "-"
+        if isinstance(cell, float):
+            return f"{cell:.{self.float_digits}f}"
+        return str(cell)
+
+    def add_row(self, cells: Iterable[Cell]) -> None:
+        row = [self._format(cell) for cell in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self._rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [header.rstrip(), rule]
+        for row in self._rows:
+            rendered_cells = []
+            for index, cell in enumerate(row):
+                if index == 0:
+                    rendered_cells.append(cell.ljust(widths[index]))
+                else:
+                    rendered_cells.append(cell.rjust(widths[index]))
+            lines.append(" | ".join(rendered_cells).rstrip())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def banner(title: str, width: Optional[int] = None) -> str:
+    """A section banner: the title boxed in ``=`` rules."""
+    rule = "=" * (width or max(len(title), 20))
+    return f"{rule}\n{title}\n{rule}"
+
+
+def bar_chart(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    fill: str = "█",
+) -> str:
+    """Horizontal ASCII bar chart, one bar per label.
+
+    The paper's coverage/reduction figures are per-application bar charts;
+    this renders the same view in a terminal::
+
+        gcc   |██████████████             27.8
+        mcf   |███                         5.5
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    peak = max((abs(v) for v in values), default=0.0)
+    label_width = max((len(label) for label in labels), default=0)
+    lines = [title]
+    for label, value in zip(labels, values):
+        length = int(round(abs(value) / peak * width)) if peak else 0
+        bar = fill * length
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)} "
+                     f"{value:8.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Multi-seed statistics for experiment robustness.
+
+A single trace seed is one draw from each workload's distribution; this
+module runs an experiment across several seeds and reports mean and
+standard deviation per cell, so claims like "CMNM beats TMNM" can be
+checked for seed sensitivity (`bench_ablation_seed_sensitivity.py`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # avoids analysis <-> experiments circular imports
+    from repro.experiments.base import ExperimentResult, ExperimentSettings
+
+
+@dataclass(frozen=True)
+class CellStats:
+    """Mean and spread of one numeric result cell across seeds."""
+
+    mean: float
+    std: float
+    samples: int
+
+    @property
+    def relative_std(self) -> float:
+        return self.std / abs(self.mean) if self.mean else 0.0
+
+
+@dataclass
+class MultiSeedResult:
+    """Aggregated experiment result across seeds."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    labels: List[str]                 # row labels (first column)
+    cells: List[List[Optional[CellStats]]]
+    seeds: List[int]
+
+    def cell(self, label: str, header: str) -> CellStats:
+        row = self.labels.index(label)
+        column = self.headers.index(header) - 1
+        value = self.cells[row][column]
+        if value is None:
+            raise ValueError(f"cell ({label}, {header}) is not numeric")
+        return value
+
+    def max_relative_std(self) -> float:
+        """Worst seed sensitivity across all numeric cells."""
+        worst = 0.0
+        for row in self.cells:
+            for value in row:
+                if value is not None and abs(value.mean) > 1e-9:
+                    worst = max(worst, value.relative_std)
+        return worst
+
+
+def _mean_std(values: Sequence[float]) -> CellStats:
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return CellStats(mean=mean, std=math.sqrt(variance), samples=n)
+
+
+def run_multi_seed(
+    runner: Callable[[Optional[ExperimentSettings]], ExperimentResult],
+    settings: ExperimentSettings,
+    seeds: Sequence[int],
+) -> MultiSeedResult:
+    """Run ``runner`` once per seed and aggregate numeric cells.
+
+    Rows are matched by their label (first column); the row set must be
+    identical across seeds (it is: workloads + the mean row).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    per_seed: List[ExperimentResult] = []
+    for seed in seeds:
+        per_seed.append(runner(replace(settings, seed=seed)))
+
+    first = per_seed[0]
+    labels = [str(row[0]) for row in first.rows]
+    for result in per_seed[1:]:
+        if [str(row[0]) for row in result.rows] != labels:
+            raise ValueError("row labels differ across seeds")
+
+    cells: List[List[Optional[CellStats]]] = []
+    for row_index in range(len(labels)):
+        row_stats: List[Optional[CellStats]] = []
+        for column in range(1, len(first.headers)):
+            values = []
+            numeric = True
+            for result in per_seed:
+                value = result.rows[row_index][column]
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    values.append(float(value))
+                else:
+                    numeric = False
+                    break
+            row_stats.append(_mean_std(values) if numeric else None)
+        cells.append(row_stats)
+
+    return MultiSeedResult(
+        experiment_id=first.experiment_id,
+        title=first.title,
+        headers=list(first.headers),
+        labels=labels,
+        cells=cells,
+        seeds=list(seeds),
+    )

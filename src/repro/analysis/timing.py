@@ -1,0 +1,119 @@
+"""Per-access data-access-time model.
+
+The paper defines *data access time* as the time between the CPU's request
+to the L1 cache and the data being supplied (Section 1.1).  For a request
+served by tier *j*, the serial-lookup hierarchy spends the miss-detection
+time of every earlier tier plus the hit time of tier *j* (or the memory
+latency).  An MNM bypass removes the miss-detection time of each tier whose
+miss bit is set; a *serial* MNM additionally charges its own delay to every
+request that goes past L1 (Section 2).
+
+The model is deliberately separated from :class:`~repro.cache.hierarchy.
+CacheHierarchy`: bypasses never change cache contents, so one structural
+:class:`~repro.cache.hierarchy.AccessOutcome` can be priced under many MNM
+designs — the experiment runner leans on this.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.cache.cache import AccessKind, CacheConfig
+from repro.cache.hierarchy import AccessOutcome, HierarchyConfig, MEMORY_TIER
+from repro.core.base import Placement
+
+
+class AccessTimingModel:
+    """Prices accesses against one hierarchy configuration.
+
+    Args:
+        config: the hierarchy being priced.
+        placement: MNM position; only SERIAL adds the MNM delay to requests
+            that pass L1 (a parallel MNM hides its delay under the L1
+            lookup, which is longer by design — Section 2).
+        mnm_delay: MNM lookup latency in cycles (paper: 2).
+        mnm_free: the perfect MNM is assumed free (no delay, Section 4.3);
+            set True to suppress the serial delay.
+    """
+
+    def __init__(
+        self,
+        config: HierarchyConfig,
+        placement: Placement = Placement.PARALLEL,
+        mnm_delay: int = 0,
+        mnm_free: bool = False,
+    ) -> None:
+        self.config = config
+        self.placement = placement
+        self.mnm_delay = 0 if mnm_free else mnm_delay
+        # Per (kind-side, tier): (hit_latency, miss_latency); precomputed
+        # because this model runs once per simulated reference.
+        self._inst: Tuple[Tuple[int, int], ...] = tuple(
+            self._latencies(tier, AccessKind.INSTRUCTION) for tier in config.tiers
+        )
+        self._data: Tuple[Tuple[int, int], ...] = tuple(
+            self._latencies(tier, AccessKind.LOAD) for tier in config.tiers
+        )
+
+    @staticmethod
+    def _latencies(tier, kind: AccessKind) -> Tuple[int, int]:
+        config: CacheConfig
+        if tier.unified is not None:
+            config = tier.unified
+        elif kind is AccessKind.INSTRUCTION:
+            config = tier.instruction
+        else:
+            config = tier.data
+        return config.hit_latency, config.effective_miss_latency
+
+    def latency(
+        self,
+        outcome: AccessOutcome,
+        bits: Optional[Sequence[bool]] = None,
+    ) -> int:
+        """Data access time of one reference in cycles.
+
+        Args:
+            outcome: the structural result of the access.
+            bits: per-tier definite-miss bits (``None`` = no MNM); a set bit
+                skips that tier's miss-detection time.
+        """
+        table = (
+            self._inst if outcome.kind is AccessKind.INSTRUCTION else self._data
+        )
+        total = 0
+        missed = outcome.tiers_missed
+        for tier_index in range(missed):
+            if bits is not None and bits[tier_index]:
+                continue
+            total += table[tier_index][1]
+        if outcome.supplier is MEMORY_TIER:
+            total += self.config.memory_latency
+        else:
+            total += table[outcome.supplier - 1][0]
+        if bits is not None and missed >= 1:
+            if self.placement is Placement.SERIAL:
+                total += self.mnm_delay
+            elif self.placement is Placement.DISTRIBUTED:
+                # one consult before every level reached past L1 — the
+                # missed tiers 2..missed plus a cache supplier beyond L1
+                consults = max(missed - 1, 0)
+                if outcome.supplier is not MEMORY_TIER and outcome.supplier >= 2:
+                    consults += 1
+                total += consults * self.mnm_delay
+        return total
+
+    def miss_time(self, outcome: AccessOutcome) -> int:
+        """Cycles spent detecting misses on the way to the data (no MNM).
+
+        The numerator of Figure 2's "fraction of misses in data access
+        time".
+        """
+        table = (
+            self._inst if outcome.kind is AccessKind.INSTRUCTION else self._data
+        )
+        return sum(table[tier_index][1] for tier_index in range(outcome.tiers_missed))
+
+    def bypassed_time(self, outcome: AccessOutcome, bits: Sequence[bool]) -> int:
+        """Cycles an MNM design removes from this access."""
+        return self.latency(outcome) - self.latency(outcome, bits)

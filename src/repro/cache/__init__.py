@@ -1,0 +1,76 @@
+"""Set-associative multi-level cache simulator.
+
+This package is the memory-hierarchy substrate of the reproduction: the
+paper evaluates its Mostly No Machine on processors with 2/3/5/7 cache
+levels, split L1/L2 instruction+data caches and unified lower levels.
+
+Public surface:
+
+* :class:`~repro.cache.cache.CacheConfig`, :class:`~repro.cache.cache.Cache`
+  — a single set-associative cache with placement/replacement event hooks.
+* :mod:`~repro.cache.replacement` — pluggable replacement policies.
+* :class:`~repro.cache.hierarchy.CacheHierarchy` — the multi-level model
+  used by all experiments, with split/unified tiers and bypass support.
+* :mod:`~repro.cache.presets` — the paper's hierarchy configurations.
+"""
+
+from repro.cache.cache import AccessKind, Cache, CacheConfig, CacheStats
+from repro.cache.hierarchy import (
+    MEMORY_TIER,
+    AccessOutcome,
+    CacheHierarchy,
+    HierarchyConfig,
+    TierConfig,
+)
+from repro.cache.presets import (
+    PAPER_MEMORY_LATENCY,
+    hierarchy_preset,
+    paper_hierarchy_2level,
+    paper_hierarchy_3level,
+    paper_hierarchy_5level,
+    paper_hierarchy_7level,
+)
+from repro.cache.prefetch import NextLinePrefetcher
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    PLRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.cache.tlb import (
+    TLBConfig,
+    TranslationBuffer,
+    TwoLevelTLB,
+    default_tlb_pair,
+)
+
+__all__ = [
+    "AccessKind",
+    "AccessOutcome",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheStats",
+    "FIFOPolicy",
+    "HierarchyConfig",
+    "LRUPolicy",
+    "MEMORY_TIER",
+    "NextLinePrefetcher",
+    "PAPER_MEMORY_LATENCY",
+    "PLRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "TLBConfig",
+    "TierConfig",
+    "TranslationBuffer",
+    "TwoLevelTLB",
+    "default_tlb_pair",
+    "hierarchy_preset",
+    "make_policy",
+    "paper_hierarchy_2level",
+    "paper_hierarchy_3level",
+    "paper_hierarchy_5level",
+    "paper_hierarchy_7level",
+]

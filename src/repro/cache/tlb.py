@@ -1,0 +1,184 @@
+"""TLB substrate for the Section 4.5 extension.
+
+The paper's discussion (Section 4.5) suggests the MNM idea transfers to
+"other caching structures such as the TLBs": proving a translation is
+absent from the second-level TLB lets the hardware start the page walk
+immediately instead of burning a lookup.  A TLB *is* a cache of
+translations, so :class:`TranslationBuffer` wraps :class:`~repro.cache.
+cache.Cache` at page granularity (re-using its event streams, which is
+exactly what lets the MNM filters attach unchanged), and
+:class:`TwoLevelTLB` stacks an L1 TLB over an L2 TLB over a page walker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.addresses import is_power_of_two
+from repro.cache.cache import Cache, CacheConfig, CacheSide
+from repro.core.base import MissFilter
+
+#: Default page size (4 KB, as on the paper's Alpha systems).
+PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Geometry of one translation buffer."""
+
+    name: str
+    entries: int
+    associativity: int
+    hit_latency: int
+    page_size: int = PAGE_SIZE
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.entries):
+            raise ValueError(f"entries must be a power of two, got {self.entries}")
+        if self.associativity < 1 or self.entries % self.associativity:
+            raise ValueError(
+                f"associativity {self.associativity} must divide "
+                f"entries {self.entries}"
+            )
+        if not is_power_of_two(self.page_size):
+            raise ValueError(
+                f"page_size must be a power of two, got {self.page_size}"
+            )
+        if self.hit_latency < 1:
+            raise ValueError(f"hit_latency must be >= 1, got {self.hit_latency}")
+
+
+class TranslationBuffer:
+    """One TLB level: a cache of page translations.
+
+    Internally a :class:`Cache` whose "blocks" are pages, so MNM filters
+    subscribe to its placement/replacement events exactly like they do for
+    data caches (granule = one page).
+    """
+
+    def __init__(self, config: TLBConfig) -> None:
+        self.config = config
+        self._cache = Cache(CacheConfig(
+            name=config.name,
+            level=1,
+            size_bytes=config.entries * config.page_size,
+            associativity=config.associativity,
+            block_size=config.page_size,
+            hit_latency=config.hit_latency,
+            side=CacheSide.UNIFIED,
+        ))
+
+    @property
+    def stats(self):
+        return self._cache.stats
+
+    def page_of(self, address: int) -> int:
+        """Virtual page number of a byte address."""
+        return self._cache.block_addr(address)
+
+    def lookup(self, address: int) -> bool:
+        """Probe for a translation; True on hit."""
+        return self._cache.probe(address)
+
+    def install(self, address: int) -> Optional[int]:
+        """Install a translation; returns the evicted page, if any."""
+        return self._cache.fill(address)
+
+    def holds(self, address: int) -> bool:
+        return self._cache.contains(address)
+
+    def attach_filter(self, filter_: MissFilter) -> None:
+        """Subscribe an MNM filter to this TLB's event streams."""
+        self._cache.add_place_listener(
+            lambda _cache, page: filter_.on_place(page))
+        self._cache.add_replace_listener(
+            lambda _cache, page: filter_.on_replace(page))
+
+    def flush(self) -> None:
+        self._cache.flush()
+
+
+@dataclass
+class TLBAccessResult:
+    """Outcome of one translation."""
+
+    l1_hit: bool
+    l2_hit: bool
+    l2_bypassed: bool
+    latency: int
+
+
+class TwoLevelTLB:
+    """L1 TLB → L2 TLB → page walker, with an optional L2 miss filter.
+
+    When a filter is attached and proves the translation absent from the
+    L2 TLB, the L2 lookup is skipped and the page walk starts immediately
+    — the Section 4.5 transfer of the MNM idea.
+    """
+
+    def __init__(
+        self,
+        l1: TLBConfig,
+        l2: TLBConfig,
+        walk_latency: int = 60,
+        miss_filter: Optional[MissFilter] = None,
+    ) -> None:
+        if walk_latency < 1:
+            raise ValueError(f"walk_latency must be >= 1, got {walk_latency}")
+        self.l1 = TranslationBuffer(l1)
+        self.l2 = TranslationBuffer(l2)
+        self.walk_latency = walk_latency
+        self.miss_filter = miss_filter
+        if miss_filter is not None:
+            self.l2.attach_filter(miss_filter)
+        self.bypasses = 0
+        self.filter_violations = 0
+
+    def translate(self, address: int) -> TLBAccessResult:
+        """Translate one address, updating both levels."""
+        if self.l1.lookup(address):
+            return TLBAccessResult(
+                l1_hit=True, l2_hit=False, l2_bypassed=False,
+                latency=self.l1.config.hit_latency,
+            )
+
+        latency = self.l1.config.hit_latency  # L1 miss detection
+        page = self.l2.page_of(address)
+        bypass = (
+            self.miss_filter is not None
+            and self.miss_filter.is_definite_miss(page)
+        )
+        l2_hit = False
+        if bypass:
+            self.bypasses += 1
+            if self.l2.holds(address):  # must be impossible: one-sidedness
+                self.filter_violations += 1
+            latency += self.walk_latency
+        else:
+            l2_hit = self.l2.lookup(address)
+            latency += self.l2.config.hit_latency
+            if not l2_hit:
+                latency += self.walk_latency
+
+        # refill outward-in, like the cache hierarchy
+        if not l2_hit:
+            self.l2.install(address)
+        self.l1.install(address)
+        return TLBAccessResult(
+            l1_hit=False, l2_hit=l2_hit, l2_bypassed=bypass, latency=latency,
+        )
+
+    def flush(self) -> None:
+        self.l1.flush()
+        self.l2.flush()
+        if self.miss_filter is not None:
+            self.miss_filter.on_flush()
+
+
+def default_tlb_pair() -> Tuple[TLBConfig, TLBConfig]:
+    """A typical early-2000s arrangement: 16-entry L1, 128-entry 4-way L2."""
+    return (
+        TLBConfig(name="tlb1", entries=16, associativity=16, hit_latency=1),
+        TLBConfig(name="tlb2", entries=128, associativity=4, hit_latency=4),
+    )

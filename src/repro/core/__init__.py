@@ -1,0 +1,109 @@
+"""The Mostly No Machine — the paper's primary contribution.
+
+Five miss-identification techniques (Section 3 of the paper) behind one
+:class:`~repro.core.base.MissFilter` interface, coordinated by the
+:class:`~repro.core.machine.MostlyNoMachine`, plus the configuration
+catalogue of every design the paper evaluates.
+
+Quick use::
+
+    from repro.cache import CacheHierarchy, paper_hierarchy_5level
+    from repro.core import MostlyNoMachine, parse_design
+
+    hierarchy = CacheHierarchy(paper_hierarchy_5level())
+    mnm = MostlyNoMachine(hierarchy, parse_design("HMNM4"))
+    bits = mnm.query(address, kind)   # per-level definite-miss bits
+    outcome = hierarchy.access(address, kind)
+"""
+
+from repro.core.audit import (
+    AuditReport,
+    DecisionLog,
+    LoggingMachine,
+    audit_log,
+    audited_run,
+)
+from repro.core.base import FilterStats, MissFilter, NullFilter, Placement
+from repro.core.bloom import BloomMissFilter, bloom_design
+from repro.core.cmnm import CMNM, VirtualTagFinder
+from repro.core.hybrid import CompositeFilter
+from repro.core.waypred import MRUWayPredictor, WayPredictionMeter
+from repro.core.machine import (
+    FilterBuildContext,
+    FilterFactory,
+    MissBits,
+    MNMDesign,
+    MostlyNoMachine,
+)
+from repro.core.perfect import PerfectFilter
+from repro.core.presets import (
+    all_paper_design_names,
+    cmnm_design,
+    figure10_designs,
+    figure11_designs,
+    figure12_designs,
+    figure13_designs,
+    figure14_designs,
+    figure15_designs,
+    hmnm_design,
+    null_design,
+    parse_design,
+    perfect_design,
+    rmnm_design,
+    smnm_design,
+    tmnm_design,
+)
+from repro.core.rmnm import RMNMCache, RMNMLane
+from repro.core.smnm import SMNM, SumChecker, checker_flipflops, max_sum, sum_hash
+from repro.core.tmnm import TMNM, COUNTER_BITS, COUNTER_MAX, CounterTable
+
+__all__ = [
+    "AuditReport",
+    "BloomMissFilter",
+    "CMNM",
+    "COUNTER_BITS",
+    "COUNTER_MAX",
+    "CompositeFilter",
+    "CounterTable",
+    "DecisionLog",
+    "LoggingMachine",
+    "MRUWayPredictor",
+    "WayPredictionMeter",
+    "audit_log",
+    "audited_run",
+    "bloom_design",
+    "FilterBuildContext",
+    "FilterFactory",
+    "FilterStats",
+    "MNMDesign",
+    "MissBits",
+    "MissFilter",
+    "MostlyNoMachine",
+    "NullFilter",
+    "PerfectFilter",
+    "Placement",
+    "RMNMCache",
+    "RMNMLane",
+    "SMNM",
+    "SumChecker",
+    "TMNM",
+    "VirtualTagFinder",
+    "all_paper_design_names",
+    "checker_flipflops",
+    "cmnm_design",
+    "figure10_designs",
+    "figure11_designs",
+    "figure12_designs",
+    "figure13_designs",
+    "figure14_designs",
+    "figure15_designs",
+    "hmnm_design",
+    "max_sum",
+    "null_design",
+    "parse_design",
+    "perfect_design",
+    "rmnm_design",
+    "smnm_design",
+    "sum_hash",
+    "tmnm_design",
+]

@@ -1,0 +1,138 @@
+"""Decision-log audit: replay MNM answers against an oracle.
+
+Hardware teams validate a miss filter by logging its answers and checking
+every "miss" against the tag arrays.  This module provides the software
+equivalent: a :class:`DecisionLog` recording each consultation, and a
+replay verifier that re-simulates the logged reference stream on a fresh
+hierarchy with an exact-oracle machine and cross-checks every logged
+answer.  It catches the failures that in-run assertions cannot — e.g. a
+filter whose answers differ across runs (non-determinism) or a logging
+path that desynchronised from the simulated machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.cache.cache import AccessKind
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.core.machine import MNMDesign, MostlyNoMachine
+from repro.core.presets import perfect_design
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One logged MNM consultation."""
+
+    address: int
+    kind: AccessKind
+    bits: Tuple[bool, ...]
+
+
+@dataclass
+class DecisionLog:
+    """Append-only log of (reference, answer) pairs."""
+
+    design_name: str
+    hierarchy_name: str
+    records: List[DecisionRecord] = field(default_factory=list)
+
+    def append(self, address: int, kind: AccessKind,
+               bits: Tuple[bool, ...]) -> None:
+        """Record one consultation."""
+        self.records.append(DecisionRecord(address, kind, bits))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class LoggingMachine:
+    """Wraps a machine so every query lands in a :class:`DecisionLog`."""
+
+    def __init__(self, machine: MostlyNoMachine) -> None:
+        self.machine = machine
+        self.log = DecisionLog(
+            design_name=machine.name,
+            hierarchy_name=machine.hierarchy.config.name,
+        )
+
+    def query(self, address: int, kind: AccessKind) -> Tuple[bool, ...]:
+        """Query the wrapped machine and log the answer."""
+        bits = self.machine.query(address, kind)
+        self.log.append(address, kind, bits)
+        return bits
+
+
+@dataclass
+class AuditReport:
+    """Outcome of replaying a decision log against the oracle."""
+
+    records: int
+    unsound_answers: int        # flagged a tier that actually held the block
+    missed_opportunities: int   # oracle-provable misses the design passed on
+    first_violation: Optional[int] = None  # record index
+
+    @property
+    def sound(self) -> bool:
+        """True when no logged answer contradicted the oracle."""
+        return self.unsound_answers == 0
+
+    @property
+    def opportunity_recall(self) -> float:
+        """Identified share of the oracle's provable misses."""
+        total = self.missed_opportunities + self._identified
+        return self._identified / total if total else 1.0
+
+    _identified: int = 0
+
+
+def audit_log(
+    log: DecisionLog,
+    hierarchy_config: HierarchyConfig,
+) -> AuditReport:
+    """Replay a log's reference stream and verify every answer.
+
+    The replay builds a fresh hierarchy plus a perfect-oracle machine and
+    walks the logged references in order.  For each record: any logged
+    miss bit the oracle disagrees with (the block *was* resident) is an
+    unsound answer; any oracle miss bit the design did not raise is a
+    missed opportunity (coverage shortfall, not an error).
+    """
+    hierarchy = CacheHierarchy(hierarchy_config)
+    oracle = MostlyNoMachine(hierarchy, perfect_design())
+    report = AuditReport(records=len(log.records), unsound_answers=0,
+                         missed_opportunities=0)
+    identified = 0
+    for index, record in enumerate(log.records):
+        truth = oracle.query(record.address, record.kind)
+        hierarchy.access(record.address, record.kind)
+        for tier_bit, (claimed, actual_miss) in enumerate(
+            zip(record.bits, truth)
+        ):
+            if tier_bit == 0:
+                continue  # level 1 is never predicted
+            if claimed and not actual_miss:
+                report.unsound_answers += 1
+                if report.first_violation is None:
+                    report.first_violation = index
+            elif actual_miss and claimed:
+                identified += 1
+            elif actual_miss and not claimed:
+                report.missed_opportunities += 1
+    report._identified = identified
+    return report
+
+
+def audited_run(
+    references,
+    hierarchy_config: HierarchyConfig,
+    design: MNMDesign,
+) -> Tuple[DecisionLog, AuditReport]:
+    """Convenience: run a design over references, then audit its log."""
+    hierarchy = CacheHierarchy(hierarchy_config)
+    machine = LoggingMachine(MostlyNoMachine(hierarchy, design))
+    for address, kind in references:
+        machine.query(address, kind)
+        hierarchy.access(address, kind)
+    return machine.log, audit_log(machine.log, hierarchy_config)

@@ -1,0 +1,114 @@
+"""Counting-Bloom-filter miss filter — the related-work baseline.
+
+The paper's related work (Moshovos et al., JETTY, HPCA-7) filters snoop
+lookups with small exclude/include structures; the natural modern framing
+of "prove this block is absent" is a counting Bloom filter over the
+resident-block set.  This module provides one as a *baseline to compare
+the paper's techniques against* (it is not part of the paper's design):
+
+* ``k`` hash functions map a granule address to ``k`` counter slots;
+* placement increments, replacement decrements;
+* **any** zero slot proves the block absent (one-sided, like every MNM
+  technique);
+* counters saturate stickily, like the TMNM's, so aliasing can only cost
+  coverage, never soundness.
+
+Note the structural relationship: a TMNM table *is* a counting Bloom
+filter with one trivial hash (a bit-field extraction); the Bloom baseline
+generalises it with mixing hashes, trading the TMNM's wiring-only
+indexing for better slot utilisation.  The ablation benchmark
+``bench_ablation_bloom_baseline.py`` measures whether that trade pays at
+equal bit budgets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.addresses import is_power_of_two, log2_exact
+from repro.core.base import MissFilter
+
+#: Counter width (4 bits: saturation at 15, rarer than the TMNM's 7).
+COUNTER_BITS = 4
+
+COUNTER_MAX = (1 << COUNTER_BITS) - 1
+
+#: Multiplicative mixing constants (Knuth-style), one per hash function.
+_MIX = (0x9E3779B1, 0x85EBCA77, 0xC2B2AE3D, 0x27D4EB2F, 0x165667B1)
+
+
+class BloomMissFilter(MissFilter):
+    """Counting Bloom filter over one cache's resident granules.
+
+    Args:
+        index_bits: log2 of the number of counter slots.
+        num_hashes: hash functions (1..5).
+    """
+
+    technique = "bloom"
+
+    def __init__(self, index_bits: int, num_hashes: int = 2) -> None:
+        if index_bits < 1:
+            raise ValueError(f"index_bits must be >= 1, got {index_bits}")
+        if not 1 <= num_hashes <= len(_MIX):
+            raise ValueError(
+                f"num_hashes must be 1..{len(_MIX)}, got {num_hashes}"
+            )
+        self.index_bits = index_bits
+        self.num_hashes = num_hashes
+        self._mask = (1 << index_bits) - 1
+        self._counters: List[int] = [0] * (1 << index_bits)
+
+    def _slots(self, granule_addr: int) -> Tuple[int, ...]:
+        shift = 32 - self.index_bits
+        return tuple(
+            (granule_addr * _MIX[h] & 0xFFFFFFFF) >> shift
+            for h in range(self.num_hashes)
+        )
+
+    def is_definite_miss(self, granule_addr: int) -> bool:
+        counters = self._counters
+        return any(counters[slot] == 0 for slot in self._slots(granule_addr))
+
+    def on_place(self, granule_addr: int) -> None:
+        counters = self._counters
+        for slot in self._slots(granule_addr):
+            if counters[slot] < COUNTER_MAX:
+                counters[slot] += 1
+
+    def on_replace(self, granule_addr: int) -> None:
+        counters = self._counters
+        for slot in self._slots(granule_addr):
+            value = counters[slot]
+            # sticky saturation, exact below it — same argument as TMNM
+            if 0 < value < COUNTER_MAX:
+                counters[slot] = value - 1
+
+    def on_flush(self) -> None:
+        self._counters = [0] * (1 << self.index_bits)
+
+    @property
+    def saturated_slots(self) -> int:
+        """Slots stuck at the counter maximum (degraded coverage)."""
+        return sum(1 for value in self._counters if value == COUNTER_MAX)
+
+    @property
+    def storage_bits(self) -> int:
+        return (1 << self.index_bits) * COUNTER_BITS
+
+    @property
+    def name(self) -> str:
+        return f"BLOOM_{self.index_bits}x{self.num_hashes}"
+
+
+def bloom_design(index_bits: int, num_hashes: int = 2):
+    """An MNM design using the Bloom baseline at every tracked level."""
+    from repro.core.machine import FilterBuildContext, MNMDesign
+
+    def build(_context: FilterBuildContext) -> BloomMissFilter:
+        return BloomMissFilter(index_bits, num_hashes)
+
+    return MNMDesign(
+        name=f"BLOOM_{index_bits}x{num_hashes}",
+        default_factories=(build,),
+    )

@@ -1,0 +1,211 @@
+"""Common-Address MNM (Section 3.4 of the paper).
+
+The CMNM exploits the locality of the *high* address bits: programs touch
+few distinct high-address regions, so a handful of registers (the
+*virtual-tag finder*) can compress them.  A block address is split into a
+high part (everything above the low ``m`` bits) and a low part (the low
+``m`` bits).  The high part is matched against ``k`` registers; on a match,
+the register index (the *virtual tag*) concatenated with the low part
+indexes a table of 3-bit sticky-saturating counters, exactly like a TMNM
+table.  An access provably misses when its high part matches no register,
+or when every matching register's counter slot is zero.
+
+Virtual-tag finder semantics (as described in the paper):
+
+* Register *values* never change once allocated; each register has a mask
+  that can only **widen** (mask bits shift left) over time.
+* When a placed block matches no register, an unused register is allocated
+  for it exactly; with no unused register, every mask is widened in
+  lock-step until some register matches — that register keeps the widened
+  mask and the rest are restored ("reset to their original position except
+  the register that matched").
+
+Because masks only widen and values never change, a register that matched a
+block at placement time matches it forever after — the match set only
+grows.  Two faithfulness refinements keep the structure *provably*
+one-sided where the paper's prose is ambiguous:
+
+* When several registers match at lookup time, a miss is declared only if
+  **every** matching register's counter is zero (a priority encoder that
+  picked one arbitrary match could consult a stale slot and declare a false
+  miss).
+* Replacement decrements must hit the same counter the placement
+  incremented.  We record the placement-time register index per resident
+  granule — hardware-wise this is ``log2(k)`` extra bits stored alongside
+  each cache block (3 bits for the largest configuration in the paper),
+  sent back with the replaced-block address the caches already forward to
+  the MNM (Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.base import MissFilter
+from repro.core.tmnm import COUNTER_BITS, CounterTable
+
+
+@dataclass
+class _Register:
+    """One virtual-tag register: an immutable value plus a widening mask."""
+
+    value: int = 0
+    mask_len: int = 0
+    valid: bool = False
+
+    def matches(self, high: int, high_bits: int) -> bool:
+        if not self.valid:
+            return False
+        if self.mask_len >= high_bits:
+            return True
+        return (high >> self.mask_len) == (self.value >> self.mask_len)
+
+
+class VirtualTagFinder:
+    """The CMNM's high-bits compressor: ``k`` registers with widening masks."""
+
+    def __init__(self, num_registers: int, high_bits: int) -> None:
+        if num_registers < 1:
+            raise ValueError(f"num_registers must be >= 1, got {num_registers}")
+        if high_bits < 1:
+            raise ValueError(f"high_bits must be >= 1, got {high_bits}")
+        self.num_registers = num_registers
+        self.high_bits = high_bits
+        self.registers: List[_Register] = [_Register() for _ in range(num_registers)]
+
+    def matching(self, high: int) -> List[int]:
+        """Indices of all registers whose masked value matches ``high``."""
+        return [
+            index
+            for index, register in enumerate(self.registers)
+            if register.matches(high, self.high_bits)
+        ]
+
+    def place(self, high: int) -> int:
+        """Find or create a register for ``high``; return its index.
+
+        Placement order: existing match (first, for determinism) →
+        allocate a free register → widen all masks until a match appears.
+        """
+        matches = self.matching(high)
+        if matches:
+            return matches[0]
+
+        for index, register in enumerate(self.registers):
+            if not register.valid:
+                register.value = high
+                register.mask_len = 0
+                register.valid = True
+                return index
+
+        saved = [register.mask_len for register in self.registers]
+        while True:
+            widened_any = False
+            for register in self.registers:
+                if register.mask_len < self.high_bits:
+                    register.mask_len += 1
+                    widened_any = True
+            matches = self.matching(high)
+            if matches:
+                winner = matches[0]
+                for index, register in enumerate(self.registers):
+                    if index != winner:
+                        register.mask_len = saved[index]
+                return winner
+            if not widened_any:
+                # All masks already cover every bit yet nothing matched:
+                # impossible with at least one valid register, guarded anyway.
+                raise AssertionError("virtual-tag finder failed to converge")
+
+    def reset(self) -> None:
+        """Invalidate every register (cache flush)."""
+        self.registers = [_Register() for _ in range(self.num_registers)]
+
+    @property
+    def storage_bits(self) -> int:
+        """Register file size: value + mask-length + valid bits."""
+        mask_field = max(self.high_bits.bit_length(), 1)
+        return self.num_registers * (self.high_bits + mask_field + 1)
+
+
+class CMNM(MissFilter):
+    """Common-Address MNM for one cache.
+
+    Named ``CMNM_{num_registers}_{low_bits}`` as in the paper (Figure 13);
+    e.g. ``CMNM_8_12`` has an 8-register virtual-tag finder and uses the low
+    12 block-address bits, for an ``8 * 2^12``-counter table.
+
+    Args:
+        num_registers: virtual-tag finder size (``k``).
+        low_bits: low block-address bits indexing the table (``m``).
+        address_bits: width of granule block addresses (32-bit byte
+            addresses minus the granule offset; default assumes the paper's
+            32-byte granule).
+    """
+
+    technique = "cmnm"
+
+    def __init__(
+        self,
+        num_registers: int,
+        low_bits: int,
+        address_bits: int = 27,
+        counter_bits: int = COUNTER_BITS,
+    ) -> None:
+        if low_bits < 1:
+            raise ValueError(f"low_bits must be >= 1, got {low_bits}")
+        if address_bits <= low_bits:
+            raise ValueError(
+                f"address_bits ({address_bits}) must exceed low_bits ({low_bits})"
+            )
+        self.num_registers = num_registers
+        self.low_bits = low_bits
+        self.high_bits = address_bits - low_bits
+        self.finder = VirtualTagFinder(num_registers, self.high_bits)
+        self.tables: Tuple[CounterTable, ...] = tuple(
+            CounterTable(low_bits, bit_offset=0, counter_bits=counter_bits)
+            for _ in range(num_registers)
+        )
+        # Placement-time register index per resident granule (log2(k) bits
+        # alongside each cache block in hardware; see module docstring).
+        self._placed_under: Dict[int, int] = {}
+
+    def _split(self, granule_addr: int) -> Tuple[int, int]:
+        return granule_addr >> self.low_bits, granule_addr & ((1 << self.low_bits) - 1)
+
+    def is_definite_miss(self, granule_addr: int) -> bool:
+        high, low = self._split(granule_addr)
+        matches = self.finder.matching(high)
+        if not matches:
+            return True
+        return all(self.tables[index].count(low) == 0 for index in matches)
+
+    def on_place(self, granule_addr: int) -> None:
+        high, low = self._split(granule_addr)
+        register = self.finder.place(high)
+        self.tables[register].on_place(low)
+        self._placed_under[granule_addr] = register
+
+    def on_replace(self, granule_addr: int) -> None:
+        register = self._placed_under.pop(granule_addr, None)
+        if register is None:
+            # Replacement of a block placed before this filter attached (or
+            # inconsistent event streams): nothing was counted, skip.
+            return
+        _, low = self._split(granule_addr)
+        self.tables[register].on_replace(low)
+
+    def on_flush(self) -> None:
+        self.finder.reset()
+        for table in self.tables:
+            table.reset()
+        self._placed_under.clear()
+
+    @property
+    def storage_bits(self) -> int:
+        return self.finder.storage_bits + sum(t.storage_bits for t in self.tables)
+
+    @property
+    def name(self) -> str:
+        return f"CMNM_{self.num_registers}_{self.low_bits}"

@@ -1,0 +1,58 @@
+"""Hybrid MNM (Section 3.5 of the paper).
+
+A hybrid combines several techniques on the same cache; a miss is proven if
+*any* component proves it.  Since every component is individually one-sided
+(a ``True`` is a proof of absence), the disjunction is one-sided too —
+combining techniques can only add coverage, never unsoundness.
+
+The paper's HMNM1–HMNM4 recipes (Table 3) mix SMNM+TMNM on cache levels 2–3
+with CMNM+TMNM on levels 4–5 plus a shared RMNM; those recipes live in
+:mod:`repro.core.presets` — this module only provides the combinator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.core.base import MissFilter
+
+
+class CompositeFilter(MissFilter):
+    """OR-combination of several miss filters watching the same cache."""
+
+    technique = "hybrid"
+
+    def __init__(self, components: Iterable[MissFilter], label: str = "") -> None:
+        self.components: Tuple[MissFilter, ...] = tuple(components)
+        if not self.components:
+            raise ValueError("a composite filter needs at least one component")
+        self._label = label
+
+    def is_definite_miss(self, granule_addr: int) -> bool:
+        return any(c.is_definite_miss(granule_addr) for c in self.components)
+
+    def on_place(self, granule_addr: int) -> None:
+        for component in self.components:
+            component.on_place(granule_addr)
+
+    def on_replace(self, granule_addr: int) -> None:
+        for component in self.components:
+            component.on_replace(granule_addr)
+
+    def on_flush(self) -> None:
+        for component in self.components:
+            component.on_flush()
+
+    @property
+    def storage_bits(self) -> int:
+        return sum(c.storage_bits for c in self.components)
+
+    @property
+    def name(self) -> str:
+        if self._label:
+            return self._label
+        return "+".join(c.name for c in self.components)
+
+    def identifying_components(self, granule_addr: int) -> Sequence[MissFilter]:
+        """Components that prove this miss (for attribution/ablation)."""
+        return [c for c in self.components if c.is_definite_miss(granule_addr)]

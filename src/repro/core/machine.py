@@ -1,0 +1,254 @@
+"""The Mostly No Machine: per-cache filters behind one query interface.
+
+A :class:`MostlyNoMachine` attaches to a :class:`~repro.cache.hierarchy.
+CacheHierarchy`, builds one (possibly composite) miss filter per cache at
+levels 2 and beyond — the MNM never predicts level-1 misses — and wires the
+filters to the caches' placement/replacement event streams, translating
+each cache's own block granularity to the MNM granule (the L2 block size).
+
+Querying the machine *before* an access yields the per-level miss-bit
+vector that the hardware would tag onto the request (Section 2): bit *i*
+set means "level *i* will miss — bypass it".  Because bypassing changes
+time and energy but never cache contents, the machine is queried first and
+the hierarchy accessed second, and the pair (bits, outcome) is everything
+the timing/energy/coverage models need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.addresses import ADDRESS_BITS, BlockMapper, log2_exact
+from repro.cache.cache import AccessKind, Cache
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.base import FilterStats, MissFilter, NullFilter, Placement
+from repro.core.hybrid import CompositeFilter
+from repro.core.perfect import PerfectFilter
+from repro.core.rmnm import RMNMCache, RMNMLane
+
+#: Per-level definite-miss bits, index ``tier - 1``; bit 0 is always False.
+MissBits = Tuple[bool, ...]
+
+
+@dataclass(frozen=True)
+class FilterBuildContext:
+    """What a filter factory gets to know about the cache it will watch."""
+
+    level: int
+    cache_name: str
+    granule_bits: int
+
+
+FilterFactory = Callable[[FilterBuildContext], MissFilter]
+
+
+@dataclass(frozen=True)
+class MNMDesign:
+    """A buildable MNM configuration.
+
+    Attributes:
+        name: configuration label (e.g. ``"HMNM4"``).
+        level_factories: per-level filter factories; levels not listed fall
+            back to ``default_factories``.
+        default_factories: factories applied to levels without an explicit
+            entry (the paper replicates single-technique configurations
+            across all tracked levels).
+        rmnm_geometry: optional ``(num_blocks, associativity)`` of a shared
+            RMNM cache; one lane per tracked cache is added to each level's
+            composite.
+        perfect: build oracle filters instead (ignores the factory fields).
+        placement: parallel or serial MNM (Figure 1).
+        delay: MNM lookup delay in cycles (the paper uses 2).
+    """
+
+    name: str
+    level_factories: Mapping[int, Tuple[FilterFactory, ...]] = field(
+        default_factory=dict
+    )
+    default_factories: Tuple[FilterFactory, ...] = ()
+    rmnm_geometry: Optional[Tuple[int, int]] = None
+    perfect: bool = False
+    placement: Placement = Placement.PARALLEL
+    delay: int = 2
+
+    def factories_for(self, level: int) -> Tuple[FilterFactory, ...]:
+        """Filter factories applying to one cache level."""
+        return tuple(self.level_factories.get(level, self.default_factories))
+
+    def with_placement(self, placement: Placement) -> "MNMDesign":
+        """Copy of this design with a different MNM position."""
+        return MNMDesign(
+            name=self.name,
+            level_factories=self.level_factories,
+            default_factories=self.default_factories,
+            rmnm_geometry=self.rmnm_geometry,
+            perfect=self.perfect,
+            placement=placement,
+            delay=self.delay,
+        )
+
+
+@dataclass
+class _TrackedCache:
+    """Bookkeeping for one cache the machine filters."""
+
+    tier: int
+    cache: Cache
+    filter: MissFilter
+    mapper: BlockMapper
+    stats: FilterStats
+
+
+class MostlyNoMachine:
+    """MNM instance bound to one hierarchy."""
+
+    def __init__(self, hierarchy: CacheHierarchy, design: MNMDesign) -> None:
+        self.hierarchy = hierarchy
+        self.design = design
+        self.granule = hierarchy.config.mnm_granule
+        self._granule_shift = log2_exact(self.granule)
+        granule_bits = ADDRESS_BITS - self._granule_shift
+
+        tracked_caches = [
+            (tier, cache) for tier, cache in hierarchy.all_caches() if tier >= 2
+        ]
+        self.rmnm: Optional[RMNMCache] = None
+        if design.rmnm_geometry is not None and not design.perfect and tracked_caches:
+            blocks, assoc = design.rmnm_geometry
+            self.rmnm = RMNMCache(blocks, assoc, num_lanes=len(tracked_caches))
+
+        self._tracked: Dict[str, _TrackedCache] = {}
+        for lane, (tier, cache) in enumerate(tracked_caches):
+            context = FilterBuildContext(
+                level=tier, cache_name=cache.config.name, granule_bits=granule_bits
+            )
+            components: List[MissFilter] = []
+            if design.perfect:
+                components.append(PerfectFilter())
+            else:
+                components.extend(
+                    factory(context) for factory in design.factories_for(tier)
+                )
+                if self.rmnm is not None:
+                    components.append(RMNMLane(self.rmnm, lane))
+            if not components:
+                filter_: MissFilter = NullFilter()
+            elif len(components) == 1:
+                filter_ = components[0]
+            else:
+                filter_ = CompositeFilter(components)
+
+            mapper = BlockMapper(self.granule, cache.config.block_size)
+            entry = _TrackedCache(tier, cache, filter_, mapper, FilterStats())
+            self._tracked[cache.config.name] = entry
+            cache.add_place_listener(self._make_listener(entry, place=True))
+            cache.add_replace_listener(self._make_listener(entry, place=False))
+
+        # Precomputed query route: per access kind, the (bit index, tracked
+        # cache) pairs for tiers 2..N — query() is the hottest path in the
+        # experiment runner.
+        self._route: Dict[AccessKind, Tuple[Tuple[int, _TrackedCache], ...]] = {}
+        for kind in AccessKind:
+            route: List[Tuple[int, _TrackedCache]] = []
+            for tier in range(2, hierarchy.num_tiers + 1):
+                cache = hierarchy.cache_for(tier, kind)
+                route.append((tier - 1, self._tracked[cache.config.name]))
+            self._route[kind] = tuple(route)
+
+    @staticmethod
+    def _make_listener(
+        entry: _TrackedCache, place: bool
+    ) -> Callable[[Cache, int], None]:
+        mapper = entry.mapper
+        target = entry.filter.on_place if place else entry.filter.on_replace
+
+        def listener(_cache: Cache, cache_block: int) -> None:
+            for granule_addr in mapper.to_granules(cache_block):
+                target(granule_addr)
+
+        return listener
+
+    # ---------------------------------------------------------------- query
+
+    def granule_of(self, address: int) -> int:
+        """MNM granule block address of a byte address."""
+        return address >> self._granule_shift
+
+    def query(self, address: int, kind: AccessKind) -> MissBits:
+        """Miss-bit vector for an access *about to be performed*.
+
+        ``bits[tier - 1]`` is True iff the MNM proves tier ``tier`` will
+        miss.  Bit 0 (level 1) is always False.  Must be called before
+        :meth:`~repro.cache.hierarchy.CacheHierarchy.access` for the same
+        reference, since the access updates the state the filters mirror.
+        """
+        granule_addr = address >> self._granule_shift
+        bits = [False] * self.hierarchy.num_tiers
+        for bit_index, entry in self._route[kind]:
+            stats = entry.stats
+            stats.lookups += 1
+            if entry.filter.is_definite_miss(granule_addr):
+                stats.miss_answers += 1
+                bits[bit_index] = True
+        return tuple(bits)
+
+    # ------------------------------------------------------------ inspection
+
+    def filter_for(self, cache_name: str) -> MissFilter:
+        """The filter watching the named cache (raises for level-1 caches)."""
+        return self._tracked[cache_name].filter
+
+    def stats_for(self, cache_name: str) -> FilterStats:
+        """Lookup counters of the named cache's filter."""
+        return self._tracked[cache_name].stats
+
+    def tracked_cache_names(self) -> Tuple[str, ...]:
+        """Names of the caches this machine filters (tiers 2+)."""
+        return tuple(self._tracked)
+
+    @property
+    def storage_bits(self) -> int:
+        """Total filter state, counting the shared RMNM cache exactly once."""
+        total = self.rmnm.storage_bits if self.rmnm is not None else 0
+        for entry in self._tracked.values():
+            filter_ = entry.filter
+            components = (
+                filter_.components
+                if isinstance(filter_, CompositeFilter)
+                else (filter_,)
+            )
+            total += sum(
+                component.storage_bits
+                for component in components
+                if not isinstance(component, RMNMLane)
+            )
+        return total
+
+    @property
+    def placement(self) -> Placement:
+        """The design's MNM position (Figure 1)."""
+        return self.design.placement
+
+    @property
+    def delay(self) -> int:
+        """MNM lookup delay in cycles."""
+        return self.design.delay
+
+    @property
+    def name(self) -> str:
+        """The design's configuration name."""
+        return self.design.name
+
+    def flush(self) -> None:
+        """Reset every filter (mirrors a cache flush; see Section 3.3)."""
+        for entry in self._tracked.values():
+            entry.filter.on_flush()
+        if self.rmnm is not None:
+            self.rmnm.flush()
+
+    def __repr__(self) -> str:
+        return (
+            f"MostlyNoMachine({self.design.name!r}, "
+            f"placement={self.design.placement.value})"
+        )

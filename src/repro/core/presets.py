@@ -1,0 +1,277 @@
+"""Every MNM configuration named in the paper, as buildable designs.
+
+Naming follows the paper exactly:
+
+* ``RMNM_{blocks}_{assoc}`` — shared replacement cache (Figure 10).
+* ``SMNM_{width}x{replication}`` — sum checkers (Figure 11).
+* ``TMNM_{bits}x{replication}`` — counter tables (Figure 12).
+* ``CMNM_{registers}_{low_bits}`` — virtual-tag + table (Figure 13).
+* ``HMNM1`` .. ``HMNM4`` — the Table 3 hybrids (Figure 14).
+* ``PERFECT`` — the oracle bound; ``NONE`` — the no-MNM baseline.
+
+Single-technique designs replicate the same structure for every tracked
+cache level, as in the paper ("the configuration is used for all the cache
+levels"); the hybrids use the per-level-range recipes of Table 3.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Tuple
+
+from repro.core.cmnm import CMNM
+from repro.core.machine import FilterBuildContext, FilterFactory, MNMDesign
+from repro.core.smnm import SMNM
+from repro.core.tmnm import TMNM
+
+
+def smnm_factory(sum_width: int, replication: int,
+                 counting: bool = False) -> FilterFactory:
+    """Factory for one SMNM per tracked cache."""
+    def build(_context: FilterBuildContext) -> SMNM:
+        return SMNM(sum_width, replication, counting=counting)
+    return build
+
+
+def tmnm_factory(index_bits: int, replication: int) -> FilterFactory:
+    """Factory for one TMNM per tracked cache."""
+    def build(_context: FilterBuildContext) -> TMNM:
+        return TMNM(index_bits, replication)
+    return build
+
+
+def cmnm_factory(num_registers: int, low_bits: int) -> FilterFactory:
+    """Factory for one CMNM per tracked cache (sized to the granule width)."""
+    def build(context: FilterBuildContext) -> CMNM:
+        return CMNM(num_registers, low_bits, address_bits=context.granule_bits)
+    return build
+
+
+# --------------------------------------------------------------------------
+# Single-technique designs
+# --------------------------------------------------------------------------
+
+def null_design() -> MNMDesign:
+    """The no-MNM baseline."""
+    return MNMDesign(name="NONE")
+
+
+def perfect_design() -> MNMDesign:
+    """The oracle MNM used to bound Figures 15/16."""
+    return MNMDesign(name="PERFECT", perfect=True)
+
+
+def rmnm_design(num_blocks: int, associativity: int) -> MNMDesign:
+    """A pure Replacements MNM, e.g. ``rmnm_design(512, 2)`` = RMNM_512_2."""
+    return MNMDesign(
+        name=f"RMNM_{num_blocks}_{associativity}",
+        rmnm_geometry=(num_blocks, associativity),
+    )
+
+
+def smnm_design(sum_width: int, replication: int,
+                counting: bool = False) -> MNMDesign:
+    """A pure Sum MNM replicated across all tracked levels."""
+    suffix = "c" if counting else ""
+    return MNMDesign(
+        name=f"SMNM_{sum_width}x{replication}{suffix}",
+        default_factories=(smnm_factory(sum_width, replication, counting),),
+    )
+
+
+def tmnm_design(index_bits: int, replication: int) -> MNMDesign:
+    """A pure Table MNM replicated across all tracked levels."""
+    return MNMDesign(
+        name=f"TMNM_{index_bits}x{replication}",
+        default_factories=(tmnm_factory(index_bits, replication),),
+    )
+
+
+def cmnm_design(num_registers: int, low_bits: int) -> MNMDesign:
+    """A pure Common-Address MNM replicated across all tracked levels."""
+    return MNMDesign(
+        name=f"CMNM_{num_registers}_{low_bits}",
+        default_factories=(cmnm_factory(num_registers, low_bits),),
+    )
+
+
+# --------------------------------------------------------------------------
+# Table 3: the hybrid recipes
+# --------------------------------------------------------------------------
+
+#: Table 3 of the paper.  Each entry: (levels 2-3 recipe, levels 4-5 recipe,
+#: shared RMNM geometry).  Level recipes are (SMNM params or None,
+#: CMNM params or None, TMNM params).
+_HMNM_RECIPES: Dict[int, dict] = {
+    1: {
+        "low": {"smnm": (10, 2), "tmnm": (10, 1)},
+        "high": {"cmnm": (2, 9), "tmnm": (10, 1)},
+        "rmnm": (128, 1),
+    },
+    2: {
+        "low": {"smnm": (13, 2), "tmnm": (10, 1)},
+        "high": {"cmnm": (4, 10), "tmnm": (11, 2)},
+        "rmnm": (512, 2),
+    },
+    3: {
+        "low": {"smnm": (15, 2), "tmnm": (10, 1)},
+        "high": {"cmnm": (8, 10), "tmnm": (10, 3)},
+        "rmnm": (2048, 4),
+    },
+    4: {
+        "low": {"smnm": (20, 3), "tmnm": (10, 3)},
+        "high": {"cmnm": (8, 12), "tmnm": (12, 3)},
+        "rmnm": (4096, 8),
+    },
+}
+
+
+def hmnm_design(variant: int) -> MNMDesign:
+    """HMNM1..HMNM4 from Table 3 of the paper.
+
+    Levels 2–3 combine an SMNM and a TMNM; levels 4+ combine a CMNM and a
+    TMNM; a shared RMNM covers every tracked level.
+    """
+    try:
+        recipe = _HMNM_RECIPES[variant]
+    except KeyError:
+        raise ValueError(
+            f"HMNM variant must be 1..4, got {variant}"
+        ) from None
+
+    low = recipe["low"]
+    high = recipe["high"]
+    low_factories = (
+        smnm_factory(*low["smnm"]),
+        tmnm_factory(*low["tmnm"]),
+    )
+    high_factories = (
+        cmnm_factory(*high["cmnm"]),
+        tmnm_factory(*high["tmnm"]),
+    )
+    return MNMDesign(
+        name=f"HMNM{variant}",
+        level_factories={2: low_factories, 3: low_factories},
+        default_factories=high_factories,  # levels 4, 5 (and deeper)
+        rmnm_geometry=recipe["rmnm"],
+    )
+
+
+# --------------------------------------------------------------------------
+# Figure line-ups
+# --------------------------------------------------------------------------
+
+def figure10_designs() -> Tuple[MNMDesign, ...]:
+    """RMNM sweep of Figure 10."""
+    return (
+        rmnm_design(128, 1),
+        rmnm_design(512, 2),
+        rmnm_design(2048, 4),
+        rmnm_design(4096, 8),
+    )
+
+
+def figure11_designs() -> Tuple[MNMDesign, ...]:
+    """SMNM sweep of Figure 11."""
+    return (
+        smnm_design(10, 2),
+        smnm_design(13, 2),
+        smnm_design(15, 2),
+        smnm_design(20, 3),
+    )
+
+
+def figure12_designs() -> Tuple[MNMDesign, ...]:
+    """TMNM sweep of Figure 12."""
+    return (
+        tmnm_design(10, 1),
+        tmnm_design(11, 2),
+        tmnm_design(10, 3),
+        tmnm_design(12, 3),
+    )
+
+
+def figure13_designs() -> Tuple[MNMDesign, ...]:
+    """CMNM sweep of Figure 13."""
+    return (
+        cmnm_design(2, 9),
+        cmnm_design(4, 10),
+        cmnm_design(8, 10),
+        cmnm_design(8, 12),
+    )
+
+
+def figure14_designs() -> Tuple[MNMDesign, ...]:
+    """HMNM sweep of Figure 14."""
+    return tuple(hmnm_design(variant) for variant in (1, 2, 3, 4))
+
+
+def figure15_designs() -> Tuple[MNMDesign, ...]:
+    """The Figure 15/16 line-up: two best singles, two hybrids, the oracle."""
+    return (
+        tmnm_design(12, 3),
+        cmnm_design(8, 10),
+        hmnm_design(2),
+        hmnm_design(4),
+        perfect_design(),
+    )
+
+
+# --------------------------------------------------------------------------
+# Name parsing
+# --------------------------------------------------------------------------
+
+_RMNM_RE = re.compile(r"^RMNM_(\d+)_(\d+)$", re.IGNORECASE)
+_SMNM_RE = re.compile(r"^SMNM_(\d+)x(\d+)(c?)$", re.IGNORECASE)
+_TMNM_RE = re.compile(r"^TMNM_(\d+)x(\d+)$", re.IGNORECASE)
+_CMNM_RE = re.compile(r"^CMNM_(\d+)_(\d+)$", re.IGNORECASE)
+_HMNM_RE = re.compile(r"^HMNM(\d)$", re.IGNORECASE)
+
+
+def parse_design(name: str) -> MNMDesign:
+    """Build a design from its paper name (``TMNM_12x3``, ``HMNM4``, ...).
+
+    Accepts every format used in the figures plus ``PERFECT`` and ``NONE``;
+    matching is case-insensitive.
+    """
+    text = name.strip()
+    if text.upper() in ("NONE", "NULL", "BASELINE"):
+        return null_design()
+    if text.upper() == "PERFECT":
+        return perfect_design()
+
+    match = _RMNM_RE.match(text)
+    if match:
+        return rmnm_design(int(match.group(1)), int(match.group(2)))
+    match = _SMNM_RE.match(text)
+    if match:
+        return smnm_design(
+            int(match.group(1)), int(match.group(2)), counting=bool(match.group(3))
+        )
+    match = _TMNM_RE.match(text)
+    if match:
+        return tmnm_design(int(match.group(1)), int(match.group(2)))
+    match = _CMNM_RE.match(text)
+    if match:
+        return cmnm_design(int(match.group(1)), int(match.group(2)))
+    match = _HMNM_RE.match(text)
+    if match:
+        return hmnm_design(int(match.group(1)))
+    raise ValueError(f"unrecognised MNM design name: {name!r}")
+
+
+def all_paper_design_names() -> Tuple[str, ...]:
+    """Every configuration name appearing in Figures 10-16."""
+    designs = (
+        figure10_designs()
+        + figure11_designs()
+        + figure12_designs()
+        + figure13_designs()
+        + figure14_designs()
+        + (perfect_design(),)
+    )
+    seen = []
+    for design in designs:
+        if design.name not in seen:
+            seen.append(design.name)
+    return tuple(seen)

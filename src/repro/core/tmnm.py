@@ -1,0 +1,148 @@
+"""Table MNM (Section 3.3 of the paper).
+
+A TMNM table is an array of ``2^N`` 3-bit saturating counters indexed by an
+``N``-bit slice of the block address.  The counter tracks how many resident
+blocks map to the slot:
+
+* placement increments (unless saturated),
+* replacement decrements (unless saturated),
+* a **zero** counter proves no resident block maps there → definite miss.
+
+Saturation is *sticky*: once a counter reaches its maximum we can no longer
+tell how many blocks share the slot, so it stays saturated — an eternal
+"maybe" — until the cache is flushed (Section 3.3: "the counter values are
+reset when the caches are flushed").  Below the saturation point the
+counter is exact, because a counter that never saturated has seen every
+increment and decrement, which is what makes a zero answer sound.
+
+``TMNM_{N}x{replication}``: ``replication`` tables examine different slices
+of the block address (offsets 0, 6, 12, ... like the SMNM checkers); a miss
+is proven if *any* table's counter is zero.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.base import MissFilter
+from repro.core.smnm import CHECKER_STRIDE
+
+#: Counter width used by the paper ("We use a counter of 3 bits").
+COUNTER_BITS = 3
+
+#: Saturation value for a 3-bit counter.
+COUNTER_MAX = (1 << COUNTER_BITS) - 1
+
+
+class CounterTable:
+    """One table of sticky-saturating counters over an address-bit slice."""
+
+    def __init__(
+        self,
+        index_bits: int,
+        bit_offset: int = 0,
+        counter_bits: int = COUNTER_BITS,
+    ) -> None:
+        if index_bits < 1:
+            raise ValueError(f"index_bits must be >= 1, got {index_bits}")
+        if bit_offset < 0:
+            raise ValueError(f"bit_offset must be >= 0, got {bit_offset}")
+        if counter_bits < 1:
+            raise ValueError(f"counter_bits must be >= 1, got {counter_bits}")
+        self.index_bits = index_bits
+        self.bit_offset = bit_offset
+        self.counter_bits = counter_bits
+        self.counter_max = (1 << counter_bits) - 1
+        self._counters: List[int] = [0] * (1 << index_bits)
+
+    def _index(self, granule_addr: int) -> int:
+        return (granule_addr >> self.bit_offset) & ((1 << self.index_bits) - 1)
+
+    def count(self, granule_addr: int) -> int:
+        """Current counter value for the slot of ``granule_addr``."""
+        return self._counters[self._index(granule_addr)]
+
+    def is_definite_miss(self, granule_addr: int) -> bool:
+        """True iff the slot counter is zero (no resident block maps here)."""
+        return self._counters[self._index(granule_addr)] == 0
+
+    def on_place(self, granule_addr: int) -> None:
+        """Count a placed block into its slot (saturating)."""
+        index = self._index(granule_addr)
+        if self._counters[index] < self.counter_max:
+            self._counters[index] += 1
+
+    def on_replace(self, granule_addr: int) -> None:
+        """Count a replaced block out of its slot (sticky at saturation)."""
+        index = self._index(granule_addr)
+        value = self._counters[index]
+        # A saturated counter is sticky; a zero counter on replace would mean
+        # the event streams are inconsistent — stay at zero defensively
+        # rather than wrap (soundness over accounting).
+        if 0 < value < self.counter_max:
+            self._counters[index] = value - 1
+
+    def reset(self) -> None:
+        """Zero every counter (cache flush)."""
+        self._counters = [0] * (1 << self.index_bits)
+
+    @property
+    def saturated_slots(self) -> int:
+        """How many slots are stuck at the maximum (degraded coverage)."""
+        return sum(1 for value in self._counters if value == self.counter_max)
+
+    @property
+    def storage_bits(self) -> int:
+        """Table size in bits."""
+        return (1 << self.index_bits) * self.counter_bits
+
+
+class TMNM(MissFilter):
+    """Table MNM for one cache: ``replication`` counter tables.
+
+    Named ``TMNM_{index_bits}x{replication}`` as in the paper (Figure 12).
+    """
+
+    technique = "tmnm"
+
+    def __init__(
+        self,
+        index_bits: int,
+        replication: int = 1,
+        counter_bits: int = COUNTER_BITS,
+        offsets: Optional[Sequence[int]] = None,
+    ) -> None:
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        if offsets is None:
+            offsets = [CHECKER_STRIDE * k for k in range(replication)]
+        if len(offsets) != replication:
+            raise ValueError(f"need {replication} offsets, got {len(offsets)}")
+        self.index_bits = index_bits
+        self.replication = replication
+        self.tables: Tuple[CounterTable, ...] = tuple(
+            CounterTable(index_bits, offset, counter_bits) for offset in offsets
+        )
+
+    def is_definite_miss(self, granule_addr: int) -> bool:
+        return any(t.is_definite_miss(granule_addr) for t in self.tables)
+
+    def on_place(self, granule_addr: int) -> None:
+        for table in self.tables:
+            table.on_place(granule_addr)
+
+    def on_replace(self, granule_addr: int) -> None:
+        for table in self.tables:
+            table.on_replace(granule_addr)
+
+    def on_flush(self) -> None:
+        for table in self.tables:
+            table.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return sum(t.storage_bits for t in self.tables)
+
+    @property
+    def name(self) -> str:
+        return f"TMNM_{self.index_bits}x{self.replication}"

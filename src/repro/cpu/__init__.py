@@ -1,0 +1,44 @@
+"""Simplified SimpleScalar-style out-of-order processor model.
+
+The paper evaluates the MNM on 4-way (2/3-level hierarchies) and 8-way
+(5/7-level) out-of-order cores simulated with SimpleScalar 3.0.  This
+package provides a trace-driven stand-in: a timestamp-based out-of-order
+core model with fetch/dispatch/issue/commit width limits, an RUU and LSQ,
+functional-unit contention, a branch predictor with a mispredict-redirect
+penalty, and non-blocking loads whose latency comes from the simulated
+cache hierarchy (optionally shortened by MNM bypasses).
+
+The model is not cycle-by-cycle; it computes per-instruction event times
+with dataflow recurrences (a standard fast OoO approximation).  That
+preserves what the paper's execution-time results hinge on — partial
+overlap of memory latency with independent work, bounded by window and
+width — at a tiny fraction of the simulation cost.
+"""
+
+from repro.cpu.branch import (
+    BimodalPredictor,
+    BranchPredictor,
+    GSharePredictor,
+    PerfectPredictor,
+    StaticTakenPredictor,
+)
+from repro.cpu.core import CoreConfig, CoreResult, OutOfOrderCore, paper_core
+from repro.cpu.isa import Instruction, OpClass
+from repro.cpu.memory import AccessTiming, MemorySystem, FixedLatencyMemory
+
+__all__ = [
+    "AccessTiming",
+    "BimodalPredictor",
+    "BranchPredictor",
+    "CoreConfig",
+    "CoreResult",
+    "FixedLatencyMemory",
+    "GSharePredictor",
+    "Instruction",
+    "MemorySystem",
+    "OpClass",
+    "OutOfOrderCore",
+    "PerfectPredictor",
+    "StaticTakenPredictor",
+    "paper_core",
+]

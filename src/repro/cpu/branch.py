@@ -1,0 +1,121 @@
+"""Branch predictors for the out-of-order core model.
+
+The SimpleScalar baseline the paper uses defaults to a bimodal predictor;
+gshare is provided for ablations and a perfect predictor isolates memory
+effects in tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+from repro.addresses import is_power_of_two
+from repro.cpu.isa import INSTRUCTION_BYTES
+
+
+class BranchPredictor(ABC):
+    """Direction predictor: predict, then update with the real outcome."""
+
+    @abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+
+    @abstractmethod
+    def update(self, pc: int, taken: bool) -> None:
+        """Train with the resolved outcome."""
+
+    def reset(self) -> None:
+        """Drop all learned state."""
+
+
+class StaticTakenPredictor(BranchPredictor):
+    """Always predicts taken (the weakest sensible baseline)."""
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class PerfectPredictor(BranchPredictor):
+    """Oracle predictor used to isolate memory-system effects in tests.
+
+    The caller must arrange for :meth:`update` to run *before* the next
+    :meth:`predict`; the core model trains immediately after predicting, so
+    a perfect predictor instead records nothing and the core special-cases
+    it (no mispredictions).
+    """
+
+    def predict(self, pc: int) -> bool:  # pragma: no cover - core bypasses it
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class BimodalPredictor(BranchPredictor):
+    """Per-pc 2-bit saturating counters (SimpleScalar's default)."""
+
+    def __init__(self, table_size: int = 2048) -> None:
+        if not is_power_of_two(table_size):
+            raise ValueError(f"table_size must be a power of two, got {table_size}")
+        self.table_size = table_size
+        self._counters: List[int] = [2] * table_size  # weakly taken
+
+    def _index(self, pc: int) -> int:
+        return (pc // INSTRUCTION_BYTES) & (self.table_size - 1)
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            if counter < 3:
+                self._counters[index] = counter + 1
+        elif counter > 0:
+            self._counters[index] = counter - 1
+
+    def reset(self) -> None:
+        self._counters = [2] * self.table_size
+
+
+class GSharePredictor(BranchPredictor):
+    """Global-history predictor: pc XOR history indexes 2-bit counters."""
+
+    def __init__(self, table_bits: int = 12, history_bits: int = 12) -> None:
+        if table_bits < 1:
+            raise ValueError(f"table_bits must be >= 1, got {table_bits}")
+        if history_bits < 0:
+            raise ValueError(f"history_bits must be >= 0, got {history_bits}")
+        self.table_bits = table_bits
+        self.history_bits = history_bits
+        self._counters: List[int] = [2] * (1 << table_bits)
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        mask = (1 << self.table_bits) - 1
+        history = self._history & ((1 << self.history_bits) - 1)
+        return ((pc // INSTRUCTION_BYTES) ^ history) & mask
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            if counter < 3:
+                self._counters[index] = counter + 1
+        elif counter > 0:
+            self._counters[index] = counter - 1
+        self._history = (self._history << 1 | int(taken)) & (
+            (1 << self.history_bits) - 1
+        )
+
+    def reset(self) -> None:
+        self._counters = [2] * (1 << self.table_bits)
+        self._history = 0

@@ -1,0 +1,68 @@
+"""Trace instruction records.
+
+A trace instruction is a pre-decoded micro-op: operation class, register
+operands, and — for memory operations and branches — the effective address
+or the branch outcome.  Traces are *execution* traces (the committed path),
+so the core model charges a redirect penalty on mispredictions instead of
+simulating wrong-path instructions, like most trace-driven simulators.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Architectural register count (shared integer+FP namespace for simplicity).
+NUM_REGISTERS = 64
+
+#: Instruction size in bytes (a RISC ISA, like the paper's Alpha binaries).
+INSTRUCTION_BYTES = 4
+
+
+class OpClass(enum.Enum):
+    """Operation classes with distinct latencies / functional units."""
+
+    IALU = "ialu"
+    IMUL = "imul"
+    FALU = "falu"
+    FMUL = "fmul"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One committed instruction.
+
+    Attributes:
+        op: operation class.
+        pc: instruction address.
+        dest: destination register, or -1 for none.
+        src1, src2: source registers, or -1 for none.
+        addr: effective byte address for LOAD/STORE, else -1.
+        taken: branch outcome (BRANCH only).
+        target: branch target pc (BRANCH only), else -1.
+    """
+
+    op: OpClass
+    pc: int
+    dest: int = -1
+    src1: int = -1
+    src2: int = -1
+    addr: int = -1
+    taken: bool = False
+    target: int = -1
+
+    def __post_init__(self) -> None:
+        if self.op.is_memory and self.addr < 0:
+            raise ValueError(f"{self.op.value} instruction needs an address")
+        for register in (self.dest, self.src1, self.src2):
+            if register >= NUM_REGISTERS:
+                raise ValueError(
+                    f"register {register} out of range (0..{NUM_REGISTERS - 1})"
+                )

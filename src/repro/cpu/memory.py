@@ -1,0 +1,78 @@
+"""Memory-system interface seen by the out-of-order core.
+
+The core charges each instruction fetch and each load a latency obtained
+from a :class:`MemorySystem`.  The real implementation
+(:class:`repro.simulate.SimulatedMemory`) queries the MNM, walks the cache
+hierarchy, prices the access and accumulates energy/coverage;
+:class:`FixedLatencyMemory` provides a flat-latency stand-in for unit tests
+so core-model behaviour can be asserted in isolation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.cache.cache import AccessKind
+
+
+@dataclass(frozen=True)
+class AccessTiming:
+    """Result of one memory access as the core sees it."""
+
+    latency: int
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError(f"latency must be >= 1, got {self.latency}")
+
+
+class MemorySystem(ABC):
+    """What the core needs from the memory subsystem."""
+
+    @abstractmethod
+    def access(self, address: int, kind: AccessKind) -> int:
+        """Perform one access; return its latency in cycles."""
+
+    @property
+    @abstractmethod
+    def fetch_block_size(self) -> int:
+        """L1 instruction-cache line size; fetch groups within one line
+        cost a single instruction-cache access."""
+
+    @property
+    @abstractmethod
+    def l1_instruction_latency(self) -> int:
+        """Pipelined L1I hit latency — hidden by the fetch pipeline, so
+        only latency beyond it stalls fetch."""
+
+
+class FixedLatencyMemory(MemorySystem):
+    """Flat-latency memory for testing the core in isolation."""
+
+    def __init__(
+        self,
+        instruction_latency: int = 2,
+        data_latency: int = 2,
+        block_size: int = 32,
+    ) -> None:
+        self.instruction_latency = instruction_latency
+        self.data_latency = data_latency
+        self._block_size = block_size
+        self.instruction_accesses = 0
+        self.data_accesses = 0
+
+    def access(self, address: int, kind: AccessKind) -> int:
+        if kind is AccessKind.INSTRUCTION:
+            self.instruction_accesses += 1
+            return self.instruction_latency
+        self.data_accesses += 1
+        return self.data_latency
+
+    @property
+    def fetch_block_size(self) -> int:
+        return self._block_size
+
+    @property
+    def l1_instruction_latency(self) -> int:
+        return self.instruction_latency

@@ -1,0 +1,33 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+Use from Python::
+
+    from repro.experiments import run_experiment, ExperimentSettings
+    print(run_experiment("fig13", ExperimentSettings(num_instructions=60_000)).render())
+
+or from the shell: ``repro-mnm all`` / ``python -m repro.experiments all``.
+"""
+
+from repro.experiments.base import (
+    ExperimentResult,
+    ExperimentSettings,
+    clear_pass_cache,
+    reference_pass,
+)
+from repro.experiments.registry import (
+    ExperimentEntry,
+    experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentEntry",
+    "ExperimentResult",
+    "ExperimentSettings",
+    "clear_pass_cache",
+    "experiment_ids",
+    "get_experiment",
+    "reference_pass",
+    "run_experiment",
+]

@@ -1,0 +1,199 @@
+"""Shared infrastructure for the paper's experiments.
+
+Every experiment runner takes an :class:`ExperimentSettings` (trace length,
+warmup, seed, workload subset) and returns an :class:`ExperimentResult`
+(title, column headers, one row per workload plus an arithmetic-mean row —
+the layout of the paper's per-application bar charts).  The registry in
+:mod:`repro.experiments.registry` maps paper table/figure ids to runners.
+
+Reference passes are memoised per (workload, hierarchy, settings) within a
+process so experiments that share a simulation (Figure 2 and Figure 3, or
+the five coverage sweeps) don't re-run it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import TextTable
+from repro.cache.hierarchy import HierarchyConfig
+from repro.core.machine import MNMDesign
+from repro.simulate import ReferencePassResult, run_reference_pass
+from repro.workloads import get_trace, workload_names
+
+#: Default trace length for harness runs; benchmarks use smaller settings.
+DEFAULT_INSTRUCTIONS = 120_000
+
+#: Fraction of each trace used as warmup (SimPoint-style fast-forward).
+DEFAULT_WARMUP_FRACTION = 0.4
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by all experiments.
+
+    Attributes:
+        num_instructions: trace length per workload.
+        warmup_fraction: leading fraction of the trace that trains caches,
+            filters and predictors without being measured.
+        seed: workload generator seed.
+        workloads: subset of workload names (default: the paper's ten).
+    """
+
+    num_instructions: int = DEFAULT_INSTRUCTIONS
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION
+    seed: int = 0
+    workloads: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_instructions < 1000:
+            raise ValueError("experiments need at least 1000 instructions")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError(
+                f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}"
+            )
+
+    @property
+    def workload_list(self) -> Tuple[str, ...]:
+        return self.workloads if self.workloads else workload_names()
+
+    @property
+    def warmup_instructions(self) -> int:
+        return int(self.num_instructions * self.warmup_fraction)
+
+
+@dataclass
+class ExperimentResult:
+    """Tabular result of one experiment."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+    notes: str = ""
+    paper_reference: str = ""
+
+    def render(self, float_digits: int = 3) -> str:
+        table = TextTable(self.headers, float_digits=float_digits)
+        for row in self.rows:
+            table.add_row(row)
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.paper_reference:
+            parts.append(f"(paper: {self.paper_reference})")
+        parts.append(table.render())
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def render_chart(self, column: Optional[str] = None, width: int = 50) -> str:
+        """ASCII bar chart of one numeric column (default: the last one),
+        mirroring the paper's per-application bar figures."""
+        from repro.analysis.report import bar_chart
+
+        header = column if column is not None else self.headers[-1]
+        index = self.headers.index(header)
+        labels = [str(row[0]) for row in self.rows]
+        values = []
+        for row in self.rows:
+            value = row[index]
+            values.append(float(value) if isinstance(value, (int, float))
+                          and not isinstance(value, bool) else 0.0)
+        title = f"{self.experiment_id}: {self.title} [{header}]"
+        return bar_chart(title, labels, values, width=width)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (CLI ``--json``)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": self.notes,
+            "paper_reference": self.paper_reference,
+        }
+
+    def column(self, header: str) -> List[object]:
+        """Values of one column across all rows (including the mean row)."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def row_for(self, label: str) -> List[object]:
+        for row in self.rows:
+            if row and row[0] == label:
+                return row
+        raise KeyError(f"no row labelled {label!r}")
+
+
+def mean_row(label: str, rows: Sequence[Sequence[object]]) -> List[object]:
+    """Arithmetic mean across workload rows (the paper reports Arith. Mean).
+
+    Non-numeric columns yield the ``label`` (first column) or ``None``.
+    """
+    if not rows:
+        return [label]
+    result: List[object] = [label]
+    for column in range(1, len(rows[0])):
+        values = [row[column] for row in rows]
+        if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+               for v in values):
+            result.append(sum(values) / len(values))
+        else:
+            result.append(None)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Memoised reference passes
+# ---------------------------------------------------------------------------
+
+_PassKey = Tuple[str, str, int, int, int, Tuple[str, ...]]
+_PASS_CACHE: Dict[_PassKey, ReferencePassResult] = {}
+
+
+def reference_pass(
+    workload: str,
+    hierarchy_config: HierarchyConfig,
+    designs: Sequence[MNMDesign],
+    settings: ExperimentSettings,
+) -> ReferencePassResult:
+    """Memoised :func:`repro.simulate.run_reference_pass` for one workload.
+
+    The cache key includes the design names: a pass is reused only by
+    experiments needing the same design set (plus the always-present
+    baseline numbers).
+    """
+    design_names = tuple(d.name + ":" + d.placement.value for d in designs)
+    key = (
+        workload,
+        hierarchy_config.name,
+        settings.num_instructions,
+        settings.warmup_instructions,
+        settings.seed,
+        design_names,
+    )
+    cached = _PASS_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    trace = get_trace(workload, settings.num_instructions, settings.seed)
+    fetch_block = hierarchy_config.tiers[0].configs[0].block_size
+    references = trace.memory_references(fetch_block)
+    # Warmup is expressed in instructions; references per instruction vary,
+    # so scale by the trace's reference density.
+    total_refs = sum(1 for _ in trace.memory_references(fetch_block))
+    warmup_refs = int(total_refs * settings.warmup_fraction)
+    result = run_reference_pass(
+        references,
+        hierarchy_config,
+        designs,
+        workload_name=workload,
+        warmup=warmup_refs,
+    )
+    _PASS_CACHE[key] = result
+    return result
+
+
+def clear_pass_cache() -> None:
+    """Drop memoised passes (tests use this)."""
+    _PASS_CACHE.clear()

@@ -1,0 +1,172 @@
+"""Command-line harness: ``repro-mnm`` / ``python -m repro.experiments``.
+
+Examples::
+
+    repro-mnm list
+    repro-mnm run fig10 fig13 --instructions 60000
+    repro-mnm all --skip-heavy
+    repro-mnm all --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.base import ExperimentSettings
+from repro.experiments.registry import (
+    experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mnm",
+        description=(
+            "Reproduction harness for 'Just Say No: Benefits of Early "
+            "Cache Miss Determination' (HPCA 2003)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    designs = sub.add_parser(
+        "designs", help="hardware-budget table for MNM configurations")
+    designs.add_argument(
+        "names", nargs="*", default=[],
+        help="design names (default: every configuration in the figures)")
+
+    run = sub.add_parser("run", help="run selected experiments")
+    run.add_argument("experiments", nargs="+", choices=list(experiment_ids()),
+                     metavar="EXPERIMENT",
+                     help=f"one of: {', '.join(experiment_ids())}")
+    _add_settings_args(run)
+
+    all_cmd = sub.add_parser("all", help="run every experiment")
+    all_cmd.add_argument("--skip-heavy", action="store_true",
+                         help="skip experiments needing per-design core runs")
+    _add_settings_args(all_cmd)
+
+    report = sub.add_parser(
+        "report", help="run experiments and write a markdown report")
+    report.add_argument("--skip-heavy", action="store_true",
+                        help="skip experiments needing per-design core runs")
+    report.add_argument("--no-charts", action="store_true",
+                        help="omit ASCII charts from the report")
+    report.add_argument("--report-out", type=str, default="report.md",
+                        help="markdown output path (default report.md)")
+    _add_settings_args(report)
+    return parser
+
+
+def _add_settings_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--instructions", type=int, default=None,
+                        help="trace length per workload")
+    parser.add_argument("--warmup-fraction", type=float, default=None,
+                        help="leading trace fraction used as warmup")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload generator seed")
+    parser.add_argument("--workloads", type=str, default="",
+                        help="comma-separated workload subset")
+    parser.add_argument("--output", type=str, default="",
+                        help="also append rendered results to this file")
+    parser.add_argument("--chart", action="store_true",
+                        help="also print an ASCII bar chart of the last "
+                             "column (the paper's figures are bar charts)")
+    parser.add_argument("--json", dest="json_path", type=str, default="",
+                        help="append results as JSON lines to this file")
+
+
+def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
+    kwargs = {}
+    if args.instructions is not None:
+        kwargs["num_instructions"] = args.instructions
+    if args.warmup_fraction is not None:
+        kwargs["warmup_fraction"] = args.warmup_fraction
+    kwargs["seed"] = args.seed
+    if args.workloads:
+        kwargs["workloads"] = tuple(
+            name.strip() for name in args.workloads.split(",") if name.strip()
+        )
+    return ExperimentSettings(**kwargs)
+
+
+def _emit(text: str, output_path: str) -> None:
+    print(text)
+    if output_path:
+        with open(output_path, "a") as handle:
+            handle.write(text + "\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            entry = get_experiment(experiment_id)
+            tags = ""
+            if entry.heavy:
+                tags += " [heavy]"
+            if entry.extension:
+                tags += " [extension]"
+            print(f"{experiment_id:8} {entry.description}{tags}")
+        return 0
+
+    if args.command == "designs":
+        from repro.cache.presets import paper_hierarchy_5level
+        from repro.core.presets import all_paper_design_names, parse_design
+        from repro.power.budget import budget_table
+
+        names = args.names or list(all_paper_design_names())
+        designs = [parse_design(name) for name in names]
+        print(budget_table(paper_hierarchy_5level(), designs))
+        return 0
+
+    settings = _settings_from_args(args)
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        markdown = generate_report(
+            settings,
+            skip_heavy=args.skip_heavy,
+            with_charts=not args.no_charts,
+            progress=True,
+        )
+        with open(args.report_out, "w") as handle:
+            handle.write(markdown)
+        print(f"report written to {args.report_out}")
+        return 0
+
+    if args.command == "run":
+        selected = args.experiments
+    else:
+        selected = [
+            experiment_id for experiment_id in experiment_ids()
+            if not (args.skip_heavy and get_experiment(experiment_id).heavy)
+        ]
+
+    for experiment_id in selected:
+        started = time.time()
+        result = run_experiment(experiment_id, settings)
+        rendered = result.render(float_digits=1)
+        _emit(rendered, args.output)
+        if args.chart:
+            _emit("\n" + result.render_chart(), args.output)
+        if args.json_path:
+            with open(args.json_path, "a") as handle:
+                json.dump(result.to_dict(), handle)
+                handle.write("\n")
+        _emit(f"[{experiment_id} took {time.time() - started:.1f}s]\n",
+              args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

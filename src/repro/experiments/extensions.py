@@ -1,0 +1,113 @@
+"""Extension experiments (beyond the paper's tables and figures).
+
+These runners follow the same conventions as the paper experiments so
+the CLI, report generator and JSON output handle them uniformly; they are
+flagged as extensions in the registry.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.sweep import pareto_frontier, sweep_designs
+from repro.cache.presets import hierarchy_preset, paper_hierarchy_5level
+from repro.core.presets import (
+    figure10_designs,
+    figure11_designs,
+    figure12_designs,
+    figure13_designs,
+    figure14_designs,
+    hmnm_design,
+    perfect_design,
+)
+from repro.experiments.base import (
+    ExperimentResult,
+    ExperimentSettings,
+    mean_row,
+    reference_pass,
+)
+from repro.workloads import get_trace
+
+
+def run_pareto(settings: Optional[ExperimentSettings] = None) -> ExperimentResult:
+    """Coverage-vs-storage Pareto frontier over every paper configuration.
+
+    Answers the cross-technique question the paper's per-figure layout
+    leaves implicit: which configurations are *efficient* — no smaller
+    design matches their coverage?
+    """
+    settings = settings or ExperimentSettings()
+    hierarchy = paper_hierarchy_5level()
+    designs = (
+        figure10_designs() + figure11_designs() + figure12_designs()
+        + figure13_designs() + figure14_designs()
+    )
+
+    # merge reference streams of the selected workloads so the frontier
+    # reflects the suite, not one application
+    references: List = []
+    for workload in settings.workload_list:
+        trace = get_trace(workload, settings.num_instructions, settings.seed)
+        references.extend(trace.memory_references())
+
+    points = sweep_designs(
+        references, hierarchy, designs,
+        warmup=int(len(references) * settings.warmup_fraction),
+    )
+    frontier_names = {p.design_name for p in pareto_frontier(points)}
+
+    rows = []
+    for point in sorted(points, key=lambda p: p.storage_bits):
+        rows.append([
+            point.design_name,
+            round(point.storage_kb, 2),
+            point.coverage * 100.0,
+            round(point.coverage_per_kb * 100.0, 2),
+            "yes" if point.design_name in frontier_names else "",
+        ])
+    violations = sum(p.violations for p in points)
+    return ExperimentResult(
+        experiment_id="pareto",
+        title="Coverage vs storage across all paper configurations",
+        headers=["design", "KB", "coverage %", "cov%/KB", "frontier"],
+        rows=rows,
+        notes=("WARNING: soundness violations!" if violations else
+               "all designs one-sided (0 violations)"),
+        paper_reference="extension (synthesises Figures 10-14)",
+    )
+
+
+def run_depth_sensitivity(
+    settings: Optional[ExperimentSettings] = None,
+) -> ExperimentResult:
+    """MNM benefit vs hierarchy depth: HMNM2 and oracle access-time cuts.
+
+    Extends Figures 2/15 into one view: the deeper the hierarchy, the
+    larger the share of data-access time the MNM can reclaim, for a real
+    hybrid and for the perfect bound, per workload.
+    """
+    settings = settings or ExperimentSettings()
+    presets = ("2level", "3level", "5level", "7level")
+    designs = (hmnm_design(2), perfect_design())
+    rows: List[List[object]] = []
+    for workload in settings.workload_list:
+        row: List[object] = [workload]
+        for preset in presets:
+            result = reference_pass(
+                workload, hierarchy_preset(preset), designs, settings
+            )
+            row.append(result.access_time_reduction("HMNM2") * 100.0)
+            row.append(result.access_time_reduction("PERFECT") * 100.0)
+        rows.append(row)
+    rows.append(mean_row("Arith. Mean", rows))
+    headers = ["app"]
+    for preset in presets:
+        headers.append(f"{preset} H2")
+        headers.append(f"{preset} perf")
+    return ExperimentResult(
+        experiment_id="depth",
+        title="Access-time reduction vs hierarchy depth [%]",
+        headers=headers,
+        rows=rows,
+        paper_reference="extension (Figures 2 + 15 combined across depths)",
+    )

@@ -1,0 +1,36 @@
+"""CACTI-inspired energy models and per-run energy accounting.
+
+See DESIGN.md for the substitution note: the paper used CACTI 3.1 and
+Synopsys Design Compiler; this package provides calibrated analytical
+stand-ins whose *ratios* (all that Figures 3 and 16 report) are preserved.
+"""
+
+from repro.power.cacti import (
+    cache_access_time_ns,
+    cache_read_energy_nj,
+    cache_write_energy_nj,
+    logic_energy_nj,
+    small_array_energy_nj,
+    sram_read_energy_nj,
+)
+from repro.power.energy import EnergyAccountant, EnergyTotals, HierarchyEnergyModel
+from repro.power.mnm_power import (
+    component_lookup_nj,
+    machine_query_energy_nj,
+    machine_update_energy_nj,
+)
+
+__all__ = [
+    "EnergyAccountant",
+    "EnergyTotals",
+    "HierarchyEnergyModel",
+    "cache_access_time_ns",
+    "cache_read_energy_nj",
+    "cache_write_energy_nj",
+    "component_lookup_nj",
+    "logic_energy_nj",
+    "machine_query_energy_nj",
+    "machine_update_energy_nj",
+    "small_array_energy_nj",
+    "sram_read_energy_nj",
+]

@@ -1,0 +1,362 @@
+"""High-level simulation façade.
+
+Two entry points cover everything the experiments need:
+
+* :func:`run_core_trace` — full-system run: the out-of-order core executes
+  a trace against the cache hierarchy with a given MNM design, yielding
+  execution cycles (Figure 15), energy (Figure 16), coverage and per-cache
+  statistics in one pass.
+* :func:`run_reference_pass` — hierarchy-only run evaluating **many MNM
+  designs in a single pass** over a trace's reference stream.  Bypasses
+  never change cache contents, so every design can passively observe the
+  same simulation; this is what makes the coverage sweeps (Figures 10-14)
+  tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.coverage import CoverageMeter
+from repro.analysis.timing import AccessTimingModel
+from repro.cache.cache import AccessKind
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.core.base import Placement
+from repro.core.machine import MNMDesign, MostlyNoMachine
+from repro.cpu.branch import BranchPredictor
+from repro.cpu.core import CoreConfig, CoreResult, OutOfOrderCore, paper_core
+from repro.cpu.memory import MemorySystem
+from repro.power.energy import EnergyAccountant, EnergyTotals, HierarchyEnergyModel
+from repro.power.mnm_power import (
+    machine_level_query_energies_nj,
+    machine_query_energy_nj,
+    machine_update_energy_nj,
+)
+from repro.workloads.trace import Trace
+
+
+class SimulatedMemory(MemorySystem):
+    """Memory system backed by the simulated hierarchy and an optional MNM.
+
+    Each access queries the MNM first (hardware order: the decision must
+    exist before the walk), walks the hierarchy, then feeds the optional
+    coverage meter and energy accountant, and returns the priced latency.
+    """
+
+    def __init__(
+        self,
+        hierarchy: CacheHierarchy,
+        mnm: Optional[MostlyNoMachine] = None,
+        timing: Optional[AccessTimingModel] = None,
+        accountant: Optional[EnergyAccountant] = None,
+        coverage: Optional[CoverageMeter] = None,
+        prefetcher: Optional["NextLinePrefetcher"] = None,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.mnm = mnm
+        if timing is None:
+            timing = AccessTimingModel(hierarchy.config)
+        self.timing = timing
+        self.accountant = accountant
+        self.coverage = coverage
+        self.prefetcher = prefetcher
+        l1i = hierarchy.cache_for(1, AccessKind.INSTRUCTION).config
+        self._fetch_block = l1i.block_size
+        self._l1i_latency = l1i.hit_latency
+
+    def access(self, address: int, kind: AccessKind) -> int:
+        bits = self.mnm.query(address, kind) if self.mnm is not None else None
+        outcome = self.hierarchy.access(address, kind)
+        if self.coverage is not None and bits is not None:
+            self.coverage.record(outcome, bits)
+        if self.accountant is not None:
+            self.accountant.account(outcome, bits)
+        if self.prefetcher is not None:
+            # prefetches walk the hierarchy off the critical path; their
+            # fills train the MNM through the normal event streams
+            self.prefetcher.on_demand_access(address, kind, outcome)
+        return self.timing.latency(outcome, bits)
+
+    @property
+    def fetch_block_size(self) -> int:
+        return self._fetch_block
+
+    @property
+    def l1_instruction_latency(self) -> int:
+        return self._l1i_latency
+
+    def reset_meters(self) -> None:
+        """Zero measurement state (energy, coverage, cache counters) while
+        keeping all warmed simulation state — the warmup boundary."""
+        if self.accountant is not None:
+            self.accountant.reset()
+        if self.coverage is not None:
+            self.coverage.reset()
+        self.hierarchy.reset_stats()
+
+
+def build_memory(
+    hierarchy_config: HierarchyConfig,
+    design: Optional[MNMDesign] = None,
+    with_energy: bool = True,
+    with_coverage: bool = True,
+    writeback: bool = False,
+    prefetch_degree: int = 0,
+) -> SimulatedMemory:
+    """Wire a fresh hierarchy + MNM + meters for one design.
+
+    ``design=None`` (or a design with no filters and no RMNM) builds the
+    no-MNM baseline.  ``writeback`` enables dirty-victim write-back
+    traffic; ``prefetch_degree`` > 0 attaches a tagged next-N-line
+    prefetcher (both off for the paper's experiments).
+    """
+    from repro.cache.prefetch import NextLinePrefetcher
+
+    hierarchy = CacheHierarchy(hierarchy_config, writeback=writeback)
+    prefetcher = (
+        NextLinePrefetcher(hierarchy, degree=prefetch_degree)
+        if prefetch_degree > 0
+        else None
+    )
+    mnm: Optional[MostlyNoMachine] = None
+    timing = AccessTimingModel(hierarchy_config)
+    accountant = None
+    coverage = None
+
+    if design is not None and _design_is_active(design):
+        mnm = MostlyNoMachine(hierarchy, design)
+        timing = AccessTimingModel(
+            hierarchy_config,
+            placement=design.placement,
+            mnm_delay=design.delay,
+            mnm_free=design.perfect,
+        )
+        if with_coverage:
+            coverage = CoverageMeter(hierarchy.num_tiers)
+
+    if with_energy:
+        model = HierarchyEnergyModel(hierarchy_config)
+        if mnm is not None:
+            accountant = EnergyAccountant(
+                model,
+                placement=design.placement,
+                mnm_query_nj=machine_query_energy_nj(mnm),
+                mnm_update_nj=machine_update_energy_nj(mnm),
+                mnm_level_query_nj=machine_level_query_energies_nj(mnm),
+            )
+        else:
+            accountant = EnergyAccountant(model)
+
+    return SimulatedMemory(hierarchy, mnm, timing, accountant, coverage,
+                           prefetcher=prefetcher)
+
+
+def _design_is_active(design: MNMDesign) -> bool:
+    return bool(
+        design.perfect
+        or design.rmnm_geometry is not None
+        or design.default_factories
+        or design.level_factories
+    )
+
+
+# ---------------------------------------------------------------------------
+# Full-system runs (core + memory): Figures 15/16, Table 2
+# ---------------------------------------------------------------------------
+
+@dataclass
+class WorkloadRun:
+    """Result bundle of one full-system trace run."""
+
+    workload: str
+    design_name: str
+    core: CoreResult
+    coverage: Optional[CoverageMeter]
+    energy: Optional[EnergyTotals]
+    cache_stats: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    # cache_stats: name -> (probes, hits)
+
+    @property
+    def cycles(self) -> int:
+        return self.core.cycles
+
+    def hit_rate(self, cache_name: str) -> float:
+        probes, hits = self.cache_stats.get(cache_name, (0, 0))
+        return hits / probes if probes else 0.0
+
+
+def run_core_trace(
+    trace: Trace,
+    hierarchy_config: HierarchyConfig,
+    design: Optional[MNMDesign] = None,
+    core_config: Optional[CoreConfig] = None,
+    predictor: Optional[BranchPredictor] = None,
+    warmup: int = 0,
+) -> WorkloadRun:
+    """Run the out-of-order core over a trace with one MNM design.
+
+    ``warmup`` instructions train caches/filters/predictors but are
+    excluded from every reported number (the paper's SimPoint-style
+    fast-forward, scaled down).
+    """
+    if core_config is None:
+        core_config = paper_core(8)
+    memory = build_memory(hierarchy_config, design)
+    core = OutOfOrderCore(core_config, memory, predictor)
+    result = core.run(
+        trace.instructions, warmup=warmup, on_warmup_end=memory.reset_meters
+    )
+    stats = {
+        cache.config.name: (cache.stats.probes, cache.stats.hits)
+        for _, cache in memory.hierarchy.all_caches()
+    }
+    return WorkloadRun(
+        workload=trace.name,
+        design_name=design.name if design is not None else "NONE",
+        core=result,
+        coverage=memory.coverage,
+        energy=memory.accountant.totals if memory.accountant else None,
+        cache_stats=stats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi-design reference passes: Figures 2/3/10-14
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DesignPassResult:
+    """Per-design accumulators from a shared reference pass."""
+
+    design_name: str
+    coverage: CoverageMeter
+    energy: EnergyTotals
+    access_time: int  # summed data access time under this design
+
+
+@dataclass
+class ReferencePassResult:
+    """Everything measured in one multi-design reference pass."""
+
+    workload: str
+    hierarchy_name: str
+    references: int
+    baseline_access_time: int
+    baseline_miss_time: int
+    baseline_energy: EnergyTotals
+    designs: Dict[str, DesignPassResult]
+    cache_stats: Dict[str, Tuple[int, int]]
+
+    @property
+    def miss_time_fraction(self) -> float:
+        """Figure 2's metric for this workload/hierarchy."""
+        if not self.baseline_access_time:
+            return 0.0
+        return self.baseline_miss_time / self.baseline_access_time
+
+    def access_time_reduction(self, design_name: str) -> float:
+        """Relative data-access-time saving of one design."""
+        if not self.baseline_access_time:
+            return 0.0
+        saved = self.baseline_access_time - self.designs[design_name].access_time
+        return saved / self.baseline_access_time
+
+    def energy_reduction(self, design_name: str) -> float:
+        """Relative cache+MNM energy saving of one design (Figure 16)."""
+        baseline = self.baseline_energy.total_nj
+        if not baseline:
+            return 0.0
+        return (baseline - self.designs[design_name].energy.total_nj) / baseline
+
+
+def run_reference_pass(
+    references: Iterable[Tuple[int, AccessKind]],
+    hierarchy_config: HierarchyConfig,
+    designs: Sequence[MNMDesign],
+    workload_name: str = "",
+    warmup: int = 0,
+) -> ReferencePassResult:
+    """Evaluate many MNM designs against one shared hierarchy simulation.
+
+    All designs observe identical cache state (bypass never changes
+    contents), so filters, meters and accountants for every design ride on
+    a single simulation pass.
+    """
+    hierarchy = CacheHierarchy(hierarchy_config)
+    timing = AccessTimingModel(hierarchy_config)
+    energy_model = HierarchyEnergyModel(hierarchy_config)
+
+    baseline_accountant = EnergyAccountant(energy_model)
+    baseline_access_time = 0
+    baseline_miss_time = 0
+
+    entries: List[Tuple[MNMDesign, MostlyNoMachine, CoverageMeter,
+                        EnergyAccountant, AccessTimingModel]] = []
+    for design in designs:
+        machine = MostlyNoMachine(hierarchy, design)
+        meter = CoverageMeter(hierarchy.num_tiers)
+        accountant = EnergyAccountant(
+            energy_model,
+            placement=design.placement,
+            mnm_query_nj=machine_query_energy_nj(machine),
+            mnm_update_nj=machine_update_energy_nj(machine),
+            mnm_level_query_nj=machine_level_query_energies_nj(machine),
+        )
+        design_timing = AccessTimingModel(
+            hierarchy_config,
+            placement=design.placement,
+            mnm_delay=design.delay,
+            mnm_free=design.perfect,
+        )
+        entries.append((design, machine, meter, accountant, design_timing))
+
+    access_times = [0] * len(entries)
+    count = 0
+    seen = 0
+    for address, kind in references:
+        seen += 1
+        if seen <= warmup:
+            # Warm caches (filters train through the event listeners);
+            # queries are pointless here since nothing is recorded.
+            hierarchy.access(address, kind)
+            if seen == warmup:
+                hierarchy.reset_stats()
+            continue
+        count += 1
+        bits_list = [entry[1].query(address, kind) for entry in entries]
+        outcome = hierarchy.access(address, kind)
+        baseline_access_time += timing.latency(outcome)
+        baseline_miss_time += timing.miss_time(outcome)
+        baseline_accountant.account(outcome)
+        for index, (design, _machine, meter, accountant, design_timing) in enumerate(
+            entries
+        ):
+            bits = bits_list[index]
+            meter.record(outcome, bits)
+            accountant.account(outcome, bits)
+            access_times[index] += design_timing.latency(outcome, bits)
+
+    results = {
+        design.name: DesignPassResult(
+            design_name=design.name,
+            coverage=meter,
+            energy=accountant.totals,
+            access_time=access_times[index],
+        )
+        for index, (design, _machine, meter, accountant, _timing) in enumerate(entries)
+    }
+    cache_stats = {
+        cache.config.name: (cache.stats.probes, cache.stats.hits)
+        for _, cache in hierarchy.all_caches()
+    }
+    return ReferencePassResult(
+        workload=workload_name,
+        hierarchy_name=hierarchy_config.name,
+        references=count,
+        baseline_access_time=baseline_access_time,
+        baseline_miss_time=baseline_miss_time,
+        baseline_energy=baseline_accountant.totals,
+        designs=results,
+        cache_stats=cache_stats,
+    )

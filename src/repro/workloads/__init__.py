@@ -1,0 +1,75 @@
+"""Synthetic SPEC2000-flavoured workloads.
+
+The paper's evaluation runs ten SPEC2000 applications; this package
+generates deterministic synthetic stand-ins (see DESIGN.md for the
+substitution rationale).  The usual entry point::
+
+    from repro.workloads import get_trace, workload_names
+    trace = get_trace("mcf", num_instructions=100_000)
+
+``get_trace`` memoises per process, so experiments and benchmarks touching
+the same workload share one generation pass.
+"""
+
+from typing import Dict, Tuple
+
+from repro.workloads.generator import TraceGenerator, generate_trace
+from repro.workloads.patterns import (
+    AddressPattern,
+    HotColdPattern,
+    LoopReusePattern,
+    PointerChasePattern,
+    RandomPattern,
+    Region,
+    SequentialPattern,
+    StridedPattern,
+    ZipfPattern,
+)
+from repro.workloads.spec import (
+    StreamSpec,
+    WorkloadProfile,
+    all_profiles,
+    profile,
+    workload_names,
+)
+from repro.workloads.trace import Trace
+
+_TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
+
+
+def get_trace(name: str, num_instructions: int, seed: int = 0) -> Trace:
+    """Memoised trace generation (same key → the same Trace object)."""
+    key = (name, num_instructions, seed)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = generate_trace(name, num_instructions, seed)
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop memoised traces (tests use this to bound memory)."""
+    _TRACE_CACHE.clear()
+
+
+__all__ = [
+    "AddressPattern",
+    "HotColdPattern",
+    "LoopReusePattern",
+    "PointerChasePattern",
+    "RandomPattern",
+    "Region",
+    "SequentialPattern",
+    "StreamSpec",
+    "StridedPattern",
+    "ZipfPattern",
+    "Trace",
+    "TraceGenerator",
+    "WorkloadProfile",
+    "all_profiles",
+    "clear_trace_cache",
+    "generate_trace",
+    "get_trace",
+    "profile",
+    "workload_names",
+]

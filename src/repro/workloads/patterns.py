@@ -1,0 +1,263 @@
+"""Address-stream primitives composed into synthetic workloads.
+
+Each pattern is a small stateful generator of byte addresses inside one
+region.  The ten workload profiles (:mod:`repro.workloads.spec`) mix these
+primitives with weights chosen so the per-level hit-rate structure across
+the 5-level paper hierarchy varies the way it does across the paper's ten
+SPEC2000 applications (the documented substitution for the SPEC binaries —
+see DESIGN.md).
+
+All patterns are deterministic given their RNG.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.addresses import ADDRESS_SPACE
+
+
+@dataclass(frozen=True)
+class Region:
+    """A byte range ``[base, base + size)`` of the address space."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 8:
+            raise ValueError(f"region size must be >= 8 bytes, got {self.size}")
+        if self.base < 0 or self.base + self.size > ADDRESS_SPACE:
+            raise ValueError(
+                f"region [{self.base:#x}, +{self.size:#x}) outside address space"
+            )
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.base + self.size
+
+
+class AddressPattern(ABC):
+    """Generator of byte addresses within one region."""
+
+    def __init__(self, region: Region) -> None:
+        self.region = region
+
+    @abstractmethod
+    def next_address(self) -> int:
+        """Produce the next address of the stream."""
+
+
+class SequentialPattern(AddressPattern):
+    """A streaming walk: advance by ``step`` bytes, wrap at the end.
+
+    Models array sweeps (unit-stride FP loops, buffer copies).
+    """
+
+    def __init__(self, region: Region, step: int = 8) -> None:
+        super().__init__(region)
+        if step < 1:
+            raise ValueError(f"step must be >= 1, got {step}")
+        self.step = step
+        self._offset = 0
+
+    def next_address(self) -> int:
+        address = self.region.base + self._offset
+        self._offset += self.step
+        if self._offset >= self.region.size:
+            self._offset = 0
+        return address
+
+
+class StridedPattern(AddressPattern):
+    """Large-stride walk (column-major array access, big structs).
+
+    Touches one word per ``stride`` bytes, wrapping with a small phase
+    shift so successive sweeps hit different offsets.
+    """
+
+    def __init__(self, region: Region, stride: int = 256, phase_step: int = 8) -> None:
+        super().__init__(region)
+        if stride < 8:
+            raise ValueError(f"stride must be >= 8, got {stride}")
+        self.stride = stride
+        self.phase_step = phase_step
+        self._offset = 0
+        self._phase = 0
+
+    def next_address(self) -> int:
+        address = self.region.base + self._offset + self._phase
+        self._offset += self.stride
+        if self._offset + self._phase >= self.region.size:
+            self._offset = 0
+            self._phase = (self._phase + self.phase_step) % self.stride
+        return address
+
+
+class RandomPattern(AddressPattern):
+    """Uniform random word accesses over the region (hash tables, indices)."""
+
+    def __init__(self, region: Region, rng: random.Random, align: int = 8) -> None:
+        super().__init__(region)
+        if align < 1:
+            raise ValueError(f"align must be >= 1, got {align}")
+        self.rng = rng
+        self.align = align
+        self._slots = max(region.size // align, 1)
+
+    def next_address(self) -> int:
+        return self.region.base + self.rng.randrange(self._slots) * self.align
+
+
+class PointerChasePattern(AddressPattern):
+    """A fixed random cycle over node slots (linked lists, graph walks).
+
+    The permutation is created once, so the chase revisits nodes in the
+    same dependent order every lap — exactly the reuse pattern that makes
+    pointer codes cache-hostile but not purely random.
+    """
+
+    def __init__(self, region: Region, rng: random.Random, node_size: int = 64) -> None:
+        super().__init__(region)
+        if node_size < 8:
+            raise ValueError(f"node_size must be >= 8, got {node_size}")
+        self.node_size = node_size
+        num_nodes = max(region.size // node_size, 1)
+        order = list(range(num_nodes))
+        rng.shuffle(order)
+        # successor[i] = next node after i in the shuffled cycle
+        self._successor = [0] * num_nodes
+        for position in range(num_nodes):
+            self._successor[order[position]] = order[(position + 1) % num_nodes]
+        self._current = order[0]
+
+    def next_address(self) -> int:
+        address = self.region.base + self._current * self.node_size
+        self._current = self._successor[self._current]
+        return address
+
+
+class HotColdPattern(AddressPattern):
+    """Mostly a small hot subset, occasionally anywhere in the region.
+
+    Models stack frames, accumulators and lookup tables: ``hot_fraction``
+    of accesses land in the first ``hot_bytes`` of the region.
+    """
+
+    def __init__(
+        self,
+        region: Region,
+        rng: random.Random,
+        hot_bytes: int = 4096,
+        hot_fraction: float = 0.9,
+        align: int = 8,
+    ) -> None:
+        super().__init__(region)
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+        self.rng = rng
+        self.align = align
+        self.hot_fraction = hot_fraction
+        self.hot_slots = max(min(hot_bytes, region.size) // align, 1)
+        self.all_slots = max(region.size // align, 1)
+
+    def next_address(self) -> int:
+        if self.rng.random() < self.hot_fraction:
+            slot = self.rng.randrange(self.hot_slots)
+        else:
+            slot = self.rng.randrange(self.all_slots)
+        return self.region.base + slot * self.align
+
+
+class ZipfPattern(AddressPattern):
+    """Zipf-distributed block popularity (web caches, symbol tables).
+
+    Block *k* (1-based, in a fixed random permutation of the region's
+    blocks) is accessed with probability proportional to ``1 / k**s``.
+    ``s≈1`` gives the classic heavy skew: a few very hot blocks and a
+    long cold tail — a reuse profile none of the other primitives
+    produce.
+    """
+
+    def __init__(
+        self,
+        region: Region,
+        rng: random.Random,
+        exponent: float = 1.0,
+        block_size: int = 64,
+    ) -> None:
+        super().__init__(region)
+        if exponent <= 0:
+            raise ValueError(f"exponent must be > 0, got {exponent}")
+        if block_size < 8:
+            raise ValueError(f"block_size must be >= 8, got {block_size}")
+        self.rng = rng
+        self.exponent = exponent
+        self.block_size = block_size
+        num_blocks = max(region.size // block_size, 1)
+        # cumulative Zipf weights over ranks, then a shuffled rank->block map
+        weights = [1.0 / (rank ** exponent) for rank in range(1, num_blocks + 1)]
+        total = sum(weights)
+        running = 0.0
+        self._cumulative = []
+        for weight in weights:
+            running += weight / total
+            self._cumulative.append(running)
+        self._cumulative[-1] = 1.0
+        self._rank_to_block = list(range(num_blocks))
+        rng.shuffle(self._rank_to_block)
+
+    def next_address(self) -> int:
+        pick = self.rng.random()
+        # binary search the cumulative distribution
+        lo, hi = 0, len(self._cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cumulative[mid] < pick:
+                lo = mid + 1
+            else:
+                hi = mid
+        block = self._rank_to_block[lo]
+        return self.region.base + block * self.block_size
+
+
+class LoopReusePattern(AddressPattern):
+    """Repeated sweeps over a tile before moving to the next tile.
+
+    Models blocked/tiled kernels: high temporal reuse within a tile of
+    ``tile_bytes``, then a shift — the access stream that separates cache
+    levels by capacity.
+    """
+
+    def __init__(
+        self,
+        region: Region,
+        tile_bytes: int = 8192,
+        sweeps_per_tile: int = 4,
+        step: int = 8,
+    ) -> None:
+        super().__init__(region)
+        if tile_bytes < step:
+            raise ValueError("tile must hold at least one step")
+        if sweeps_per_tile < 1:
+            raise ValueError(f"sweeps_per_tile must be >= 1, got {sweeps_per_tile}")
+        self.tile_bytes = min(tile_bytes, region.size)
+        self.sweeps_per_tile = sweeps_per_tile
+        self.step = step
+        self._tile_base = 0
+        self._offset = 0
+        self._sweep = 0
+
+    def next_address(self) -> int:
+        address = self.region.base + self._tile_base + self._offset
+        self._offset += self.step
+        if self._offset >= self.tile_bytes:
+            self._offset = 0
+            self._sweep += 1
+            if self._sweep >= self.sweeps_per_tile:
+                self._sweep = 0
+                self._tile_base += self.tile_bytes
+                if self._tile_base + self.tile_bytes > self.region.size:
+                    self._tile_base = 0
+        return address

@@ -1,0 +1,280 @@
+"""The ten SPEC2000-flavoured workload profiles.
+
+The paper simulates 5 floating-point and 5 integer SPEC2000 applications
+(Table 2; the two names legible in the OCR are 301.apsi and 300.twolf).
+Without the binaries, we build synthetic profiles named after the canonical
+ten, each parameterised to reproduce the *qualitative* memory behaviour the
+applications are known for (and that the paper's per-app results reflect):
+
+================  ===========================================================
+Workload          Character targeted
+================  ===========================================================
+ammp (FP)         molecular dynamics: pointer-chased neighbour lists over a
+                  few hundred KB plus unit-stride force arrays
+applu (FP)        structured-grid solver: long unit-stride sweeps over
+                  multi-MB arrays, strided plane accesses
+apsi (FP)         weather code: **large instruction footprint** (the paper
+                  singles out apsi's L2I misses), modest data set
+art (FP)          neural-net image recognition: relentless streaming over
+                  ~4 MB of weights — misses at every level
+equake (FP)       unstructured FEM: indexed gathers (random) into a
+                  mid-size mesh plus sequential time-stepping
+bzip2 (INT)       compression: sequential buffer sweeps + random dictionary
+                  probing, strong hot set
+gcc (INT)         compiler: big code footprint, pointer-heavy IR over a
+                  few hundred KB
+mcf (INT)         network simplex: pointer chasing over many MB —
+                  memory-bound, cold-miss dominated
+twolf (INT)       place & route: small working set with heavy conflict
+                  misses in the small L1/L2
+vpr (INT)         place & route: mid-size random + strided bounding-box
+                  scans, hot cost tables
+================  ===========================================================
+
+Scaling note (DESIGN.md): traces are 10^5-scale rather than the paper's
+300M-instruction SimPoints, so data footprints are chosen relative to the
+paper's cache ladder (4K/16K/128K/512K/2M) to land each workload's reuse
+distances at the intended levels within the shorter window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One data-access stream in a workload mixture.
+
+    Attributes:
+        kind: pattern primitive (``sequential``/``strided``/``random``/
+            ``pointer``/``hot``/``loop``).
+        size: region size in bytes.
+        weight: relative share of data accesses drawn from this stream.
+        param: pattern-specific knob — step for sequential/loop, stride for
+            strided, node size for pointer, hot-subset bytes for hot.
+    """
+
+    kind: str
+    size: int
+    weight: float
+    param: int = 0
+
+    _KINDS = ("sequential", "strided", "random", "pointer", "hot", "loop",
+              "zipf")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(
+                f"unknown stream kind {self.kind!r}; choose from {self._KINDS}"
+            )
+        if self.weight <= 0:
+            raise ValueError(f"weight must be > 0, got {self.weight}")
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Everything the generator needs to synthesise one application."""
+
+    name: str
+    suite: str  # "fp" or "int"
+    description: str
+    code_bytes: int
+    streams: Tuple[StreamSpec, ...]
+    load_fraction: float = 0.28
+    store_fraction: float = 0.12
+    branch_fraction: float = 0.14
+    fp_fraction: float = 0.0
+    loop_body: int = 12
+    loop_iterations: int = 24
+    branch_bias: float = 0.9  # data-branch predictability
+    hot_function_fraction: float = 0.8
+    #: Probability a data access re-touches a recently used address —
+    #: models register spills, stack locals and loop-carried scalars, the
+    #: word-level temporal locality that gives real programs their high L1
+    #: hit rates.  Lower values = more memory-bound (mcf, art).
+    data_reuse: float = 0.5
+
+    def __post_init__(self) -> None:
+        fractions = self.load_fraction + self.store_fraction + self.branch_fraction
+        if fractions >= 1.0:
+            raise ValueError("load+store+branch fractions must leave room for ALU ops")
+        if not self.streams:
+            raise ValueError("a profile needs at least one data stream")
+        if self.code_bytes < 4 * KB:
+            raise ValueError("code footprint must be at least 4KB")
+
+
+_PROFILES: Dict[str, WorkloadProfile] = {}
+
+
+def _register(profile: WorkloadProfile) -> None:
+    _PROFILES[profile.name] = profile
+
+
+_register(WorkloadProfile(
+    name="ammp", suite="fp",
+    data_reuse=0.93,
+    description="molecular dynamics: pointer neighbour lists + force arrays",
+    code_bytes=12 * KB, fp_fraction=0.35,
+    load_fraction=0.24, store_fraction=0.08, branch_fraction=0.10,
+    loop_body=16, loop_iterations=40,
+    streams=(
+        StreamSpec("pointer", 384 * KB, 0.45, param=64),
+        StreamSpec("sequential", 48 * KB, 0.35, param=8),
+        StreamSpec("hot", 16 * KB, 0.20, param=4 * KB),
+    ),
+))
+
+_register(WorkloadProfile(
+    name="applu", suite="fp",
+    data_reuse=0.92,
+    description="structured grid solver: long unit-stride sweeps",
+    code_bytes=16 * KB, fp_fraction=0.40,
+    load_fraction=0.26, store_fraction=0.1, branch_fraction=0.08,
+    loop_body=20, loop_iterations=64, branch_bias=0.96,
+    streams=(
+        StreamSpec("sequential", 1536 * KB, 0.55, param=8),
+        StreamSpec("strided", 256 * KB, 0.30, param=256),
+        StreamSpec("hot", 8 * KB, 0.15, param=2 * KB),
+    ),
+))
+
+_register(WorkloadProfile(
+    name="apsi", suite="fp",
+    data_reuse=0.95,
+    description="weather modelling: large code footprint, modest data",
+    code_bytes=96 * KB, fp_fraction=0.35,
+    load_fraction=0.22, store_fraction=0.09, branch_fraction=0.12,
+    loop_body=10, loop_iterations=6, hot_function_fraction=0.35,
+    streams=(
+        StreamSpec("loop", 64 * KB, 0.50, param=8),
+        StreamSpec("random", 24 * KB, 0.30),
+        StreamSpec("hot", 8 * KB, 0.20, param=2 * KB),
+    ),
+))
+
+_register(WorkloadProfile(
+    name="art", suite="fp",
+    data_reuse=0.7,
+    description="neural net: streaming over multi-MB weight arrays",
+    code_bytes=8 * KB, fp_fraction=0.45,
+    load_fraction=0.3, store_fraction=0.07, branch_fraction=0.10,
+    loop_body=24, loop_iterations=96, branch_bias=0.97,
+    streams=(
+        StreamSpec("sequential", 3 * MB, 0.65, param=8),
+        StreamSpec("random", 1 * MB, 0.25),
+        StreamSpec("hot", 4 * KB, 0.10, param=2 * KB),
+    ),
+))
+
+_register(WorkloadProfile(
+    name="equake", suite="fp",
+    data_reuse=0.94,
+    description="unstructured FEM: indexed gathers + sequential updates",
+    code_bytes=14 * KB, fp_fraction=0.38,
+    load_fraction=0.25, store_fraction=0.09, branch_fraction=0.10,
+    loop_body=14, loop_iterations=32,
+    streams=(
+        StreamSpec("random", 192 * KB, 0.40),
+        StreamSpec("sequential", 640 * KB, 0.45, param=8),
+        StreamSpec("hot", 8 * KB, 0.15, param=2 * KB),
+    ),
+))
+
+_register(WorkloadProfile(
+    name="bzip2", suite="int",
+    data_reuse=0.96,
+    description="compression: buffer sweeps + dictionary probing",
+    code_bytes=20 * KB,
+    load_fraction=0.22, store_fraction=0.1, branch_fraction=0.15,
+    loop_body=10, loop_iterations=20, branch_bias=0.82,
+    streams=(
+        StreamSpec("sequential", 768 * KB, 0.35, param=8),
+        StreamSpec("random", 96 * KB, 0.40),
+        StreamSpec("hot", 16 * KB, 0.25, param=4 * KB),
+    ),
+))
+
+_register(WorkloadProfile(
+    name="gcc", suite="int",
+    data_reuse=0.94,
+    description="compiler: large code footprint, pointer-heavy IR",
+    code_bytes=128 * KB,
+    load_fraction=0.22, store_fraction=0.1, branch_fraction=0.18,
+    loop_body=8, loop_iterations=4, branch_bias=0.85,
+    hot_function_fraction=0.3,
+    streams=(
+        StreamSpec("pointer", 96 * KB, 0.40, param=32),
+        StreamSpec("random", 320 * KB, 0.30),
+        StreamSpec("sequential", 48 * KB, 0.30, param=8),
+    ),
+))
+
+_register(WorkloadProfile(
+    name="mcf", suite="int",
+    data_reuse=0.6,
+    description="network simplex: pointer chasing over many MB",
+    code_bytes=8 * KB,
+    load_fraction=0.3, store_fraction=0.08, branch_fraction=0.16,
+    loop_body=9, loop_iterations=12, branch_bias=0.78,
+    streams=(
+        StreamSpec("pointer", 6 * MB, 0.65, param=64),
+        StreamSpec("random", 2 * MB, 0.20),
+        StreamSpec("hot", 16 * KB, 0.15, param=4 * KB),
+    ),
+))
+
+_register(WorkloadProfile(
+    name="twolf", suite="int",
+    data_reuse=0.96,
+    description="place&route: small working set, conflict-heavy",
+    code_bytes=24 * KB,
+    load_fraction=0.23, store_fraction=0.09, branch_fraction=0.16,
+    loop_body=10, loop_iterations=10, branch_bias=0.84,
+    streams=(
+        StreamSpec("random", 48 * KB, 0.50),
+        StreamSpec("pointer", 24 * KB, 0.30, param=32),
+        StreamSpec("hot", 8 * KB, 0.20, param=2 * KB),
+    ),
+))
+
+_register(WorkloadProfile(
+    name="vpr", suite="int",
+    data_reuse=0.95,
+    description="place&route: mid-size random + strided scans",
+    code_bytes=28 * KB,
+    load_fraction=0.23, store_fraction=0.09, branch_fraction=0.15,
+    loop_body=11, loop_iterations=14, branch_bias=0.86,
+    streams=(
+        StreamSpec("random", 80 * KB, 0.40),
+        StreamSpec("strided", 160 * KB, 0.30, param=128),
+        StreamSpec("hot", 12 * KB, 0.30, param=4 * KB),
+    ),
+))
+
+
+def profile(name: str) -> WorkloadProfile:
+    """Look a profile up by application name (e.g. ``"mcf"``)."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(_PROFILES)}"
+        ) from None
+
+
+def workload_names() -> Tuple[str, ...]:
+    """All ten names, FP suite first (the paper's Table 2 ordering)."""
+    fp = tuple(sorted(n for n, p in _PROFILES.items() if p.suite == "fp"))
+    integer = tuple(sorted(n for n, p in _PROFILES.items() if p.suite == "int"))
+    return fp + integer
+
+
+def all_profiles() -> Tuple[WorkloadProfile, ...]:
+    """All ten profiles, in Table 2 order."""
+    return tuple(_PROFILES[name] for name in workload_names())

@@ -1,0 +1,133 @@
+"""Trace container with persistence and reference-stream views."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.addresses import log2_exact
+from repro.cache.cache import AccessKind
+from repro.cpu.isa import Instruction, OpClass
+
+_OPS: Tuple[OpClass, ...] = tuple(OpClass)
+_OP_INDEX = {op: index for index, op in enumerate(_OPS)}
+
+
+@dataclass
+class Trace:
+    """A committed-path instruction trace.
+
+    Attributes:
+        name: workload name (e.g. ``"mcf"``).
+        seed: generator seed (identifies the trace together with name/len).
+        instructions: the instruction records, program order.
+        description: human-readable workload summary.
+    """
+
+    name: str
+    seed: int
+    instructions: List[Instruction]
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    # ------------------------------------------------------------- analysis
+
+    def memory_references(
+        self, fetch_block_size: int = 32
+    ) -> Iterator[Tuple[int, AccessKind]]:
+        """The reference stream the cache hierarchy sees, program order.
+
+        Instruction fetches are emitted once per L1I-line change (a fetch
+        group inside one line is one cache access; a taken branch always
+        starts a new fetch); loads and stores are emitted per instruction.
+        This is the stream the coverage experiments replay.
+        """
+        line_shift = log2_exact(fetch_block_size)
+        current_line = -1
+        for inst in self.instructions:
+            line = inst.pc >> line_shift
+            if line != current_line:
+                current_line = line
+                yield inst.pc, AccessKind.INSTRUCTION
+            if inst.op is OpClass.LOAD:
+                yield inst.addr, AccessKind.LOAD
+            elif inst.op is OpClass.STORE:
+                yield inst.addr, AccessKind.STORE
+            if inst.op is OpClass.BRANCH and inst.taken:
+                current_line = -1
+
+    def op_counts(self) -> dict:
+        """Instruction counts per op class."""
+        counts = {op: 0 for op in OpClass}
+        for inst in self.instructions:
+            counts[inst.op] += 1
+        return counts
+
+    @property
+    def data_references(self) -> int:
+        return sum(
+            1 for inst in self.instructions if inst.op.is_memory
+        )
+
+    # ---------------------------------------------------------- persistence
+
+    def save(self, path: str) -> None:
+        """Serialise to a compressed ``.npz`` file."""
+        n = len(self.instructions)
+        op = np.empty(n, dtype=np.uint8)
+        pc = np.empty(n, dtype=np.uint32)
+        dest = np.empty(n, dtype=np.int8)
+        src1 = np.empty(n, dtype=np.int8)
+        src2 = np.empty(n, dtype=np.int8)
+        addr = np.empty(n, dtype=np.int64)
+        taken = np.empty(n, dtype=np.bool_)
+        target = np.empty(n, dtype=np.int64)
+        for index, inst in enumerate(self.instructions):
+            op[index] = _OP_INDEX[inst.op]
+            pc[index] = inst.pc
+            dest[index] = inst.dest
+            src1[index] = inst.src1
+            src2[index] = inst.src2
+            addr[index] = inst.addr
+            taken[index] = inst.taken
+            target[index] = inst.target
+        np.savez_compressed(
+            path,
+            name=np.array(self.name),
+            seed=np.array(self.seed),
+            description=np.array(self.description),
+            op=op, pc=pc, dest=dest, src1=src1, src2=src2,
+            addr=addr, taken=taken, target=target,
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        """Load a trace produced by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as data:
+            ops = data["op"]
+            instructions = [
+                Instruction(
+                    op=_OPS[int(ops[index])],
+                    pc=int(data["pc"][index]),
+                    dest=int(data["dest"][index]),
+                    src1=int(data["src1"][index]),
+                    src2=int(data["src2"][index]),
+                    addr=int(data["addr"][index]),
+                    taken=bool(data["taken"][index]),
+                    target=int(data["target"][index]),
+                )
+                for index in range(len(ops))
+            ]
+            return cls(
+                name=str(data["name"]),
+                seed=int(data["seed"]),
+                instructions=instructions,
+                description=str(data["description"]),
+            )

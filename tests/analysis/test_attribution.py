@@ -1,0 +1,87 @@
+"""Tests for hybrid-miss attribution."""
+
+import random
+
+import pytest
+
+from repro.analysis.attribution import (
+    AttributionMeter,
+    AttributionTotals,
+    attribute_hybrid,
+)
+from repro.cache.cache import AccessKind
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.machine import MostlyNoMachine
+from repro.core.presets import hmnm_design, perfect_design, tmnm_design
+from tests.conftest import random_references, small_hierarchy_config
+
+
+class TestAttributionTotals:
+    def test_single_witness_is_exclusive(self):
+        totals = AttributionTotals()
+        totals.credit(["tmnm"])
+        assert totals.identified == 1
+        assert totals.share("tmnm") == 1.0
+        assert totals.exclusive_share("tmnm") == 1.0
+        assert totals.shared == 0
+
+    def test_multi_witness_is_shared(self):
+        totals = AttributionTotals()
+        totals.credit(["tmnm", "cmnm"])
+        assert totals.identified == 1
+        assert totals.share("tmnm") == 1.0
+        assert totals.share("cmnm") == 1.0
+        assert totals.exclusive_share("tmnm") == 0.0
+        assert totals.shared == 1
+
+    def test_empty(self):
+        totals = AttributionTotals()
+        assert totals.share("tmnm") == 0.0
+        assert totals.exclusive_share("tmnm") == 0.0
+
+
+class TestAttributionMeter:
+    def _run(self, design, count=2500):
+        rng = random.Random(11)
+        hierarchy = CacheHierarchy(small_hierarchy_config(3))
+        machine = MostlyNoMachine(hierarchy, design)
+        meter = AttributionMeter(machine)
+        for address, kind in random_references(rng, count, span=1 << 14):
+            meter.observe(address, kind)
+        return meter.totals
+
+    def test_hybrid_attribution_sums(self):
+        totals = self._run(hmnm_design(2))
+        assert totals.identified > 0
+        witnessed = sum(totals.exclusive_by_technique.values()) + totals.shared
+        assert witnessed == totals.identified
+        assert set(totals.by_technique) <= {"rmnm", "smnm", "tmnm", "cmnm"}
+
+    def test_single_technique_machine(self):
+        totals = self._run(tmnm_design(8, 2))
+        assert totals.identified > 0
+        assert set(totals.by_technique) == {"tmnm"}
+        assert totals.exclusive_share("tmnm") == 1.0
+
+    def test_perfect_machine(self):
+        totals = self._run(perfect_design())
+        assert totals.identified > 0
+        assert set(totals.by_technique) == {"perfect"}
+
+
+class TestAttributeHybrid:
+    def test_runner_with_warmup(self):
+        rng = random.Random(5)
+        hierarchy = CacheHierarchy(small_hierarchy_config(3))
+        machine = MostlyNoMachine(hierarchy, hmnm_design(1))
+        references = random_references(rng, 2000, span=1 << 14)
+        totals = attribute_hybrid(hierarchy, machine, references, warmup=500)
+        assert totals.identified >= 0
+        assert isinstance(totals.by_technique, dict)
+
+    def test_mismatched_hierarchy_rejected(self):
+        hierarchy = CacheHierarchy(small_hierarchy_config(3))
+        other = CacheHierarchy(small_hierarchy_config(3))
+        machine = MostlyNoMachine(other, hmnm_design(1))
+        with pytest.raises(ValueError):
+            attribute_hybrid(hierarchy, machine, [])

@@ -1,0 +1,72 @@
+"""Tests for the ASCII bar-chart renderer and result serialization."""
+
+import pytest
+
+from repro.analysis.report import bar_chart
+from repro.experiments.base import ExperimentResult
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        chart = bar_chart("title", ["gcc", "mcf"], [27.8, 5.5])
+        lines = chart.splitlines()
+        assert lines[0] == "title"
+        assert lines[1].startswith("gcc")
+        assert "27.8" in lines[1]
+        assert "5.5" in lines[2]
+
+    def test_bars_proportional(self):
+        chart = bar_chart("t", ["a", "b"], [10.0, 5.0], width=20)
+        a_line, b_line = chart.splitlines()[1:]
+        assert a_line.count("█") == 20
+        assert b_line.count("█") == 10
+
+    def test_zero_values_render_empty_bars(self):
+        chart = bar_chart("t", ["a"], [0.0])
+        assert "█" not in chart
+
+    def test_negative_values_sized_by_magnitude(self):
+        chart = bar_chart("t", ["a", "b"], [-10.0, 5.0], width=10)
+        a_line = chart.splitlines()[1]
+        assert a_line.count("█") == 10
+        assert "-10.0" in a_line
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart("t", ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart("t", ["a"], [1.0], width=0)
+
+
+class TestResultSerialisation:
+    def result(self):
+        return ExperimentResult(
+            experiment_id="figX",
+            title="demo",
+            headers=["app", "value"],
+            rows=[["gcc", 1.5], ["mcf", 0.5]],
+            notes="note",
+            paper_reference="ref",
+        )
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        payload = json.loads(json.dumps(self.result().to_dict()))
+        assert payload["experiment_id"] == "figX"
+        assert payload["rows"] == [["gcc", 1.5], ["mcf", 0.5]]
+        assert payload["notes"] == "note"
+
+    def test_render_chart_defaults_to_last_column(self):
+        chart = self.result().render_chart()
+        assert "value" in chart
+        assert "gcc" in chart
+
+    def test_render_chart_named_column(self):
+        chart = self.result().render_chart(column="value", width=10)
+        gcc_line = [l for l in chart.splitlines() if l.startswith("gcc")][0]
+        assert gcc_line.count("█") == 10
+
+    def test_render_chart_unknown_column(self):
+        with pytest.raises(ValueError):
+            self.result().render_chart(column="nope")

@@ -1,0 +1,129 @@
+"""Tests for the coverage metric and miss classification."""
+
+import pytest
+
+from repro.analysis.coverage import (
+    CoverageMeter,
+    MissClass,
+    MissClassifier,
+)
+from repro.cache.cache import AccessKind
+from repro.cache.hierarchy import AccessOutcome
+
+
+def outcome(supplier, tiers=4):
+    hits = [False] * tiers
+    if supplier is not None:
+        hits[supplier - 1] = True
+    return AccessOutcome(address=0, kind=AccessKind.LOAD, hits=tuple(hits),
+                         supplier=supplier)
+
+
+class TestCoverageMeter:
+    def test_paper_example_half_coverage(self):
+        """The paper's example: data in level 4, miss identified at level 2
+        but not level 3 -> 50% coverage."""
+        meter = CoverageMeter(4)
+        meter.record(outcome(4), bits=(False, True, False, False))
+        assert meter.candidates == 2
+        assert meter.identified == 1
+        assert meter.coverage == pytest.approx(0.5)
+
+    def test_l1_misses_not_candidates(self):
+        meter = CoverageMeter(4)
+        meter.record(outcome(2), bits=(False, False, False, False))
+        assert meter.candidates == 0
+        assert meter.coverage == 0.0
+
+    def test_memory_supply_counts_all_tracked_tiers(self):
+        meter = CoverageMeter(4)
+        meter.record(outcome(None), bits=(False, True, True, True))
+        assert meter.candidates == 3
+        assert meter.identified == 3
+        assert meter.coverage == 1.0
+
+    def test_violation_detection(self):
+        meter = CoverageMeter(4)
+        meter.record(outcome(3), bits=(False, False, True, False))
+        assert meter.violations == 1
+
+    def test_tier_breakdown(self):
+        meter = CoverageMeter(4)
+        meter.record(outcome(None), bits=(False, True, False, True))
+        assert meter.tier_coverage(2) == 1.0
+        assert meter.tier_coverage(3) == 0.0
+        assert meter.tier_candidates(4) == 1
+
+    def test_merge(self):
+        a = CoverageMeter(4)
+        b = CoverageMeter(4)
+        a.record(outcome(4), bits=(False, True, False, False))
+        b.record(outcome(4), bits=(False, True, True, False))
+        a.merge(b)
+        assert a.candidates == 4
+        assert a.identified == 3
+
+    def test_merge_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            CoverageMeter(4).merge(CoverageMeter(3))
+
+    def test_reset(self):
+        meter = CoverageMeter(4)
+        meter.record(outcome(None), bits=(False, True, True, True))
+        meter.reset()
+        assert meter.candidates == 0
+        assert meter.accesses == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoverageMeter(0)
+
+
+class TestMissClassifier:
+    def test_first_touch_is_cold(self):
+        classifier = MissClassifier(capacity_blocks=4)
+        assert classifier.observe(1, was_hit=False) is MissClass.COLD
+
+    def test_hit_returns_none(self):
+        classifier = MissClassifier(4)
+        classifier.observe(1, was_hit=False)
+        assert classifier.observe(1, was_hit=True) is None
+
+    def test_conflict_when_fully_associative_would_hit(self):
+        classifier = MissClassifier(capacity_blocks=4)
+        classifier.observe(1, was_hit=False)   # cold
+        classifier.observe(2, was_hit=False)   # cold
+        # block 1 still within FA capacity; a real-cache miss is a conflict
+        assert classifier.observe(1, was_hit=False) is MissClass.CONFLICT
+
+    def test_capacity_when_reuse_distance_exceeds_cache(self):
+        classifier = MissClassifier(capacity_blocks=2)
+        for block in (1, 2, 3):               # 1 falls out of FA LRU
+            classifier.observe(block, was_hit=False)
+        assert classifier.observe(1, was_hit=False) is MissClass.CAPACITY
+
+    def test_breakdown_totals(self):
+        classifier = MissClassifier(2)
+        classifier.observe(1, False)
+        classifier.observe(2, False)
+        classifier.observe(1, False)   # conflict
+        classifier.observe(3, False)   # cold; evicts 2
+        classifier.observe(2, False)   # capacity
+        breakdown = classifier.breakdown
+        assert breakdown.cold == 3
+        assert breakdown.conflict == 1
+        assert breakdown.capacity == 1
+        assert breakdown.total == 5
+        assert breakdown.fraction(MissClass.COLD) == pytest.approx(0.6)
+
+    def test_rmnm_ceiling_interpretation(self):
+        """RMNM can only catch non-cold misses: the classifier provides the
+        ceiling 1 - cold_fraction used in the ablation experiment."""
+        classifier = MissClassifier(2)
+        for block in (1, 2, 1, 2):
+            classifier.observe(block, was_hit=False)
+        assert classifier.breakdown.fraction(MissClass.COLD) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MissClassifier(0)

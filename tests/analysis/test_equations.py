@@ -1,0 +1,133 @@
+"""Tests for Equations 1 and 2 and their consistency with the simulator."""
+
+import pytest
+
+from repro.analysis.equations import (
+    LevelRates,
+    average_access_time,
+    average_access_time_with_mnm,
+    measured_level_rates,
+    miss_time_fraction,
+)
+from repro.analysis.timing import AccessTimingModel
+from repro.cache.cache import AccessKind
+from repro.cache.hierarchy import CacheHierarchy
+from tests.conftest import random_references, small_hierarchy_config
+import random
+
+
+class TestEquation1:
+    def test_single_level_always_hits(self):
+        levels = [LevelRates(2.0, 2.0, 0.0)]
+        assert average_access_time(levels) == 2.0
+
+    def test_two_levels_weighted(self):
+        # L1: hit 2, miss-detect 2, miss rate 0.1; memory 100
+        levels = [LevelRates(2.0, 2.0, 0.1), LevelRates(100.0, 0.0, 0.0)]
+        expected = (2.0 * 0.9 + 2.0 * 0.1) + 0.1 * 100.0
+        assert average_access_time(levels) == pytest.approx(expected)
+
+    def test_three_levels_reach_product(self):
+        levels = [
+            LevelRates(1.0, 1.0, 0.5),
+            LevelRates(4.0, 4.0, 0.2),
+            LevelRates(50.0, 0.0, 0.0),
+        ]
+        expected = 1.0 + 0.5 * 4.0 + 0.5 * 0.2 * 50.0
+        assert average_access_time(levels) == pytest.approx(expected)
+
+    def test_last_level_must_be_backing_store(self):
+        with pytest.raises(ValueError):
+            average_access_time([LevelRates(2.0, 2.0, 0.1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_access_time([])
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            LevelRates(2.0, 2.0, 1.5)
+        with pytest.raises(ValueError):
+            LevelRates(-1.0, 2.0, 0.5)
+
+
+class TestEquation2:
+    LEVELS = [
+        LevelRates(1.0, 1.0, 0.5),
+        LevelRates(4.0, 4.0, 0.2),
+        LevelRates(50.0, 0.0, 0.0),
+    ]
+
+    def test_no_aborts_equals_equation1(self):
+        assert average_access_time_with_mnm(
+            self.LEVELS, [0.0, 0.0, 0.0]
+        ) == pytest.approx(average_access_time(self.LEVELS))
+
+    def test_full_aborts_remove_miss_time(self):
+        with_mnm = average_access_time_with_mnm(self.LEVELS, [0.0, 1.0, 0.0])
+        without = average_access_time(self.LEVELS)
+        # level-2 miss time removed: reach(0.5) * miss_rate(0.2) * 4
+        assert without - with_mnm == pytest.approx(0.5 * 0.2 * 4.0)
+
+    def test_serial_delay_charged_on_l1_misses(self):
+        base = average_access_time_with_mnm(self.LEVELS, [0, 0, 0])
+        serial = average_access_time_with_mnm(self.LEVELS, [0, 0, 0],
+                                              serial_delay=2.0)
+        assert serial - base == pytest.approx(0.5 * 2.0)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            average_access_time_with_mnm(self.LEVELS, [0.0, 2.0, 0.0])
+        with pytest.raises(ValueError):
+            average_access_time_with_mnm(self.LEVELS, [0.0])
+
+
+class TestMissTimeFraction:
+    def test_no_misses_no_fraction(self):
+        levels = [LevelRates(2.0, 2.0, 0.0), LevelRates(100.0, 0.0, 0.0)]
+        assert miss_time_fraction(levels) == 0.0
+
+    def test_fraction_bounded(self):
+        levels = [
+            LevelRates(1.0, 1.0, 0.5),
+            LevelRates(4.0, 4.0, 0.5),
+            LevelRates(50.0, 0.0, 0.0),
+        ]
+        assert 0.0 < miss_time_fraction(levels) < 1.0
+
+
+class TestConsistencyWithSimulator:
+    def test_equation1_matches_per_access_pricing(self):
+        """Pricing a simulated stream per access must equal Equation 1 on
+        the measured per-level rates (same model, two routes)."""
+        hierarchy = CacheHierarchy(small_hierarchy_config(3))
+        timing = AccessTimingModel(hierarchy.config)
+        rng = random.Random(5)
+        # data-only stream so one cache per level is exercised
+        total_time = 0
+        count = 0
+        for address, _ in random_references(rng, 4000, span=1 << 14):
+            outcome = hierarchy.access(address, AccessKind.LOAD)
+            total_time += timing.latency(outcome)
+            count += 1
+        measured_average = total_time / count
+
+        caches = [hierarchy.cache_for(t, AccessKind.LOAD)
+                  for t in range(1, 4)]
+        levels = measured_level_rates(
+            hit_counts=[c.stats.hits for c in caches],
+            probe_counts=[c.stats.probes for c in caches],
+            hit_times=[c.config.hit_latency for c in caches],
+            miss_times=[c.config.effective_miss_latency for c in caches],
+            memory_latency=hierarchy.config.memory_latency,
+        )
+        assert average_access_time(levels) == pytest.approx(
+            measured_average, rel=1e-9)
+
+    def test_measured_level_rates_validation(self):
+        with pytest.raises(ValueError):
+            measured_level_rates([1], [1, 2], [1], [1], 100)
+
+    def test_unprobed_levels_get_zero_miss_rate(self):
+        levels = measured_level_rates([10, 0], [10, 0], [1, 2], [1, 2], 100)
+        assert levels[1].miss_rate == 0.0

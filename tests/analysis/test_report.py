@@ -1,0 +1,62 @@
+"""Tests for the text-table renderer."""
+
+import pytest
+
+from repro.analysis.report import TextTable, banner, format_percent
+
+
+class TestTextTable:
+    def test_basic_render(self):
+        table = TextTable(["app", "coverage"])
+        table.add_row(["gcc", 0.531])
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0].startswith("app")
+        assert "-+-" in lines[1]
+        assert "gcc" in lines[2]
+        assert "0.531" in lines[2]
+
+    def test_float_digits(self):
+        table = TextTable(["x", "y"], float_digits=1)
+        table.add_row(["a", 0.987])
+        assert "1.0" in table.render()
+
+    def test_none_renders_dash(self):
+        table = TextTable(["x", "y"])
+        table.add_row(["a", None])
+        assert "-" in table.render().splitlines()[2]
+
+    def test_column_widths_expand(self):
+        table = TextTable(["x"])
+        table.add_row(["a-very-long-cell"])
+        header, rule, row = table.render().splitlines()
+        assert len(rule) >= len("a-very-long-cell")
+
+    def test_numbers_right_aligned_labels_left(self):
+        table = TextTable(["name", "value"])
+        table.add_row(["ab", 1])
+        row = table.render().splitlines()[2]
+        assert row.startswith("ab")
+        assert row.rstrip().endswith("1")
+
+    def test_row_length_checked(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(["only-one"])
+
+    def test_str_equals_render(self):
+        table = TextTable(["a"])
+        table.add_row([1])
+        assert str(table) == table.render()
+
+
+class TestHelpers:
+    def test_format_percent(self):
+        assert format_percent(0.0531) == "5.3%"
+        assert format_percent(0.5, digits=0) == "50%"
+
+    def test_banner(self):
+        text = banner("Results")
+        lines = text.splitlines()
+        assert lines[1] == "Results"
+        assert set(lines[0]) == {"="}

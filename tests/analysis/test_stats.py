@@ -1,0 +1,67 @@
+"""Tests for the multi-seed aggregation utilities."""
+
+import pytest
+
+from repro.analysis.stats import CellStats, MultiSeedResult, run_multi_seed
+from repro.experiments.base import ExperimentResult, ExperimentSettings
+
+TINY = ExperimentSettings(num_instructions=4000, warmup_fraction=0.25,
+                          workloads=("twolf",))
+
+
+def fake_runner(settings):
+    """Deterministic fake experiment whose cells depend on the seed."""
+    value = 10.0 + settings.seed
+    return ExperimentResult(
+        experiment_id="figX",
+        title="fake",
+        headers=["app", "metric", "label"],
+        rows=[["twolf", value, "x"], ["Arith. Mean", value, None]],
+    )
+
+
+class TestRunMultiSeed:
+    def test_aggregates_mean_and_std(self):
+        aggregated = run_multi_seed(fake_runner, TINY, seeds=[0, 2, 4])
+        cell = aggregated.cell("twolf", "metric")
+        assert cell.mean == pytest.approx(12.0)
+        assert cell.std == pytest.approx((8 / 3) ** 0.5)
+        assert cell.samples == 3
+
+    def test_non_numeric_columns_become_none(self):
+        aggregated = run_multi_seed(fake_runner, TINY, seeds=[0, 1])
+        with pytest.raises(ValueError):
+            aggregated.cell("twolf", "label")
+
+    def test_max_relative_std(self):
+        aggregated = run_multi_seed(fake_runner, TINY, seeds=[0, 2])
+        assert aggregated.max_relative_std() == pytest.approx(1.0 / 11.0)
+
+    def test_needs_seeds(self):
+        with pytest.raises(ValueError):
+            run_multi_seed(fake_runner, TINY, seeds=[])
+
+    def test_mismatched_rows_rejected(self):
+        def unstable_runner(settings):
+            return ExperimentResult(
+                experiment_id="figX", title="t",
+                headers=["app", "v"],
+                rows=[[f"w{settings.seed}", 1.0]],
+            )
+
+        with pytest.raises(ValueError, match="labels differ"):
+            run_multi_seed(unstable_runner, TINY, seeds=[0, 1])
+
+    def test_real_experiment_aggregation(self):
+        from repro.experiments.figures import run_figure13
+
+        aggregated = run_multi_seed(run_figure13, TINY, seeds=[0, 1])
+        cell = aggregated.cell("Arith. Mean", "CMNM_8_12")
+        assert 0.0 <= cell.mean <= 100.0
+        assert cell.samples == 2
+
+
+class TestCellStats:
+    def test_relative_std(self):
+        assert CellStats(10.0, 1.0, 3).relative_std == pytest.approx(0.1)
+        assert CellStats(0.0, 1.0, 3).relative_std == 0.0

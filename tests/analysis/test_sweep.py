@@ -1,0 +1,81 @@
+"""Tests for design-space sweep utilities."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    SweepPoint,
+    dominated,
+    pareto_frontier,
+    sweep_designs,
+)
+from repro.core.presets import cmnm_design, tmnm_design
+from repro.workloads import get_trace
+from tests.conftest import small_hierarchy_config
+
+
+def point(name, bits, coverage):
+    return SweepPoint(design_name=name, storage_bits=bits,
+                      coverage=coverage, violations=0)
+
+
+class TestParetoFrontier:
+    def test_strictly_improving_chain_all_kept(self):
+        points = [point("a", 100, 0.1), point("b", 200, 0.3),
+                  point("c", 400, 0.6)]
+        assert pareto_frontier(points) == points
+
+    def test_dominated_points_dropped(self):
+        points = [point("a", 100, 0.5), point("b", 200, 0.3),
+                  point("c", 400, 0.6)]
+        frontier = pareto_frontier(points)
+        assert [p.design_name for p in frontier] == ["a", "c"]
+
+    def test_equal_size_keeps_best(self):
+        points = [point("a", 100, 0.5), point("b", 100, 0.7)]
+        frontier = pareto_frontier(points)
+        assert [p.design_name for p in frontier] == ["b"]
+
+    def test_coverage_increases_along_frontier(self):
+        points = [point(str(i), bits, cov) for i, (bits, cov) in enumerate(
+            [(50, 0.2), (75, 0.1), (100, 0.5), (300, 0.4), (500, 0.9)])]
+        frontier = pareto_frontier(points)
+        coverages = [p.coverage for p in frontier]
+        assert coverages == sorted(coverages)
+
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+
+class TestDominated:
+    def test_smaller_and_better_dominates(self):
+        a = point("a", 100, 0.5)
+        b = point("b", 200, 0.3)
+        assert dominated(b, [a])
+        assert not dominated(a, [b])
+
+    def test_self_never_dominates(self):
+        a = point("a", 100, 0.5)
+        assert not dominated(a, [a])
+
+    def test_incomparable(self):
+        a = point("a", 100, 0.3)
+        b = point("b", 200, 0.5)
+        assert not dominated(a, [b])
+        assert not dominated(b, [a])
+
+
+class TestSweepDesigns:
+    def test_sweep_on_real_pass(self):
+        trace = get_trace("twolf", 4000, seed=0)
+        references = list(trace.memory_references(16))
+        designs = [tmnm_design(6, 1), tmnm_design(10, 2), cmnm_design(2, 8)]
+        points = sweep_designs(references, small_hierarchy_config(3),
+                               designs, warmup=len(references) // 4)
+        assert len(points) == 3
+        by_name = {p.design_name: p for p in points}
+        assert by_name["TMNM_10x2"].storage_bits > by_name["TMNM_6x1"].storage_bits
+        for p in points:
+            assert 0.0 <= p.coverage <= 1.0
+            assert p.violations == 0
+            assert p.storage_kb > 0
+            assert p.coverage_per_kb >= 0.0

@@ -1,0 +1,95 @@
+"""Tests for the per-access timing model."""
+
+import pytest
+
+from repro.cache.cache import AccessKind
+from repro.cache.hierarchy import AccessOutcome
+from repro.core.base import Placement
+from repro.analysis.timing import AccessTimingModel
+from tests.conftest import small_hierarchy_config
+
+# test hierarchy latencies: L1=1, ul2=4, ul3=8; memory=100
+CONFIG = small_hierarchy_config(3)
+
+
+def outcome(supplier, kind=AccessKind.LOAD):
+    hits = [False, False, False]
+    if supplier is not None:
+        hits[supplier - 1] = True
+    return AccessOutcome(address=0, kind=kind, hits=tuple(hits),
+                         supplier=supplier)
+
+
+class TestBaselineLatency:
+    def setup_method(self):
+        self.model = AccessTimingModel(CONFIG)
+
+    def test_l1_hit(self):
+        assert self.model.latency(outcome(1)) == 1
+
+    def test_l2_hit_includes_l1_miss_detection(self):
+        assert self.model.latency(outcome(2)) == 1 + 4
+
+    def test_l3_hit(self):
+        assert self.model.latency(outcome(3)) == 1 + 4 + 8
+
+    def test_memory_supply(self):
+        assert self.model.latency(outcome(None)) == 1 + 4 + 8 + 100
+
+    def test_miss_time_component(self):
+        assert self.model.miss_time(outcome(1)) == 0
+        assert self.model.miss_time(outcome(3)) == 1 + 4
+        assert self.model.miss_time(outcome(None)) == 1 + 4 + 8
+
+    def test_instruction_side(self):
+        assert self.model.latency(outcome(1, AccessKind.INSTRUCTION)) == 1
+
+
+class TestBypassedLatency:
+    def setup_method(self):
+        self.model = AccessTimingModel(CONFIG, placement=Placement.PARALLEL,
+                                       mnm_delay=2)
+
+    def test_bypassing_l2_saves_its_miss_time(self):
+        base = self.model.latency(outcome(3))
+        bypassed = self.model.latency(outcome(3), bits=(False, True, False))
+        assert base - bypassed == 4
+
+    def test_full_bypass_to_memory(self):
+        bits = (False, True, True)
+        assert self.model.latency(outcome(None), bits) == 1 + 100
+
+    def test_parallel_mnm_adds_no_delay(self):
+        assert self.model.latency(outcome(1), (False, False, False)) == 1
+
+    def test_bypassed_time_helper(self):
+        assert self.model.bypassed_time(outcome(None), (False, True, True)) == 12
+
+    def test_level1_bit_never_set_by_convention(self):
+        # even if set, the model skips only tiers that missed
+        assert self.model.latency(outcome(1), (True, False, False)) == 1
+
+
+class TestSerialMNM:
+    def test_serial_adds_delay_past_l1(self):
+        model = AccessTimingModel(CONFIG, placement=Placement.SERIAL,
+                                  mnm_delay=2)
+        assert model.latency(outcome(1), (False, False, False)) == 1
+        assert model.latency(outcome(2), (False, False, False)) == 1 + 2 + 4
+
+    def test_serial_delay_applies_once(self):
+        model = AccessTimingModel(CONFIG, placement=Placement.SERIAL,
+                                  mnm_delay=2)
+        assert model.latency(outcome(None), (False, False, False)) == (
+            1 + 4 + 8 + 100 + 2
+        )
+
+    def test_perfect_mnm_is_free(self):
+        model = AccessTimingModel(CONFIG, placement=Placement.SERIAL,
+                                  mnm_delay=2, mnm_free=True)
+        assert model.latency(outcome(2), (False, False, False)) == 1 + 4
+
+    def test_no_bits_means_no_mnm_delay(self):
+        model = AccessTimingModel(CONFIG, placement=Placement.SERIAL,
+                                  mnm_delay=2)
+        assert model.latency(outcome(2)) == 1 + 4

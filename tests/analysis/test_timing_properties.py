@@ -1,0 +1,99 @@
+"""Property-based tests for the timing model across placements."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.timing import AccessTimingModel
+from repro.cache.cache import AccessKind
+from repro.cache.hierarchy import AccessOutcome
+from repro.core.base import Placement
+from tests.conftest import small_hierarchy_config
+
+CONFIG = small_hierarchy_config(4)
+
+
+@st.composite
+def outcomes_and_bits(draw):
+    """A consistent (outcome, bits) pair for the 4-tier test hierarchy."""
+    supplier = draw(st.sampled_from([1, 2, 3, 4, None]))
+    hits = [False] * 4
+    if supplier is not None:
+        hits[supplier - 1] = True
+    outcome = AccessOutcome(
+        address=draw(st.integers(min_value=0, max_value=0xFFFF)),
+        kind=draw(st.sampled_from([AccessKind.LOAD, AccessKind.STORE,
+                                   AccessKind.INSTRUCTION])),
+        hits=tuple(hits),
+        supplier=supplier,
+    )
+    missed = outcome.tiers_missed
+    bits = [False] * 4
+    for tier in range(2, missed + 1):
+        bits[tier - 1] = draw(st.booleans())
+    return outcome, tuple(bits)
+
+
+class TestTimingProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(outcomes_and_bits())
+    def test_parallel_bypass_never_slower(self, pair):
+        outcome, bits = pair
+        model = AccessTimingModel(CONFIG, placement=Placement.PARALLEL,
+                                  mnm_delay=2)
+        assert model.latency(outcome, bits) <= model.latency(outcome)
+
+    @settings(max_examples=200, deadline=None)
+    @given(outcomes_and_bits())
+    def test_placement_delay_ordering(self, pair):
+        """For identical bits: parallel <= serial <= distributed."""
+        outcome, bits = pair
+        latencies = {}
+        for placement in (Placement.PARALLEL, Placement.SERIAL,
+                          Placement.DISTRIBUTED):
+            model = AccessTimingModel(CONFIG, placement=placement,
+                                      mnm_delay=2)
+            latencies[placement] = model.latency(outcome, bits)
+        assert (latencies[Placement.PARALLEL]
+                <= latencies[Placement.SERIAL]
+                <= latencies[Placement.DISTRIBUTED])
+
+    @settings(max_examples=200, deadline=None)
+    @given(outcomes_and_bits())
+    def test_more_bits_never_slower_parallel(self, pair):
+        """Setting an extra (true-miss) bit can only reduce latency."""
+        outcome, bits = pair
+        model = AccessTimingModel(CONFIG, placement=Placement.PARALLEL,
+                                  mnm_delay=2)
+        base = model.latency(outcome, bits)
+        for tier in range(2, outcome.tiers_missed + 1):
+            if not bits[tier - 1]:
+                richer = list(bits)
+                richer[tier - 1] = True
+                assert model.latency(outcome, tuple(richer)) <= base
+
+    @settings(max_examples=200, deadline=None)
+    @given(outcomes_and_bits())
+    def test_latency_decomposition(self, pair):
+        """latency == latency_with_bits + bypassed_time (parallel)."""
+        outcome, bits = pair
+        model = AccessTimingModel(CONFIG, placement=Placement.PARALLEL,
+                                  mnm_delay=2)
+        assert (model.latency(outcome)
+                == model.latency(outcome, bits)
+                + model.bypassed_time(outcome, bits))
+
+    @settings(max_examples=200, deadline=None)
+    @given(outcomes_and_bits())
+    def test_miss_time_bounds_savings(self, pair):
+        """No design can save more than the total miss-detection time."""
+        outcome, bits = pair
+        model = AccessTimingModel(CONFIG)
+        assert model.bypassed_time(outcome, bits) <= model.miss_time(outcome)
+
+    @settings(max_examples=100, deadline=None)
+    @given(outcomes_and_bits())
+    def test_latency_positive(self, pair):
+        outcome, bits = pair
+        for placement in Placement:
+            model = AccessTimingModel(CONFIG, placement=placement,
+                                      mnm_delay=2)
+            assert model.latency(outcome, bits) >= 1

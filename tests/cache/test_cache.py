@@ -1,0 +1,198 @@
+"""Tests for the single-cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import AccessKind, Cache, CacheConfig, CacheSide
+
+
+def make_cache(size=512, assoc=2, block=32, replacement="lru") -> Cache:
+    return Cache(CacheConfig(
+        name="c", level=1, size_bytes=size, associativity=assoc,
+        block_size=block, hit_latency=2, replacement=replacement,
+    ))
+
+
+class TestConfig:
+    def test_derived_geometry(self):
+        config = make_cache(size=4096, assoc=1, block=32).config
+        assert config.num_blocks == 128
+        assert config.num_sets == 128
+        assert config.index_bits == 7
+        assert config.offset_bits == 5
+
+    def test_miss_latency_defaults_to_hit(self):
+        config = make_cache().config
+        assert config.effective_miss_latency == config.hit_latency
+
+    def test_explicit_miss_latency(self):
+        config = CacheConfig(name="c", level=1, size_bytes=512,
+                             associativity=2, block_size=32, hit_latency=4,
+                             miss_latency=2)
+        assert config.effective_miss_latency == 2
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(size_bytes=500),             # not a power of two
+        dict(block_size=48),              # not a power of two
+        dict(associativity=0),
+        dict(hit_latency=0),
+        dict(level=0),
+        dict(ports=0),
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        base = dict(name="c", level=1, size_bytes=512, associativity=2,
+                    block_size=32, hit_latency=2)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            CacheConfig(**base)
+
+    def test_describe_units(self):
+        assert "4KB" in make_cache(size=4096).config.describe()
+        assert "2MB" in make_cache(size=2 * 1024 * 1024, assoc=8).config.describe()
+
+    def test_side_serving(self):
+        assert CacheSide.UNIFIED.serves(AccessKind.LOAD)
+        assert CacheSide.UNIFIED.serves(AccessKind.INSTRUCTION)
+        assert CacheSide.DATA.serves(AccessKind.STORE)
+        assert not CacheSide.DATA.serves(AccessKind.INSTRUCTION)
+        assert CacheSide.INSTRUCTION.serves(AccessKind.INSTRUCTION)
+        assert not CacheSide.INSTRUCTION.serves(AccessKind.LOAD)
+
+
+class TestProbeAndFill:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.probe(0x1000)
+        cache.fill(0x1000)
+        assert cache.probe(0x1000)
+        assert cache.stats.probes == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_block_granular_hits(self):
+        cache = make_cache(block=32)
+        cache.fill(0x1000)
+        assert cache.probe(0x101F)   # same block
+        assert not cache.probe(0x1020)  # next block
+
+    def test_fill_existing_is_idempotent(self):
+        cache = make_cache()
+        cache.fill(0x1000)
+        assert cache.fill(0x1000) is None
+        # a redundant fill brings nothing new in
+        assert cache.stats.fills == 1
+        assert cache.stats.evictions == 0
+        assert cache.occupancy == 1
+
+    def test_eviction_returns_victim(self):
+        cache = make_cache(size=64, assoc=1, block=32)  # 2 sets
+        cache.fill(0x0)          # set 0
+        victim = cache.fill(0x40)  # set 0 again -> evicts block 0
+        assert victim == 0
+        assert not cache.contains(0x0)
+        assert cache.contains(0x40)
+
+    def test_lru_eviction_order(self):
+        cache = make_cache(size=64, assoc=2, block=32)  # 1 set, 2 ways
+        cache.fill(0x0)
+        cache.fill(0x20)
+        cache.probe(0x0)          # refresh block 0
+        victim = cache.fill(0x40)
+        assert victim == 1        # block of 0x20
+
+    def test_write_sets_dirty(self):
+        cache = make_cache(size=64, assoc=1, block=32)
+        cache.fill(0x0)
+        cache.probe(0x0, write=True)
+        cache.fill(0x40)  # evicts dirty block
+        assert cache.stats.dirty_evictions == 1
+
+    def test_fill_dirty_flag(self):
+        cache = make_cache(size=64, assoc=1, block=32)
+        cache.fill(0x0, dirty=True)
+        cache.fill(0x40)
+        assert cache.stats.dirty_evictions == 1
+
+    def test_flush_empties_but_keeps_stats(self):
+        cache = make_cache()
+        cache.fill(0x1000)
+        cache.probe(0x1000)
+        cache.flush()
+        assert cache.occupancy == 0
+        assert not cache.contains(0x1000)
+        assert cache.stats.hits == 1  # stats preserved
+
+    def test_refill_after_flush(self):
+        cache = make_cache()
+        cache.fill(0x1000)
+        cache.flush()
+        cache.fill(0x1000)
+        assert cache.contains(0x1000)
+
+    def test_contains_does_not_touch_stats(self):
+        cache = make_cache()
+        cache.contains(0x1000)
+        assert cache.stats.probes == 0
+
+
+class TestEvents:
+    def test_place_listener_fires_on_fill(self):
+        cache = make_cache()
+        placed = []
+        cache.add_place_listener(lambda c, blk: placed.append(blk))
+        cache.fill(0x1000)
+        assert placed == [cache.block_addr(0x1000)]
+
+    def test_no_event_on_redundant_fill(self):
+        cache = make_cache()
+        placed = []
+        cache.add_place_listener(lambda c, blk: placed.append(blk))
+        cache.fill(0x1000)
+        cache.fill(0x1000)
+        assert len(placed) == 1
+
+    def test_replace_fires_before_place(self):
+        cache = make_cache(size=64, assoc=1, block=32)
+        events = []
+        cache.add_place_listener(lambda c, blk: events.append(("place", blk)))
+        cache.add_replace_listener(lambda c, blk: events.append(("replace", blk)))
+        cache.fill(0x0)
+        cache.fill(0x40)
+        assert events == [("place", 0), ("replace", 0), ("place", 2)]
+
+    def test_flush_fires_no_events(self):
+        cache = make_cache()
+        cache.fill(0x1000)
+        events = []
+        cache.add_replace_listener(lambda c, blk: events.append(blk))
+        cache.flush()
+        assert events == []
+
+
+class TestOccupancyInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF), min_size=1,
+                    max_size=300))
+    def test_occupancy_never_exceeds_capacity(self, addresses):
+        cache = make_cache(size=256, assoc=2, block=16)
+        for address in addresses:
+            if not cache.probe(address):
+                cache.fill(address)
+            assert cache.occupancy <= cache.config.num_blocks
+        # everything resident is found by contains
+        for blk in cache.resident_blocks():
+            assert cache.contains_block(blk)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF), min_size=1,
+                    max_size=300))
+    def test_event_stream_mirrors_contents(self, addresses):
+        """Replaying the place/replace events reconstructs the cache."""
+        cache = make_cache(size=256, assoc=2, block=16)
+        mirror = set()
+        cache.add_place_listener(lambda c, blk: mirror.add(blk))
+        cache.add_replace_listener(lambda c, blk: mirror.discard(blk))
+        for address in addresses:
+            if not cache.probe(address):
+                cache.fill(address)
+        assert mirror == set(cache.resident_blocks())

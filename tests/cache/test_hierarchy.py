@@ -1,0 +1,184 @@
+"""Tests for the multi-level hierarchy model."""
+
+import pytest
+
+from repro.cache.cache import AccessKind, CacheConfig, CacheSide
+from repro.cache.hierarchy import (
+    MEMORY_TIER,
+    AccessOutcome,
+    CacheHierarchy,
+    HierarchyConfig,
+    TierConfig,
+)
+from tests.conftest import small_hierarchy_config
+
+
+class TestTierConfig:
+    def test_split_tier_requires_both_sides(self):
+        inst = CacheConfig(name="i", level=1, size_bytes=256, associativity=1,
+                           block_size=16, hit_latency=1,
+                           side=CacheSide.INSTRUCTION)
+        with pytest.raises(ValueError):
+            TierConfig(instruction=inst, data=None)
+
+    def test_unified_excludes_split(self):
+        unified = CacheConfig(name="u", level=1, size_bytes=256,
+                              associativity=1, block_size=16, hit_latency=1)
+        inst = CacheConfig(name="i", level=1, size_bytes=256, associativity=1,
+                           block_size=16, hit_latency=1,
+                           side=CacheSide.INSTRUCTION)
+        with pytest.raises(ValueError):
+            TierConfig(unified=unified, instruction=inst,
+                       data=None)  # type: ignore[arg-type]
+
+    def test_side_mismatch_rejected(self):
+        data_like = CacheConfig(name="d", level=1, size_bytes=256,
+                                associativity=1, block_size=16, hit_latency=1,
+                                side=CacheSide.DATA)
+        with pytest.raises(ValueError):
+            TierConfig.make_unified(data_like)
+
+    def test_level_must_match_position(self):
+        unified = CacheConfig(name="u", level=3, size_bytes=256,
+                              associativity=1, block_size=16, hit_latency=1)
+        with pytest.raises(ValueError, match="sits at tier"):
+            HierarchyConfig(name="bad",
+                            tiers=(TierConfig.make_unified(unified),),
+                            memory_latency=10)
+
+    def test_mnm_granule_is_tier2_block_size(self):
+        config = small_hierarchy_config(3)
+        assert config.mnm_granule == config.tiers[1].unified.block_size
+
+
+class TestRouting:
+    def test_split_tier_routes_by_kind(self, hierarchy3):
+        il1 = hierarchy3.cache_for(1, AccessKind.INSTRUCTION)
+        dl1 = hierarchy3.cache_for(1, AccessKind.LOAD)
+        assert il1.config.name == "il1"
+        assert dl1.config.name == "dl1"
+        assert hierarchy3.cache_for(1, AccessKind.STORE) is dl1
+
+    def test_unified_tier_serves_everything(self, hierarchy3):
+        ul2 = hierarchy3.cache_for(2, AccessKind.INSTRUCTION)
+        assert ul2 is hierarchy3.cache_for(2, AccessKind.LOAD)
+
+    def test_find_cache_by_name(self, hierarchy3):
+        assert hierarchy3.find_cache("ul2").config.name == "ul2"
+        with pytest.raises(LookupError):
+            hierarchy3.find_cache("nope")
+
+    def test_all_caches_enumeration(self, hierarchy3):
+        names = [cache.config.name for _, cache in hierarchy3.all_caches()]
+        assert names == ["il1", "dl1", "ul2", "ul3"]
+
+
+class TestAccess:
+    def test_cold_access_goes_to_memory(self, hierarchy3):
+        outcome = hierarchy3.access(0x1000, AccessKind.LOAD)
+        assert outcome.supplier is MEMORY_TIER
+        assert outcome.hits == (False, False, False)
+        assert outcome.tiers_missed == 3
+
+    def test_refill_fills_all_tiers(self, hierarchy3):
+        hierarchy3.access(0x1000, AccessKind.LOAD)
+        for tier in range(1, 4):
+            assert hierarchy3.cache_for(tier, AccessKind.LOAD).contains(0x1000)
+
+    def test_second_access_hits_l1(self, hierarchy3):
+        hierarchy3.access(0x1000, AccessKind.LOAD)
+        outcome = hierarchy3.access(0x1000, AccessKind.LOAD)
+        assert outcome.supplier == 1
+        assert outcome.tiers_missed == 0
+
+    def test_l1_eviction_supplied_by_l2(self, hierarchy3):
+        hierarchy3.access(0x1000, AccessKind.LOAD)
+        # dl1 is 256B direct-mapped with 16B blocks: 0x1000 + 256 conflicts
+        hierarchy3.access(0x1100, AccessKind.LOAD)
+        outcome = hierarchy3.access(0x1000, AccessKind.LOAD)
+        assert outcome.supplier == 2
+        assert outcome.tiers_missed == 1
+
+    def test_instruction_and_data_l1_are_independent(self, hierarchy3):
+        hierarchy3.access(0x1000, AccessKind.LOAD)
+        outcome = hierarchy3.access(0x1000, AccessKind.INSTRUCTION)
+        # il1 missed even though dl1 holds it; unified L2 supplies
+        assert outcome.supplier == 2
+
+    def test_beyond_supplier_not_probed(self, hierarchy3):
+        hierarchy3.access(0x1000, AccessKind.LOAD)
+        probes_before = hierarchy3.find_cache("ul3").stats.probes
+        hierarchy3.access(0x1000, AccessKind.LOAD)  # L1 hit
+        assert hierarchy3.find_cache("ul3").stats.probes == probes_before
+
+    def test_store_marks_l1_dirty(self, hierarchy3):
+        hierarchy3.access(0x1000, AccessKind.STORE)
+        dl1 = hierarchy3.cache_for(1, AccessKind.STORE)
+        hierarchy3.access(0x1100, AccessKind.STORE)  # evicts 0x1000
+        assert dl1.stats.dirty_evictions == 1
+
+    def test_where_is_matches_contents(self, hierarchy3):
+        assert hierarchy3.where_is(0x1000, AccessKind.LOAD) is MEMORY_TIER
+        hierarchy3.access(0x1000, AccessKind.LOAD)
+        assert hierarchy3.where_is(0x1000, AccessKind.LOAD) == 1
+        hierarchy3.access(0x1100, AccessKind.LOAD)  # evict from L1
+        assert hierarchy3.where_is(0x1000, AccessKind.LOAD) == 2
+
+    def test_flush_and_reset_stats(self, hierarchy3):
+        hierarchy3.access(0x1000, AccessKind.LOAD)
+        hierarchy3.flush()
+        assert hierarchy3.where_is(0x1000, AccessKind.LOAD) is MEMORY_TIER
+        hierarchy3.reset_stats()
+        assert hierarchy3.find_cache("dl1").stats.probes == 0
+
+    def test_run_convenience(self, hierarchy3):
+        outcomes = hierarchy3.run([(0x0, AccessKind.LOAD),
+                                   (0x0, AccessKind.LOAD)])
+        assert outcomes[0].supplier is MEMORY_TIER
+        assert outcomes[1].supplier == 1
+
+
+class TestAccessOutcome:
+    def test_candidate_misses_for_memory_supply(self):
+        outcome = AccessOutcome(address=0, kind=AccessKind.LOAD,
+                                hits=(False, False, False), supplier=None)
+        assert outcome.tiers_missed == 3
+        assert outcome.mnm_candidate_misses == 2  # tiers 2 and 3
+
+    def test_candidate_misses_paper_example(self):
+        # the paper's example: hit in level 4 -> 2 bypassable misses
+        outcome = AccessOutcome(address=0, kind=AccessKind.LOAD,
+                                hits=(False, False, False, True),
+                                supplier=4)
+        assert outcome.mnm_candidate_misses == 2
+
+    def test_l1_hit_has_no_candidates(self):
+        outcome = AccessOutcome(address=0, kind=AccessKind.LOAD,
+                                hits=(True, False, False), supplier=1)
+        assert outcome.mnm_candidate_misses == 0
+
+    def test_missed_at(self):
+        outcome = AccessOutcome(address=0, kind=AccessKind.LOAD,
+                                hits=(False, False, True), supplier=3)
+        assert outcome.missed_at(1)
+        assert outcome.missed_at(2)
+        assert not outcome.missed_at(3)
+
+
+class TestNonInclusion:
+    def test_l2_eviction_leaves_l1_resident(self, hierarchy3):
+        """The paper explicitly does not assume inclusion (Section 3)."""
+        hierarchy3.access(0x1000, AccessKind.LOAD)
+        ul2 = hierarchy3.find_cache("ul2")
+        # Evict 0x1000's block from ul2 by filling its set
+        blk = ul2.block_addr(0x1000)
+        set_index = ul2.set_index(blk)
+        conflicting = [
+            (blk + k * ul2.config.num_sets) << ul2.config.offset_bits
+            for k in range(1, ul2.config.associativity + 1)
+        ]
+        for address in conflicting:
+            ul2.fill(address)
+        assert not ul2.contains(0x1000)
+        # L1 still holds it: non-inclusive
+        assert hierarchy3.cache_for(1, AccessKind.LOAD).contains(0x1000)

@@ -1,0 +1,132 @@
+"""Reference-model cross-check for the hierarchy simulator.
+
+Rebuilds the hierarchy's expected behaviour with an independent, brutally
+simple model (dicts of sets with explicit LRU lists) and checks the real
+simulator against it access by access.  A divergence anywhere in the
+probe/fill/evict plumbing shows up as a contents mismatch here even if no
+individual unit test covers that path.
+"""
+
+import random
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import AccessKind
+from repro.cache.hierarchy import CacheHierarchy, MEMORY_TIER
+from tests.conftest import small_hierarchy_config
+
+
+class _ModelCache:
+    """Independent set-associative LRU cache model (naive on purpose)."""
+
+    def __init__(self, config):
+        self.block_bits = config.offset_bits
+        self.num_sets = config.num_sets
+        self.assoc = config.associativity
+        # per set: OrderedDict of block addr -> None, LRU first
+        self.sets = [OrderedDict() for _ in range(self.num_sets)]
+
+    def _locate(self, address):
+        blk = address >> self.block_bits
+        return blk, blk & (self.num_sets - 1)
+
+    def contains(self, address):
+        blk, set_index = self._locate(address)
+        return blk in self.sets[set_index]
+
+    def touch(self, address):
+        blk, set_index = self._locate(address)
+        if blk in self.sets[set_index]:
+            self.sets[set_index].move_to_end(blk)
+            return True
+        return False
+
+    def fill(self, address):
+        blk, set_index = self._locate(address)
+        entries = self.sets[set_index]
+        if blk in entries:
+            entries.move_to_end(blk)
+            return
+        if len(entries) >= self.assoc:
+            entries.popitem(last=False)
+        entries[blk] = None
+
+    def blocks(self):
+        result = set()
+        for entries in self.sets:
+            result.update(entries)
+        return result
+
+
+class _ModelHierarchy:
+    """Three-tier reference model mirroring the simulator's semantics."""
+
+    def __init__(self, config):
+        self.config = config
+        self.caches = []  # per tier: dict kind-side -> _ModelCache
+        for tier in config.tiers:
+            if tier.unified is not None:
+                model = _ModelCache(tier.unified)
+                self.caches.append({"i": model, "d": model})
+            else:
+                self.caches.append({
+                    "i": _ModelCache(tier.instruction),
+                    "d": _ModelCache(tier.data),
+                })
+
+    def access(self, address, kind):
+        side = "i" if kind is AccessKind.INSTRUCTION else "d"
+        supplier = None
+        for tier_index, tier in enumerate(self.caches, start=1):
+            if tier[side].touch(address):
+                supplier = tier_index
+                break
+        limit = len(self.caches) if supplier is None else supplier - 1
+        for tier_index in range(limit, 0, -1):
+            self.caches[tier_index - 1][side].fill(address)
+        return supplier
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=(1 << 14) - 1),
+        st.sampled_from([AccessKind.INSTRUCTION, AccessKind.LOAD,
+                         AccessKind.STORE]),
+    ),
+    min_size=10, max_size=500,
+))
+def test_hierarchy_matches_reference_model(references):
+    config = small_hierarchy_config(3)
+    real = CacheHierarchy(config)
+    model = _ModelHierarchy(config)
+
+    for address, kind in references:
+        outcome = real.access(address, kind)
+        expected_supplier = model.access(address, kind)
+        actual = None if outcome.supplier is MEMORY_TIER else outcome.supplier
+        assert actual == expected_supplier, (
+            f"supplier mismatch at {address:#x} ({kind.value}): "
+            f"real={actual} model={expected_supplier}"
+        )
+
+    # final contents must agree cache by cache
+    side_of = {"il1": "i", "dl1": "d", "ul2": "d", "ul3": "d"}
+    for tier_index, caches in enumerate(model.caches, start=1):
+        for kind, side in (("i", AccessKind.INSTRUCTION),
+                           ("d", AccessKind.LOAD)):
+            real_cache = real.cache_for(tier_index, side)
+            assert set(real_cache.resident_blocks()) == caches[kind].blocks(), (
+                f"contents mismatch at tier {tier_index} side {kind}"
+            )
+
+
+def test_reference_model_sanity():
+    """The model itself behaves like a cache (guards the guard)."""
+    config = small_hierarchy_config(3)
+    model = _ModelHierarchy(config)
+    assert model.access(0x1000, AccessKind.LOAD) is None     # cold
+    assert model.access(0x1000, AccessKind.LOAD) == 1        # L1 hit
+    assert model.access(0x1100, AccessKind.LOAD) is None     # conflict fill
+    assert model.access(0x1000, AccessKind.LOAD) == 2        # L2 catch

@@ -1,0 +1,94 @@
+"""Tests for the next-line prefetcher."""
+
+import random
+
+import pytest
+
+from repro.cache.cache import AccessKind
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.prefetch import NextLinePrefetcher
+from repro.core.machine import MostlyNoMachine
+from repro.core.presets import hmnm_design
+from repro.simulate import build_memory
+from tests.conftest import random_references, small_hierarchy_config
+
+
+def make_prefetching_hierarchy(degree=1):
+    hierarchy = CacheHierarchy(small_hierarchy_config(3))
+    return hierarchy, NextLinePrefetcher(hierarchy, degree=degree)
+
+
+class TestNextLinePrefetcher:
+    def test_miss_triggers_next_block(self):
+        hierarchy, prefetcher = make_prefetching_hierarchy()
+        outcome = hierarchy.access(0x1000, AccessKind.LOAD)  # cold miss
+        prefetcher.on_demand_access(0x1000, AccessKind.LOAD, outcome)
+        # next 16B block now resident without a demand access
+        assert hierarchy.cache_for(1, AccessKind.LOAD).contains(0x1010)
+        assert prefetcher.issued == 1
+
+    def test_hits_do_not_trigger(self):
+        hierarchy, prefetcher = make_prefetching_hierarchy()
+        hierarchy.access(0x1000, AccessKind.LOAD)
+        outcome = hierarchy.access(0x1000, AccessKind.LOAD)  # L1 hit
+        assert prefetcher.on_demand_access(0x1000, AccessKind.LOAD,
+                                           outcome) == 0
+
+    def test_degree_controls_lookahead(self):
+        hierarchy, prefetcher = make_prefetching_hierarchy(degree=3)
+        outcome = hierarchy.access(0x1000, AccessKind.LOAD)
+        prefetcher.on_demand_access(0x1000, AccessKind.LOAD, outcome)
+        dl1 = hierarchy.cache_for(1, AccessKind.LOAD)
+        for step in (1, 2, 3):
+            assert dl1.contains(0x1000 + step * 16)
+        assert prefetcher.issued == 3
+
+    def test_duplicate_prefetches_suppressed(self):
+        hierarchy, prefetcher = make_prefetching_hierarchy()
+        outcome = hierarchy.access(0x1000, AccessKind.LOAD)
+        prefetcher.on_demand_access(0x1000, AccessKind.LOAD, outcome)
+        prefetcher.on_demand_access(0x1004, AccessKind.LOAD, outcome)
+        assert prefetcher.issued == 1
+        assert prefetcher.suppressed == 1
+
+    def test_instruction_side_switch(self):
+        hierarchy = CacheHierarchy(small_hierarchy_config(3))
+        prefetcher = NextLinePrefetcher(hierarchy, instruction_side=False)
+        outcome = hierarchy.access(0x400000, AccessKind.INSTRUCTION)
+        assert prefetcher.on_demand_access(
+            0x400000, AccessKind.INSTRUCTION, outcome) == 0
+
+    def test_reset(self):
+        hierarchy, prefetcher = make_prefetching_hierarchy()
+        outcome = hierarchy.access(0x1000, AccessKind.LOAD)
+        prefetcher.on_demand_access(0x1000, AccessKind.LOAD, outcome)
+        prefetcher.reset()
+        assert prefetcher.issued == 0
+
+    def test_validation(self):
+        hierarchy = CacheHierarchy(small_hierarchy_config(3))
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(hierarchy, degree=0)
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(hierarchy, tag_capacity=0)
+
+
+class TestPrefetchingMemorySystem:
+    def test_sequential_stream_benefits(self):
+        plain = build_memory(small_hierarchy_config(3))
+        prefetching = build_memory(small_hierarchy_config(3),
+                                   prefetch_degree=2)
+        addresses = [0x8000 + 8 * i for i in range(600)]
+        plain_latency = sum(plain.access(a, AccessKind.LOAD)
+                            for a in addresses)
+        prefetch_latency = sum(prefetching.access(a, AccessKind.LOAD)
+                               for a in addresses)
+        assert prefetch_latency < plain_latency
+
+    def test_prefetch_fills_train_mnm_soundly(self):
+        rng = random.Random(7)
+        memory = build_memory(small_hierarchy_config(3), hmnm_design(2),
+                              prefetch_degree=2)
+        for address, kind in random_references(rng, 2500, span=1 << 14):
+            memory.access(address, kind)
+        assert memory.coverage.violations == 0

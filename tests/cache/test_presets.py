@@ -1,0 +1,102 @@
+"""Tests for the paper's hierarchy presets."""
+
+import pytest
+
+from repro.cache.cache import AccessKind
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.presets import (
+    PAPER_MEMORY_LATENCY,
+    hierarchy_preset,
+    paper_hierarchy_5level,
+    preset_names,
+)
+from repro.power.cacti import cache_access_time_ns
+
+
+class TestFiveLevelPreset:
+    """Section 4.1 specifies the 5-level configuration exactly."""
+
+    def setup_method(self):
+        self.config = paper_hierarchy_5level()
+
+    def test_seven_caches_five_tiers(self):
+        assert self.config.num_tiers == 5
+        assert self.config.num_caches == 7
+
+    def test_l1_parameters(self):
+        l1 = self.config.tiers[0]
+        assert l1.split
+        for cache in l1.configs:
+            assert cache.size_bytes == 4 * 1024
+            assert cache.associativity == 1
+            assert cache.block_size == 32
+            assert cache.hit_latency == 2
+
+    def test_l2_parameters(self):
+        l2 = self.config.tiers[1]
+        assert l2.split
+        for cache in l2.configs:
+            assert cache.size_bytes == 16 * 1024
+            assert cache.associativity == 2
+            assert cache.block_size == 32
+            assert cache.hit_latency == 8
+
+    @pytest.mark.parametrize("tier,size_kb,assoc,block,latency", [
+        (2, 128, 4, 64, 18),
+        (3, 512, 4, 128, 34),
+        (4, 2048, 8, 128, 70),
+    ])
+    def test_unified_levels(self, tier, size_kb, assoc, block, latency):
+        cache = self.config.tiers[tier].unified
+        assert cache.size_bytes == size_kb * 1024
+        assert cache.associativity == assoc
+        assert cache.block_size == block
+        assert cache.hit_latency == latency
+
+    def test_memory_latency(self):
+        assert self.config.memory_latency == PAPER_MEMORY_LATENCY == 320
+
+    def test_mnm_granule_is_32(self):
+        assert self.config.mnm_granule == 32
+
+
+class TestAllPresets:
+    @pytest.mark.parametrize("name", preset_names())
+    def test_presets_build_and_simulate(self, name):
+        hierarchy = CacheHierarchy(hierarchy_preset(name))
+        outcome = hierarchy.access(0x1234_5678, AccessKind.LOAD)
+        assert outcome.supplier is None  # cold miss to memory
+        outcome = hierarchy.access(0x1234_5678, AccessKind.LOAD)
+        assert outcome.supplier == 1
+
+    @pytest.mark.parametrize("name", preset_names())
+    def test_latencies_grow_outward(self, name):
+        config = hierarchy_preset(name)
+        latencies = [max(c.hit_latency for c in tier.configs)
+                     for tier in config.tiers]
+        assert latencies == sorted(latencies)
+        assert config.memory_latency > latencies[-1]
+
+    @pytest.mark.parametrize("name", preset_names())
+    def test_capacity_grows_outward(self, name):
+        config = hierarchy_preset(name)
+        sizes = [max(c.size_bytes for c in tier.configs)
+                 for tier in config.tiers]
+        assert sizes == sorted(sizes)
+
+    @pytest.mark.parametrize("name", preset_names())
+    def test_latency_ordering_matches_physical_model(self, name):
+        """Preset latencies should be ordered like a physical access-time
+        model orders the organisations."""
+        config = hierarchy_preset(name)
+        caches = [tier.configs[0] for tier in config.tiers]
+        model_times = [cache_access_time_ns(c) for c in caches]
+        assert model_times == sorted(model_times)
+
+    def test_depth_ladder(self):
+        depths = [len(hierarchy_preset(n).tiers) for n in preset_names()]
+        assert depths == [2, 3, 5, 7]
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown hierarchy preset"):
+            hierarchy_preset("9level")

@@ -1,0 +1,125 @@
+"""Tests for replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    PLRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self):
+        policy = LRUPolicy(num_sets=1, associativity=4)
+        for way in range(4):
+            policy.on_fill(0, way)
+        policy.on_hit(0, 0)  # 0 becomes most recent
+        assert policy.victim(0) == 1
+
+    def test_hits_refresh_recency(self):
+        policy = LRUPolicy(1, 2)
+        policy.on_fill(0, 0)
+        policy.on_fill(0, 1)
+        policy.on_hit(0, 0)
+        assert policy.victim(0) == 1
+
+    def test_sets_are_independent(self):
+        policy = LRUPolicy(2, 2)
+        policy.on_fill(0, 1)
+        # set 1 untouched: victim there is still the initial order
+        assert policy.victim(1) == 0
+        assert policy.victim(0) == 0
+
+    def test_reset_restores_initial_order(self):
+        policy = LRUPolicy(1, 3)
+        policy.on_hit(0, 0)
+        policy.reset()
+        assert policy.victim(0) == 0
+
+
+class TestFIFO:
+    def test_hits_do_not_refresh(self):
+        policy = FIFOPolicy(1, 2)
+        policy.on_fill(0, 0)
+        policy.on_fill(0, 1)
+        policy.on_hit(0, 0)  # FIFO ignores hits
+        assert policy.victim(0) == 0
+
+    def test_fill_order_decides(self):
+        policy = FIFOPolicy(1, 3)
+        for way in (2, 0, 1):
+            policy.on_fill(0, way)
+        assert policy.victim(0) == 2
+
+
+class TestRandom:
+    def test_deterministic_under_seed(self):
+        a = RandomPolicy(1, 8, seed=7)
+        b = RandomPolicy(1, 8, seed=7)
+        assert [a.victim(0) for _ in range(20)] == [b.victim(0) for _ in range(20)]
+
+    def test_victims_in_range(self):
+        policy = RandomPolicy(1, 4, seed=1)
+        assert all(0 <= policy.victim(0) < 4 for _ in range(100))
+
+    def test_reset_replays_sequence(self):
+        policy = RandomPolicy(1, 4, seed=3)
+        first = [policy.victim(0) for _ in range(10)]
+        policy.reset()
+        assert [policy.victim(0) for _ in range(10)] == first
+
+
+class TestPLRU:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            PLRUPolicy(1, 3)
+
+    def test_single_way(self):
+        policy = PLRUPolicy(1, 1)
+        policy.on_fill(0, 0)
+        assert policy.victim(0) == 0
+
+    def test_victim_avoids_recent_touch(self):
+        policy = PLRUPolicy(1, 4)
+        for way in range(4):
+            policy.on_fill(0, way)
+        # way 3 touched last; tree points away from it
+        assert policy.victim(0) != 3
+
+    def test_covers_all_ways_eventually(self):
+        policy = PLRUPolicy(1, 8)
+        seen = set()
+        for _ in range(64):
+            victim = policy.victim(0)
+            seen.add(victim)
+            policy.on_fill(0, victim)
+        assert seen == set(range(8))
+
+    def test_reset_clears_tree(self):
+        policy = PLRUPolicy(1, 4)
+        policy.on_hit(0, 3)
+        policy.reset()
+        assert policy.victim(0) == 0
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LRUPolicy), ("fifo", FIFOPolicy),
+        ("random", RandomPolicy), ("plru", PLRUPolicy),
+        ("LRU", LRUPolicy),
+    ])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name, 4, 2), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown replacement policy"):
+            make_policy("mru", 4, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(0, 2)
+        with pytest.raises(ValueError):
+            LRUPolicy(2, 0)

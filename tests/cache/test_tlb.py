@@ -1,0 +1,123 @@
+"""Tests for the TLB substrate (Section 4.5 extension)."""
+
+import random
+
+import pytest
+
+from repro.cache.tlb import (
+    PAGE_SIZE,
+    TLBConfig,
+    TranslationBuffer,
+    TwoLevelTLB,
+    default_tlb_pair,
+)
+from repro.core.tmnm import TMNM
+from repro.core.perfect import PerfectFilter
+
+
+def small_pair():
+    return (
+        TLBConfig(name="tlb1", entries=4, associativity=4, hit_latency=1),
+        TLBConfig(name="tlb2", entries=16, associativity=4, hit_latency=3),
+    )
+
+
+class TestTLBConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TLBConfig(name="t", entries=48, associativity=1, hit_latency=1)
+        with pytest.raises(ValueError):
+            TLBConfig(name="t", entries=16, associativity=3, hit_latency=1)
+        with pytest.raises(ValueError):
+            TLBConfig(name="t", entries=16, associativity=4, hit_latency=0)
+
+
+class TestTranslationBuffer:
+    def test_page_granularity(self):
+        buffer = TranslationBuffer(small_pair()[0])
+        buffer.install(0x1000)
+        assert buffer.lookup(0x1FFF)       # same page
+        assert not buffer.lookup(0x2000)   # next page
+
+    def test_capacity_eviction(self):
+        buffer = TranslationBuffer(small_pair()[0])  # 4 entries, FA
+        for page in range(5):
+            buffer.install(page * PAGE_SIZE)
+        assert not buffer.holds(0)  # LRU victim
+
+    def test_filter_attachment(self):
+        buffer = TranslationBuffer(small_pair()[0])
+        oracle = PerfectFilter()
+        buffer.attach_filter(oracle)
+        buffer.install(0x5000)
+        assert not oracle.is_definite_miss(5)
+        for page in range(1, 6):
+            buffer.install(page * PAGE_SIZE + 0x10000)
+        assert oracle.is_definite_miss(5)  # evicted and observed
+
+
+class TestTwoLevelTLB:
+    def test_miss_then_hits(self):
+        tlb = TwoLevelTLB(*small_pair(), walk_latency=50)
+        first = tlb.translate(0x4000)
+        assert not first.l1_hit and not first.l2_hit
+        assert first.latency == 1 + 3 + 50
+        second = tlb.translate(0x4000)
+        assert second.l1_hit
+        assert second.latency == 1
+
+    def test_l2_catches_l1_evictions(self):
+        tlb = TwoLevelTLB(*small_pair(), walk_latency=50)
+        pages = [k * PAGE_SIZE for k in range(6)]
+        for address in pages:
+            tlb.translate(address)
+        result = tlb.translate(pages[0])   # out of L1, still in L2
+        assert not result.l1_hit and result.l2_hit
+        assert result.latency == 1 + 3
+
+    def test_filter_bypasses_l2_on_cold_misses(self):
+        tlb = TwoLevelTLB(*small_pair(), walk_latency=50,
+                          miss_filter=TMNM(6, 2))
+        result = tlb.translate(0x9000)
+        assert result.l2_bypassed
+        assert result.latency == 1 + 50          # no L2 lookup charge
+        assert tlb.bypasses == 1
+        assert tlb.filter_violations == 0
+
+    def test_filter_never_bypasses_resident_translations(self):
+        rng = random.Random(4)
+        tlb = TwoLevelTLB(*small_pair(), walk_latency=50,
+                          miss_filter=TMNM(6, 2))
+        for _ in range(3000):
+            tlb.translate(rng.randrange(64) * PAGE_SIZE)
+        assert tlb.filter_violations == 0
+
+    def test_flush_clears_everything(self):
+        tlb = TwoLevelTLB(*small_pair(), walk_latency=50,
+                          miss_filter=TMNM(6, 2))
+        tlb.translate(0x4000)
+        tlb.flush()
+        result = tlb.translate(0x4000)
+        assert not result.l1_hit and not result.l2_hit
+
+    def test_default_pair_sane(self):
+        l1, l2 = default_tlb_pair()
+        assert l1.entries < l2.entries
+        tlb = TwoLevelTLB(l1, l2)
+        assert tlb.translate(0x1234_5678).latency >= 1
+
+    def test_walk_latency_validated(self):
+        with pytest.raises(ValueError):
+            TwoLevelTLB(*small_pair(), walk_latency=0)
+
+    def test_filtered_tlb_never_slower(self):
+        """Bypassing can only remove L2 lookup time."""
+        rng = random.Random(9)
+        addresses = [rng.randrange(256) * PAGE_SIZE for _ in range(4000)]
+        plain = TwoLevelTLB(*small_pair(), walk_latency=50)
+        filtered = TwoLevelTLB(*small_pair(), walk_latency=50,
+                               miss_filter=TMNM(7, 2))
+        plain_total = sum(plain.translate(a).latency for a in addresses)
+        filtered_total = sum(filtered.translate(a).latency for a in addresses)
+        assert filtered_total <= plain_total
+        assert filtered.filter_violations == 0

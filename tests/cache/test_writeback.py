@@ -1,0 +1,87 @@
+"""Tests for writeback modelling in the hierarchy."""
+
+import random
+
+import pytest
+
+from repro.cache.cache import AccessKind
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.machine import MostlyNoMachine
+from repro.core.presets import hmnm_design
+from tests.conftest import random_references, small_hierarchy_config
+
+
+def make_hierarchy(writeback=True):
+    return CacheHierarchy(small_hierarchy_config(3), writeback=writeback)
+
+
+class TestWriteback:
+    def test_dirty_l1_victim_lands_in_l2(self):
+        hierarchy = make_hierarchy()
+        hierarchy.access(0x1000, AccessKind.STORE)
+        ul2 = hierarchy.find_cache("ul2")
+        # Evict 0x1000's ul2 copy so the writeback is observable
+        blk = ul2.block_addr(0x1000)
+        conflicting = [
+            (blk + k * ul2.config.num_sets) << ul2.config.offset_bits
+            for k in range(1, ul2.config.associativity + 1)
+        ]
+        for address in conflicting:
+            ul2.fill(address)
+        assert not ul2.contains(0x1000)
+        # dl1 is 256B DM with 16B blocks: +256 conflicts and evicts dirty
+        hierarchy.access(0x1100, AccessKind.LOAD)
+        assert ul2.contains(0x1000)  # written back
+
+    def test_clean_victims_do_not_write_back(self):
+        hierarchy = make_hierarchy()
+        hierarchy.access(0x1000, AccessKind.LOAD)   # clean
+        ul2 = hierarchy.find_cache("ul2")
+        fills_before = ul2.stats.fills
+        hierarchy.access(0x1100, AccessKind.LOAD)   # evicts clean 0x1000
+        # ul2 gained exactly the new block, no writeback fill
+        assert ul2.stats.fills == fills_before + 1
+
+    def test_memory_writebacks_counted(self):
+        hierarchy = make_hierarchy()
+        # Dirty a long conflict chain through the last tier
+        ul3 = hierarchy.find_cache("ul3")
+        span = ul3.config.num_sets * ul3.config.block_size
+        for k in range(ul3.config.associativity * 4):
+            hierarchy.access(0x1000 + k * span, AccessKind.STORE)
+        assert hierarchy.memory_writebacks > 0
+
+    def test_default_is_no_writeback(self):
+        hierarchy = make_hierarchy(writeback=False)
+        hierarchy.access(0x1000, AccessKind.STORE)
+        ul2 = hierarchy.find_cache("ul2")
+        blk = ul2.block_addr(0x1000)
+        conflicting = [
+            (blk + k * ul2.config.num_sets) << ul2.config.offset_bits
+            for k in range(1, ul2.config.associativity + 1)
+        ]
+        for address in conflicting:
+            ul2.fill(address)
+        hierarchy.access(0x1100, AccessKind.LOAD)
+        assert not ul2.contains(0x1000)
+        assert hierarchy.memory_writebacks == 0
+
+    def test_writeback_events_keep_mnm_sound(self):
+        """Writeback fills fire place events; filters must stay one-sided."""
+        rng = random.Random(3)
+        hierarchy = make_hierarchy()
+        machine = MostlyNoMachine(hierarchy, hmnm_design(2))
+        for address, kind in random_references(rng, 2500, span=1 << 14):
+            bits = machine.query(address, kind)
+            outcome = hierarchy.access(address, kind)
+            supplier = outcome.supplier
+            if supplier is not None and supplier >= 2:
+                assert not bits[supplier - 1]
+
+    def test_last_evicted_dirty_resets(self):
+        hierarchy = make_hierarchy()
+        dl1 = hierarchy.find_cache("dl1")
+        hierarchy.access(0x1000, AccessKind.STORE)
+        hierarchy.access(0x1100, AccessKind.LOAD)   # dirty eviction
+        hierarchy.access(0x1200, AccessKind.LOAD)   # clean eviction
+        assert not dl1.last_evicted_dirty

@@ -1,0 +1,108 @@
+"""Tests for the counting-Bloom baseline filter."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import AccessKind, Cache, CacheConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.bloom import COUNTER_MAX, BloomMissFilter, bloom_design
+from repro.core.machine import MostlyNoMachine
+from tests.conftest import random_references, small_hierarchy_config
+
+
+class TestBloomFilter:
+    def test_unseen_is_definite_miss(self):
+        bloom = BloomMissFilter(8, 2)
+        assert bloom.is_definite_miss(0x123)
+
+    def test_place_replace_round_trip(self):
+        bloom = BloomMissFilter(8, 2)
+        bloom.on_place(0x123)
+        assert not bloom.is_definite_miss(0x123)
+        bloom.on_replace(0x123)
+        assert bloom.is_definite_miss(0x123)
+
+    def test_aliasing_never_unsound(self):
+        bloom = BloomMissFilter(3, 2)  # tiny: heavy aliasing
+        placed = [7, 77, 777, 7777]
+        for addr in placed:
+            bloom.on_place(addr)
+        for addr in placed:
+            assert not bloom.is_definite_miss(addr)
+        # remove one; the rest must stay protected
+        bloom.on_replace(7)
+        for addr in placed[1:]:
+            assert not bloom.is_definite_miss(addr)
+
+    def test_sticky_saturation(self):
+        bloom = BloomMissFilter(1, 1)  # 2 slots: immediate saturation
+        for _ in range(COUNTER_MAX + 3):
+            bloom.on_place(0)
+        for _ in range(COUNTER_MAX + 3):
+            bloom.on_replace(0)
+        assert not bloom.is_definite_miss(0)  # saturated slots stay maybe
+        assert bloom.saturated_slots >= 1
+
+    def test_flush(self):
+        bloom = BloomMissFilter(8, 2)
+        bloom.on_place(5)
+        bloom.on_flush()
+        assert bloom.is_definite_miss(5)
+
+    def test_more_hashes_more_discrimination(self):
+        rng = random.Random(0)
+        placed = [rng.randrange(1 << 24) for _ in range(64)]
+        probes = [rng.randrange(1 << 24) for _ in range(2000)]
+        flagged = {}
+        for hashes in (1, 3):
+            bloom = BloomMissFilter(9, hashes)
+            for addr in placed:
+                bloom.on_place(addr)
+            flagged[hashes] = sum(bloom.is_definite_miss(p) for p in probes)
+        assert flagged[3] >= flagged[1]
+
+    def test_naming_and_storage(self):
+        bloom = BloomMissFilter(10, 3)
+        assert bloom.name == "BLOOM_10x3"
+        assert bloom.storage_bits == 1024 * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomMissFilter(0)
+        with pytest.raises(ValueError):
+            BloomMissFilter(8, 0)
+        with pytest.raises(ValueError):
+            BloomMissFilter(8, 9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=0x3FFF), min_size=5,
+                    max_size=300))
+    def test_soundness_against_real_cache(self, addresses):
+        cache = Cache(CacheConfig(name="c", level=2, size_bytes=256,
+                                  associativity=2, block_size=16,
+                                  hit_latency=1))
+        bloom = BloomMissFilter(6, 2)
+        cache.add_place_listener(lambda c, blk: bloom.on_place(blk))
+        cache.add_replace_listener(lambda c, blk: bloom.on_replace(blk))
+        for address in addresses:
+            blk = cache.block_addr(address)
+            if bloom.is_definite_miss(blk):
+                assert not cache.contains_block(blk)
+            if not cache.probe(address):
+                cache.fill(address)
+
+
+class TestBloomDesign:
+    def test_design_builds_and_is_sound(self):
+        rng = random.Random(1)
+        hierarchy = CacheHierarchy(small_hierarchy_config(3))
+        machine = MostlyNoMachine(hierarchy, bloom_design(8, 2))
+        assert machine.design.name == "BLOOM_8x2"
+        for address, kind in random_references(rng, 1500, span=1 << 14):
+            bits = machine.query(address, kind)
+            outcome = hierarchy.access(address, kind)
+            supplier = outcome.supplier
+            if supplier is not None and supplier >= 2:
+                assert not bits[supplier - 1]

@@ -1,0 +1,162 @@
+"""Tests for the Common-Address MNM."""
+
+import pytest
+
+from repro.core.cmnm import CMNM, VirtualTagFinder
+
+
+class TestVirtualTagFinder:
+    def test_allocates_free_registers_exactly(self):
+        finder = VirtualTagFinder(num_registers=2, high_bits=8)
+        assert finder.place(0xAB) == 0
+        assert finder.place(0xCD) == 1
+        assert finder.matching(0xAB) == [0]
+        assert finder.matching(0xCD) == [1]
+        assert finder.matching(0xEF) == []
+
+    def test_repeat_place_reuses_register(self):
+        finder = VirtualTagFinder(2, 8)
+        first = finder.place(0xAB)
+        assert finder.place(0xAB) == first
+
+    def test_widening_on_overflow(self):
+        finder = VirtualTagFinder(1, 8)
+        finder.place(0b10000000)
+        index = finder.place(0b10000001)  # forces mask widening
+        assert index == 0
+        assert finder.registers[0].mask_len >= 1
+        # both now match the widened register
+        assert finder.matching(0b10000000) == [0]
+        assert finder.matching(0b10000001) == [0]
+
+    def test_losers_restore_masks(self):
+        finder = VirtualTagFinder(2, 8)
+        finder.place(0b00000000)   # register 0
+        finder.place(0b11110000)   # register 1
+        # widen: 0b00000001 is 1 bit from register 0, far from register 1
+        winner = finder.place(0b00000001)
+        assert winner == 0
+        assert finder.registers[1].mask_len == 0  # loser restored
+
+    def test_match_set_only_grows(self):
+        """A high value that matched once keeps matching forever (the
+        property CMNM soundness rests on)."""
+        finder = VirtualTagFinder(2, 10)
+        placed = []
+        values = [0b0000000001, 0b0000000011, 0b1111100000, 0b0000000111,
+                  0b1111100001, 0b0101010101]
+        for value in values:
+            finder.place(value)
+            placed.append(value)
+            for old in placed:
+                assert finder.matching(old), f"{old:b} stopped matching"
+
+    def test_values_never_change(self):
+        finder = VirtualTagFinder(2, 8)
+        finder.place(0xA0)
+        finder.place(0xB0)
+        original = [r.value for r in finder.registers]
+        for value in (0xA1, 0xB3, 0xFF, 0x00):
+            finder.place(value)
+        assert [r.value for r in finder.registers] == original
+
+    def test_full_mask_matches_everything(self):
+        finder = VirtualTagFinder(1, 4)
+        finder.place(0b0000)
+        finder.place(0b1111)  # widen to full width
+        assert finder.registers[0].mask_len >= 4
+        for value in range(16):
+            assert finder.matching(value) == [0]
+
+    def test_reset(self):
+        finder = VirtualTagFinder(2, 8)
+        finder.place(0xAB)
+        finder.reset()
+        assert finder.matching(0xAB) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VirtualTagFinder(0, 8)
+        with pytest.raises(ValueError):
+            VirtualTagFinder(2, 0)
+
+
+class TestCMNM:
+    def test_paper_naming(self):
+        assert CMNM(8, 12).name == "CMNM_8_12"
+
+    def test_unknown_region_is_definite_miss(self):
+        cmnm = CMNM(4, 10, address_bits=27)
+        assert cmnm.is_definite_miss(0x4000123)
+
+    def test_placed_block_never_flagged(self):
+        cmnm = CMNM(4, 10, address_bits=27)
+        addresses = [0x123, 0x400123, 0x800123, 0xC00123, 0x1000123]
+        for address in addresses:
+            cmnm.on_place(address)
+            assert not cmnm.is_definite_miss(address)
+        for address in addresses:
+            assert not cmnm.is_definite_miss(address)
+
+    def test_same_region_different_low_bits(self):
+        cmnm = CMNM(4, 10, address_bits=27)
+        cmnm.on_place(0x123)
+        # same high part, different low bits: counter slot is zero
+        assert cmnm.is_definite_miss(0x124)
+
+    def test_replace_restores_miss(self):
+        cmnm = CMNM(4, 10, address_bits=27)
+        cmnm.on_place(0x123)
+        cmnm.on_replace(0x123)
+        assert cmnm.is_definite_miss(0x123)
+
+    def test_replace_of_unknown_block_is_noop(self):
+        cmnm = CMNM(4, 10, address_bits=27)
+        cmnm.on_replace(0x999)  # never placed: ignore, stay sound
+        cmnm.on_place(0x999)
+        assert not cmnm.is_definite_miss(0x999)
+
+    def test_decrement_hits_placement_register(self):
+        """The ledger guarantees replace decrements the same counter the
+        place incremented, even after register masks widened."""
+        cmnm = CMNM(2, 4, address_bits=12)
+        # two blocks with the same low bits in different regions
+        block_a = (0b00000001 << 4) | 0x5
+        block_b = (0b11110000 << 4) | 0x5
+        cmnm.on_place(block_a)
+        cmnm.on_place(block_b)
+        # force widening so both regions could alias
+        for bump in range(2, 6):
+            cmnm.on_place(((0b00000001 ^ (1 << bump)) << 4) | 0x5)
+        cmnm.on_replace(block_a)
+        # block_b must still be protected
+        assert not cmnm.is_definite_miss(block_b)
+
+    def test_lookup_conservative_across_matching_registers(self):
+        """When several registers match, a miss needs all their counters
+        to be zero."""
+        cmnm = CMNM(2, 4, address_bits=10)
+        cmnm.on_place(0b000001_0101)
+        cmnm.on_place(0b100000_0101)
+        # widen register 0 to cover more of the region space
+        cmnm.on_place(0b000011_0101)
+        probe = 0b000001_0101
+        assert not cmnm.is_definite_miss(probe)
+
+    def test_flush(self):
+        cmnm = CMNM(4, 10, address_bits=27)
+        cmnm.on_place(0x123)
+        cmnm.on_flush()
+        assert cmnm.is_definite_miss(0x123)
+        cmnm.on_place(0x123)
+        assert not cmnm.is_definite_miss(0x123)
+
+    def test_storage_bits(self):
+        cmnm = CMNM(8, 12, address_bits=27)
+        assert cmnm.storage_bits > 8 * (1 << 12) * 3  # tables + finder
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CMNM(4, 0)
+        with pytest.raises(ValueError):
+            CMNM(4, 10, address_bits=10)

@@ -1,0 +1,114 @@
+"""Tests for the distributed MNM placement (Section 2's third option)."""
+
+import pytest
+
+from repro.analysis.timing import AccessTimingModel
+from repro.cache.cache import AccessKind
+from repro.cache.hierarchy import AccessOutcome, CacheHierarchy
+from repro.core.base import Placement
+from repro.core.machine import MostlyNoMachine
+from repro.core.presets import hmnm_design, perfect_design, tmnm_design
+from repro.power.energy import EnergyAccountant, HierarchyEnergyModel
+from repro.power.mnm_power import (
+    machine_level_query_energies_nj,
+    machine_query_energy_nj,
+)
+from tests.conftest import small_hierarchy_config
+
+CONFIG = small_hierarchy_config(3)  # latencies 1/4/8, memory 100
+
+
+def outcome(supplier):
+    hits = [False, False, False]
+    if supplier is not None:
+        hits[supplier - 1] = True
+    return AccessOutcome(address=0, kind=AccessKind.LOAD, hits=tuple(hits),
+                         supplier=supplier)
+
+
+class TestDistributedTiming:
+    def setup_method(self):
+        self.model = AccessTimingModel(
+            CONFIG, placement=Placement.DISTRIBUTED, mnm_delay=2)
+
+    def test_l1_hit_pays_nothing(self):
+        assert self.model.latency(outcome(1), (False,) * 3) == 1
+
+    def test_one_consult_per_reached_level(self):
+        # supplier L2: consult once before L2 probe
+        assert self.model.latency(outcome(2), (False,) * 3) == 1 + 2 + 4
+        # supplier L3: consults before L2 and L3
+        assert self.model.latency(outcome(3), (False,) * 3) == 1 + 2 + 4 + 2 + 8
+
+    def test_memory_supply_consults_every_tracked_tier(self):
+        assert self.model.latency(outcome(None), (False,) * 3) == (
+            1 + 2 + 4 + 2 + 8 + 100
+        )
+
+    def test_bypass_saves_probe_but_not_consult(self):
+        # L3 supplier with L2 bypassed: L2 consult still paid
+        assert self.model.latency(outcome(3), (False, True, False)) == (
+            1 + 2 + 2 + 8
+        )
+
+    def test_distributed_slower_than_serial(self):
+        serial = AccessTimingModel(CONFIG, placement=Placement.SERIAL,
+                                   mnm_delay=2)
+        bits = (False, False, False)
+        deep = outcome(None)
+        assert (self.model.latency(deep, bits)
+                > serial.latency(deep, bits))
+
+
+class TestDistributedEnergy:
+    def setup_method(self):
+        self.energy_model = HierarchyEnergyModel(CONFIG)
+        self.levels = (0.0, 0.3, 0.5)
+
+    def accountant(self, placement):
+        return EnergyAccountant(
+            self.energy_model, placement=placement, mnm_query_nj=1.0,
+            mnm_update_nj=0.0, mnm_level_query_nj=self.levels)
+
+    def test_l1_hit_free(self):
+        accountant = self.accountant(Placement.DISTRIBUTED)
+        accountant.account(outcome(1), (False,) * 3)
+        assert accountant.totals.mnm_nj == 0.0
+
+    def test_only_reached_levels_pay(self):
+        accountant = self.accountant(Placement.DISTRIBUTED)
+        accountant.account(outcome(2), (False,) * 3)
+        assert accountant.totals.mnm_nj == pytest.approx(0.3)
+        accountant.account(outcome(None), (False,) * 3)
+        assert accountant.totals.mnm_nj == pytest.approx(0.3 + 0.3 + 0.5)
+
+    def test_distributed_cheapest_on_shallow_misses(self):
+        serial = self.accountant(Placement.SERIAL)
+        distributed = self.accountant(Placement.DISTRIBUTED)
+        shallow = outcome(2)
+        serial.account(shallow, (False,) * 3)
+        distributed.account(shallow, (False,) * 3)
+        assert distributed.totals.mnm_nj < serial.totals.mnm_nj
+
+
+class TestLevelQueryEnergies:
+    def test_tier1_always_zero(self):
+        machine = MostlyNoMachine(CacheHierarchy(CONFIG), hmnm_design(2))
+        energies = machine_level_query_energies_nj(machine)
+        assert energies[0] == 0.0
+        assert all(e > 0.0 for e in energies[1:])
+
+    def test_sum_close_to_full_query(self):
+        machine = MostlyNoMachine(CacheHierarchy(CONFIG), hmnm_design(2))
+        energies = machine_level_query_energies_nj(machine)
+        assert sum(energies) == pytest.approx(
+            machine_query_energy_nj(machine), rel=1e-6)
+
+    def test_perfect_free(self):
+        machine = MostlyNoMachine(CacheHierarchy(CONFIG), perfect_design())
+        assert machine_level_query_energies_nj(machine) == (0.0, 0.0, 0.0)
+
+    def test_design_with_placement_distributed(self):
+        design = tmnm_design(8, 1).with_placement(Placement.DISTRIBUTED)
+        machine = MostlyNoMachine(CacheHierarchy(CONFIG), design)
+        assert machine.placement is Placement.DISTRIBUTED

@@ -1,0 +1,130 @@
+"""Tests for the design catalogue and name parsing."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.base import Placement
+from repro.core.cmnm import CMNM
+from repro.core.hybrid import CompositeFilter
+from repro.core.machine import MostlyNoMachine
+from repro.core.presets import (
+    all_paper_design_names,
+    cmnm_design,
+    figure10_designs,
+    figure11_designs,
+    figure12_designs,
+    figure13_designs,
+    figure14_designs,
+    figure15_designs,
+    hmnm_design,
+    null_design,
+    parse_design,
+    perfect_design,
+    rmnm_design,
+    smnm_design,
+    tmnm_design,
+)
+from repro.core.smnm import SMNM
+from repro.core.tmnm import TMNM
+from tests.conftest import small_hierarchy_config
+
+
+class TestParseDesign:
+    @pytest.mark.parametrize("name", [
+        "RMNM_128_1", "RMNM_4096_8", "SMNM_10x2", "SMNM_20x3", "TMNM_10x1",
+        "TMNM_12x3", "CMNM_2_9", "CMNM_8_12", "HMNM1", "HMNM4", "PERFECT",
+        "NONE",
+    ])
+    def test_round_trips_paper_names(self, name):
+        design = parse_design(name)
+        expected = {"NONE": "NONE"}.get(name, name)
+        assert design.name == expected
+
+    def test_case_insensitive(self):
+        assert parse_design("hmnm2").name == "HMNM2"
+        assert parse_design("tmnm_12x3").name == "TMNM_12x3"
+
+    def test_counting_smnm_suffix(self):
+        design = parse_design("SMNM_10x2c")
+        assert design.name == "SMNM_10x2c"
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unrecognised"):
+            parse_design("XMNM_1")
+        with pytest.raises(ValueError):
+            parse_design("HMNM9")
+
+    def test_all_paper_names_parse(self):
+        for name in all_paper_design_names():
+            assert parse_design(name).name == name
+
+
+class TestFigureLineups:
+    def test_figure10_geometries(self):
+        names = [d.name for d in figure10_designs()]
+        assert names == ["RMNM_128_1", "RMNM_512_2", "RMNM_2048_4",
+                         "RMNM_4096_8"]
+
+    def test_figure11_configs(self):
+        names = [d.name for d in figure11_designs()]
+        assert names == ["SMNM_10x2", "SMNM_13x2", "SMNM_15x2", "SMNM_20x3"]
+
+    def test_figure12_configs(self):
+        names = [d.name for d in figure12_designs()]
+        assert names == ["TMNM_10x1", "TMNM_11x2", "TMNM_10x3", "TMNM_12x3"]
+
+    def test_figure13_configs(self):
+        names = [d.name for d in figure13_designs()]
+        assert names == ["CMNM_2_9", "CMNM_4_10", "CMNM_8_10", "CMNM_8_12"]
+
+    def test_figure14_configs(self):
+        names = [d.name for d in figure14_designs()]
+        assert names == ["HMNM1", "HMNM2", "HMNM3", "HMNM4"]
+
+    def test_figure15_lineup(self):
+        names = [d.name for d in figure15_designs()]
+        assert names == ["TMNM_12x3", "CMNM_8_10", "HMNM2", "HMNM4",
+                         "PERFECT"]
+
+
+class TestHMNMRecipes:
+    """Table 3 of the paper."""
+
+    @pytest.mark.parametrize("variant,rmnm", [
+        (1, (128, 1)), (2, (512, 2)), (3, (2048, 4)), (4, (4096, 8)),
+    ])
+    def test_rmnm_geometry(self, variant, rmnm):
+        assert hmnm_design(variant).rmnm_geometry == rmnm
+
+    def test_level_recipes_build_expected_components(self):
+        machine = MostlyNoMachine(
+            CacheHierarchy(small_hierarchy_config(4)), hmnm_design(4)
+        )
+        low = machine.filter_for("ul2")
+        assert isinstance(low, CompositeFilter)
+        types_low = {type(c) for c in low.components}
+        assert SMNM in types_low and TMNM in types_low
+        high = machine.filter_for("ul4")
+        types_high = {type(c) for c in high.components}
+        assert CMNM in types_high and TMNM in types_high
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            hmnm_design(5)
+
+
+class TestDesignBuilders:
+    def test_null_design_is_inactive(self):
+        design = null_design()
+        assert not design.perfect
+        assert design.rmnm_geometry is None
+        assert not design.default_factories
+
+    def test_perfect_flag(self):
+        assert perfect_design().perfect
+
+    def test_default_placement_parallel(self):
+        for design in (rmnm_design(128, 1), smnm_design(10, 2),
+                       tmnm_design(10, 1), cmnm_design(2, 9)):
+            assert design.placement is Placement.PARALLEL
+            assert design.delay == 2

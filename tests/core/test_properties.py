@@ -1,0 +1,137 @@
+"""Deeper property-based tests on core data structures (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.core.cmnm import VirtualTagFinder
+from repro.core.smnm import SumChecker, max_sum
+from repro.core.tmnm import COUNTER_MAX, CounterTable, TMNM
+
+
+addresses = st.lists(st.integers(min_value=0, max_value=(1 << 20) - 1),
+                     min_size=1, max_size=200)
+
+
+class TestCounterTableProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(addresses)
+    def test_exact_below_saturation(self, placed):
+        """A never-saturated counter equals the live multiset count."""
+        table = CounterTable(index_bits=8)
+        live = {}
+        for address in placed:
+            table.on_place(address)
+            live[address & 0xFF] = live.get(address & 0xFF, 0) + 1
+        for slot_addr, count in live.items():
+            observed = table.count(slot_addr)
+            if count < COUNTER_MAX:
+                assert observed == count
+            else:
+                assert observed == COUNTER_MAX
+
+    @settings(max_examples=40, deadline=None)
+    @given(addresses)
+    def test_zero_only_when_slot_empty(self, placed):
+        table = CounterTable(index_bits=8)
+        for address in placed:
+            table.on_place(address)
+        for address in placed:
+            assert not table.is_definite_miss(address)
+
+    @settings(max_examples=30, deadline=None)
+    @given(addresses, addresses)
+    def test_wider_table_dominates_at_same_offset(self, placed, probes):
+        """A 10-bit table's zero slot implies the 8-bit table could only
+        have a zero-or-greater count — coverage dominance used by the
+        benchmark assertions."""
+        narrow = CounterTable(index_bits=8)
+        wide = CounterTable(index_bits=10)
+        for address in placed:
+            narrow.on_place(address)
+            wide.on_place(address)
+        for probe in probes:
+            if narrow.is_definite_miss(probe):
+                assert wide.is_definite_miss(probe)
+
+    @settings(max_examples=30, deadline=None)
+    @given(addresses, addresses)
+    def test_more_tables_dominate(self, placed, probes):
+        """TMNM_8x3 flags everything TMNM_8x1 flags (same first table)."""
+        one = TMNM(8, 1)
+        three = TMNM(8, 3)
+        for address in placed:
+            one.on_place(address)
+            three.on_place(address)
+        for probe in probes:
+            if one.is_definite_miss(probe):
+                assert three.is_definite_miss(probe)
+
+
+class TestVirtualTagFinderProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 12) - 1),
+                    min_size=1, max_size=80),
+           st.integers(min_value=1, max_value=6))
+    def test_placed_values_always_match_afterwards(self, values, registers):
+        """The soundness keystone: once placed, a high value matches some
+        register at every later point."""
+        finder = VirtualTagFinder(registers, high_bits=12)
+        placed = []
+        for value in values:
+            finder.place(value)
+            placed.append(value)
+            for old in placed:
+                assert finder.matching(old), f"{old:#x} lost its match"
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 12) - 1),
+                    min_size=1, max_size=60))
+    def test_masks_never_shrink_for_winner(self, values):
+        finder = VirtualTagFinder(2, high_bits=12)
+        previous = [0, 0]
+        for value in values:
+            winner = finder.place(value)
+            current = [r.mask_len for r in finder.registers]
+            assert current[winner] >= previous[winner]
+            previous = current
+
+
+class TestSumCheckerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(addresses, st.integers(min_value=2, max_value=20))
+    def test_placed_never_flagged(self, placed, width):
+        checker = SumChecker(width, 0)
+        for address in placed:
+            checker.on_place(address)
+        for address in placed:
+            assert not checker.is_definite_miss(address)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=24))
+    def test_hash_range(self, width):
+        checker = SumChecker(width, 0)
+        top = (1 << width) - 1
+        assert checker._hash(top) == max_sum(width)
+        assert checker._hash(0) == 0
+
+
+class TestLRUStackProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(addresses)
+    def test_bigger_fully_associative_lru_contains_smaller(self, stream):
+        """The classic LRU inclusion property, which the 3C classifier's
+        fully-associative model depends on."""
+        small = Cache(CacheConfig(name="s", level=1, size_bytes=16 * 8,
+                                  associativity=8, block_size=16,
+                                  hit_latency=1))
+        big = Cache(CacheConfig(name="b", level=1, size_bytes=16 * 16,
+                                associativity=16, block_size=16,
+                                hit_latency=1))
+        for address in stream:
+            for cache in (small, big):
+                if not cache.probe(address):
+                    cache.fill(address)
+            for blk in small.resident_blocks():
+                assert big.contains_block(blk)

@@ -1,0 +1,144 @@
+"""Property-based soundness tests: the MNM's defining invariant.
+
+Section 3.6 of the paper: "if the MNM indicates a miss, then the block
+certainly does not exist in the cache".  Each test here drives a filter (or
+a whole machine) with randomized streams and asserts a definite-miss answer
+is never given for a resident block.  These are the most important tests in
+the suite — a single violation means bypassing would return wrong data in
+hardware.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import AccessKind, Cache, CacheConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.cmnm import CMNM
+from repro.core.hybrid import CompositeFilter
+from repro.core.machine import MostlyNoMachine
+from repro.core.perfect import PerfectFilter
+from repro.core.presets import (
+    all_paper_design_names,
+    parse_design,
+)
+from repro.core.rmnm import RMNMCache, RMNMLane
+from repro.core.smnm import SMNM
+from repro.core.tmnm import TMNM
+from tests.conftest import random_references, small_hierarchy_config
+
+
+def make_filters():
+    """One instance of every technique, all watching the same cache."""
+    rmnm = RMNMCache(64, 2, 1)
+    return [
+        RMNMLane(rmnm, 0),
+        SMNM(8, 2),
+        SMNM(8, 2, counting=True),
+        TMNM(6, 2),
+        CMNM(2, 5, address_bits=16),
+        PerfectFilter(),
+        CompositeFilter([TMNM(5, 1), CMNM(2, 4, address_bits=16),
+                         SMNM(6, 1)]),
+    ]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=0x3FFF), min_size=10,
+                max_size=400),
+       st.randoms(use_true_random=False))
+def test_filters_never_flag_resident_blocks(addresses, rnd):
+    """Drive one small cache; every filter observes its event stream; no
+    filter may ever flag a block the cache holds."""
+    cache = Cache(CacheConfig(name="c", level=2, size_bytes=256,
+                              associativity=2, block_size=16, hit_latency=1))
+    filters = make_filters()
+    for filter_ in filters:
+        cache.add_place_listener(
+            lambda c, blk, f=filter_: f.on_place(blk))
+        cache.add_replace_listener(
+            lambda c, blk, f=filter_: f.on_replace(blk))
+
+    for address in addresses:
+        blk = cache.block_addr(address)
+        for filter_ in filters:
+            if filter_.is_definite_miss(blk):
+                assert not cache.contains_block(blk), (
+                    f"{filter_.name} flagged resident block {blk:#x}"
+                )
+        if not cache.probe(address):
+            cache.fill(address, dirty=rnd.random() < 0.3)
+
+    # final state check over every resident block
+    for blk in cache.resident_blocks():
+        for filter_ in filters:
+            assert not filter_.is_definite_miss(blk), filter_.name
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=0x3FFF), min_size=10,
+                max_size=400))
+def test_perfect_filter_is_exact(addresses):
+    """The oracle must mirror the cache exactly in both directions."""
+    cache = Cache(CacheConfig(name="c", level=2, size_bytes=256,
+                              associativity=2, block_size=16, hit_latency=1))
+    perfect = PerfectFilter()
+    cache.add_place_listener(lambda c, blk: perfect.on_place(blk))
+    cache.add_replace_listener(lambda c, blk: perfect.on_replace(blk))
+    for address in addresses:
+        if not cache.probe(address):
+            cache.fill(address)
+    assert perfect.resident_granules == set(cache.resident_blocks())
+
+
+@pytest.mark.parametrize("design_name", all_paper_design_names())
+def test_machine_soundness_for_every_paper_design(design_name):
+    """End-to-end: every configuration in Figures 10-14 stays one-sided on
+    a mixed random reference stream over a 3-tier hierarchy."""
+    rng = random.Random(hash(design_name) & 0xFFFF)
+    hierarchy = CacheHierarchy(small_hierarchy_config(3))
+    machine = MostlyNoMachine(hierarchy, parse_design(design_name))
+    for address, kind in random_references(rng, 3000, span=1 << 15):
+        bits = machine.query(address, kind)
+        outcome = hierarchy.access(address, kind)
+        supplier = outcome.supplier
+        if supplier is not None and supplier >= 2:
+            assert not bits[supplier - 1], (
+                f"{design_name} flagged the supplying tier {supplier} "
+                f"for {address:#x}"
+            )
+
+
+def test_machine_soundness_with_flushes():
+    """Flushing mid-stream must not create false miss answers."""
+    rng = random.Random(99)
+    hierarchy = CacheHierarchy(small_hierarchy_config(3))
+    machine = MostlyNoMachine(hierarchy, parse_design("HMNM2"))
+    for step, (address, kind) in enumerate(
+        random_references(rng, 2000, span=1 << 14)
+    ):
+        if step % 500 == 499:
+            hierarchy.flush()
+            machine.flush()
+        bits = machine.query(address, kind)
+        outcome = hierarchy.access(address, kind)
+        supplier = outcome.supplier
+        if supplier is not None and supplier >= 2:
+            assert not bits[supplier - 1]
+
+
+def test_perfect_machine_identifies_every_candidate_miss():
+    """The oracle bound: 100% coverage by construction."""
+    rng = random.Random(7)
+    hierarchy = CacheHierarchy(small_hierarchy_config(3))
+    machine = MostlyNoMachine(hierarchy, parse_design("PERFECT"))
+    candidates = identified = 0
+    for address, kind in random_references(rng, 3000, span=1 << 15):
+        bits = machine.query(address, kind)
+        outcome = hierarchy.access(address, kind)
+        for tier in range(2, outcome.tiers_missed + 1):
+            candidates += 1
+            identified += bits[tier - 1]
+    assert candidates > 0
+    assert identified == candidates

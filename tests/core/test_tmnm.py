@@ -1,0 +1,123 @@
+"""Tests for the Table MNM."""
+
+import pytest
+
+from repro.core.tmnm import COUNTER_BITS, COUNTER_MAX, CounterTable, TMNM
+
+
+class TestCounterTable:
+    def test_zero_counter_proves_miss(self):
+        table = CounterTable(index_bits=6)
+        assert table.is_definite_miss(5)
+        table.on_place(5)
+        assert not table.is_definite_miss(5)
+
+    def test_place_replace_round_trip(self):
+        table = CounterTable(6)
+        table.on_place(5)
+        table.on_replace(5)
+        assert table.is_definite_miss(5)
+
+    def test_aliasing_addresses_share_slot(self):
+        table = CounterTable(6)
+        table.on_place(5)
+        assert not table.is_definite_miss(5 + 64)   # same low 6 bits
+        assert table.is_definite_miss(6)
+
+    def test_counter_exact_below_saturation(self):
+        table = CounterTable(6)
+        for _ in range(3):
+            table.on_place(5)
+        assert table.count(5) == 3
+        for _ in range(3):
+            table.on_replace(5)
+        assert table.is_definite_miss(5)
+
+    def test_saturation_is_sticky(self):
+        """Section 3.3: a saturated counter means 'maybe' until a flush."""
+        table = CounterTable(6)
+        for _ in range(COUNTER_MAX + 5):
+            table.on_place(5)
+        assert table.count(5) == COUNTER_MAX
+        for _ in range(COUNTER_MAX + 5):
+            table.on_replace(5)
+        assert table.count(5) == COUNTER_MAX  # sticky
+        assert not table.is_definite_miss(5)
+        assert table.saturated_slots == 1
+
+    def test_flush_resets_saturation(self):
+        table = CounterTable(6)
+        for _ in range(COUNTER_MAX + 1):
+            table.on_place(5)
+        table.reset()
+        assert table.count(5) == 0
+        assert table.is_definite_miss(5)
+
+    def test_underflow_defended(self):
+        table = CounterTable(6)
+        table.on_replace(5)  # inconsistent stream: stay at zero
+        assert table.count(5) == 0
+
+    def test_bit_offset(self):
+        table = CounterTable(4, bit_offset=8)
+        table.on_place(0x300)
+        assert not table.is_definite_miss(0x3FF)  # same bits 8..11
+        assert table.is_definite_miss(0x400)
+
+    def test_storage_bits(self):
+        assert CounterTable(10).storage_bits == 1024 * COUNTER_BITS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CounterTable(0)
+        with pytest.raises(ValueError):
+            CounterTable(4, bit_offset=-1)
+        with pytest.raises(ValueError):
+            CounterTable(4, counter_bits=0)
+
+
+class TestTMNM:
+    def test_paper_naming(self):
+        assert TMNM(12, 3).name == "TMNM_12x3"
+
+    def test_multiple_tables_increase_discrimination(self):
+        """The paper observes TMNM_10x3 beats the bigger TMNM_11x2: tables
+        over different slices jointly reject more aliases."""
+        single = TMNM(6, 1)
+        double = TMNM(6, 2)
+        for address in (0x111, 0x765, 0xABC):
+            single.on_place(address)
+            double.on_place(address)
+        probes = range(0, 1 << 12, 7)
+        single_flags = sum(single.is_definite_miss(p) for p in probes)
+        double_flags = sum(double.is_definite_miss(p) for p in probes)
+        assert double_flags >= single_flags
+
+    def test_placed_never_flagged(self):
+        tmnm = TMNM(10, 3)
+        addresses = [0, 1, 0x3FF, 0x12345, 0xFFFFFF]
+        for address in addresses:
+            tmnm.on_place(address)
+        for address in addresses:
+            assert not tmnm.is_definite_miss(address)
+
+    def test_replace_restores_miss(self):
+        tmnm = TMNM(10, 2)
+        tmnm.on_place(0x123)
+        tmnm.on_replace(0x123)
+        assert tmnm.is_definite_miss(0x123)
+
+    def test_flush(self):
+        tmnm = TMNM(10, 2)
+        tmnm.on_place(0x123)
+        tmnm.on_flush()
+        assert tmnm.is_definite_miss(0x123)
+
+    def test_storage_bits_sum_tables(self):
+        assert TMNM(10, 3).storage_bits == 3 * 1024 * COUNTER_BITS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TMNM(10, 0)
+        with pytest.raises(ValueError):
+            TMNM(10, 2, offsets=[0, 1, 2])

@@ -1,0 +1,106 @@
+"""Tests for the MRU way-prediction baseline."""
+
+import random
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.core.waypred import (
+    MRUWayPredictor,
+    WayPredictionMeter,
+    WayPredictionStats,
+)
+
+
+def make_meter(assoc=4):
+    return WayPredictionMeter(CacheConfig(
+        name="l2", level=2, size_bytes=1024, associativity=assoc,
+        block_size=32, hit_latency=4,
+    ))
+
+
+class TestMRUWayPredictor:
+    def test_initial_prediction_is_way_zero(self):
+        predictor = MRUWayPredictor(4, 2)
+        assert predictor.predict(0) == 0
+
+    def test_update_changes_prediction(self):
+        predictor = MRUWayPredictor(4, 2)
+        predictor.update(1, 1)
+        assert predictor.predict(1) == 1
+        assert predictor.predict(0) == 0  # other sets untouched
+
+    def test_reset(self):
+        predictor = MRUWayPredictor(4, 2)
+        predictor.update(0, 1)
+        predictor.reset()
+        assert predictor.predict(0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MRUWayPredictor(0, 2)
+
+
+class TestWayPredictionMeter:
+    def test_rejects_direct_mapped(self):
+        with pytest.raises(ValueError, match="set-associative"):
+            WayPredictionMeter(CacheConfig(
+                name="dm", level=1, size_bytes=1024, associativity=1,
+                block_size=32, hit_latency=2,
+            ))
+
+    def test_repeated_access_predicts_perfectly(self):
+        meter = make_meter()
+        meter.access(0x1000)          # miss, trains predictor
+        for _ in range(10):
+            assert meter.access(0x1000)
+        assert meter.stats.accuracy == 1.0
+
+    def test_alternating_blocks_mispredict(self):
+        meter = make_meter()
+        # two blocks in the same set, alternating: MRU always wrong
+        a, b = 0x1000, 0x1000 + 1024  # same set (8 sets * 32B span = 256)
+        cache = meter.cache
+        assert cache.set_index(cache.block_addr(a)) == cache.set_index(
+            cache.block_addr(b))
+        meter.access(a)
+        meter.access(b)
+        for _ in range(10):
+            meter.access(a)
+            meter.access(b)
+        assert meter.stats.accuracy < 0.2
+
+    def test_energy_ratio_below_one_on_hit_streams(self):
+        meter = make_meter()
+        for _ in range(50):
+            meter.access(0x2000)
+        assert meter.stats.read_energy_ratio < 0.5
+
+    def test_energy_ratio_one_on_pure_misses(self):
+        meter = make_meter()
+        rng = random.Random(0)
+        for _ in range(200):
+            meter.access(rng.randrange(1 << 24) & ~7)
+        # nearly all misses: no saving possible
+        assert meter.stats.read_energy_ratio > 0.9
+
+    def test_stats_consistency(self):
+        meter = make_meter()
+        rng = random.Random(1)
+        for _ in range(500):
+            meter.access(rng.randrange(1 << 13) & ~7)
+        stats = meter.stats
+        assert stats.correct <= stats.hits <= stats.probes
+        assert stats.ways_read <= stats.ways_read_baseline + stats.probes
+
+    def test_reset(self):
+        meter = make_meter()
+        meter.access(0x1000)
+        meter.reset()
+        assert meter.stats.probes == 0
+        assert not meter.access(0x1000)  # cold again
+
+    def test_empty_stats(self):
+        stats = WayPredictionStats()
+        assert stats.accuracy == 0.0
+        assert stats.read_energy_ratio == 1.0

@@ -1,0 +1,99 @@
+"""Tests for branch predictors."""
+
+import pytest
+
+from repro.cpu.branch import (
+    BimodalPredictor,
+    GSharePredictor,
+    StaticTakenPredictor,
+)
+
+
+class TestStaticTaken:
+    def test_always_taken(self):
+        predictor = StaticTakenPredictor()
+        assert predictor.predict(0x1000)
+        predictor.update(0x1000, False)
+        assert predictor.predict(0x1000)
+
+
+class TestBimodal:
+    def test_initial_weakly_taken(self):
+        assert BimodalPredictor().predict(0x1000)
+
+    def test_learns_not_taken(self):
+        predictor = BimodalPredictor()
+        predictor.update(0x1000, False)
+        predictor.update(0x1000, False)
+        assert not predictor.predict(0x1000)
+
+    def test_hysteresis(self):
+        predictor = BimodalPredictor()
+        for _ in range(10):
+            predictor.update(0x1000, True)   # saturate taken
+        predictor.update(0x1000, False)      # single flip
+        assert predictor.predict(0x1000)     # still predicts taken
+
+    def test_different_pcs_independent(self):
+        predictor = BimodalPredictor()
+        predictor.update(0x1000, False)
+        predictor.update(0x1000, False)
+        assert predictor.predict(0x1000 + 4 * predictor.table_size // 2)
+
+    def test_aliasing_pcs_share_counter(self):
+        predictor = BimodalPredictor(table_size=16)
+        alias = 0x1000 + 16 * 4
+        predictor.update(0x1000, False)
+        predictor.update(0x1000, False)
+        assert not predictor.predict(alias)
+
+    def test_reset(self):
+        predictor = BimodalPredictor()
+        predictor.update(0x1000, False)
+        predictor.update(0x1000, False)
+        predictor.reset()
+        assert predictor.predict(0x1000)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(table_size=100)
+
+    def test_loop_accuracy(self):
+        """A loop branch (N-1 taken, 1 not) should be predicted well."""
+        predictor = BimodalPredictor()
+        correct = total = 0
+        for _ in range(50):
+            for iteration in range(10):
+                taken = iteration != 9
+                correct += predictor.predict(0x4000) == taken
+                total += 1
+                predictor.update(0x4000, taken)
+        assert correct / total > 0.85
+
+
+class TestGShare:
+    def test_learns_history_patterns(self):
+        """gshare learns an alternating pattern bimodal cannot."""
+        gshare = GSharePredictor(table_bits=10, history_bits=8)
+        outcome = True
+        for _ in range(200):  # train alternating T/N
+            gshare.update(0x1000, outcome)
+            outcome = not outcome
+        correct = 0
+        for _ in range(100):
+            correct += gshare.predict(0x1000) == outcome
+            gshare.update(0x1000, outcome)
+            outcome = not outcome
+        assert correct > 90
+
+    def test_reset(self):
+        gshare = GSharePredictor()
+        gshare.update(0x1000, False)
+        gshare.reset()
+        assert gshare.predict(0x1000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GSharePredictor(table_bits=0)
+        with pytest.raises(ValueError):
+            GSharePredictor(history_bits=-1)

@@ -1,0 +1,116 @@
+"""Additional core-model tests: frontend behaviour and timing precision."""
+
+import pytest
+
+from repro.cpu.branch import PerfectPredictor, StaticTakenPredictor
+from repro.cpu.core import CoreConfig, DEFAULT_UNITS_8WAY, OutOfOrderCore, paper_core
+from repro.cpu.isa import Instruction, OpClass
+from repro.cpu.memory import FixedLatencyMemory
+
+
+def ialu(pc, dest=-1, src1=-1):
+    return Instruction(op=OpClass.IALU, pc=pc, dest=dest, src1=src1)
+
+
+def straight_line(count, base=0x1000):
+    return [ialu(base + 4 * i) for i in range(count)]
+
+
+def custom_core(**overrides):
+    base = dict(name="custom", width=8, ruu_size=128, lsq_size=64,
+                units=dict(DEFAULT_UNITS_8WAY))
+    base.update(overrides)
+    return CoreConfig(**base)
+
+
+class _MissyICache(FixedLatencyMemory):
+    """Reports a 2-cycle pipelined L1I but serves fetches slower — i.e.
+    every line misses L1I (the stall path the real memory produces)."""
+
+    def __init__(self, fetch_latency):
+        super().__init__(instruction_latency=2, data_latency=2)
+        self._fetch_latency = fetch_latency
+
+    def access(self, address, kind):
+        latency = super().access(address, kind)
+        from repro.cache.cache import AccessKind
+
+        if kind is AccessKind.INSTRUCTION:
+            return self._fetch_latency
+        return latency
+
+
+class TestFrontend:
+    def test_icache_stall_beyond_l1_latency(self):
+        """Lines costing more than the pipelined L1I latency stall fetch."""
+        fast, _ = self._run(_MissyICache(2))
+        slow, _ = self._run(_MissyICache(12))
+        # 125 lines at +10 extra cycles each, partly overlapped with the
+        # fetch group advancing within a stalled line
+        assert slow.cycles >= fast.cycles + 125 * 8
+
+    @staticmethod
+    def _run(memory):
+        core = OutOfOrderCore(paper_core(8), memory, PerfectPredictor())
+        return core.run(straight_line(1000)), memory
+
+    def test_frontend_depth_shifts_total(self):
+        shallow_core = OutOfOrderCore(custom_core(frontend_depth=1),
+                                      FixedLatencyMemory(2, 2),
+                                      PerfectPredictor())
+        deep_core = OutOfOrderCore(custom_core(frontend_depth=12),
+                                   FixedLatencyMemory(2, 2),
+                                   PerfectPredictor())
+        insts = straight_line(200)
+        shallow = shallow_core.run(insts)
+        deep = deep_core.run(insts)
+        # depth adds a constant pipeline fill, not a per-instruction cost
+        assert deep.cycles - shallow.cycles == pytest.approx(11, abs=3)
+
+    def test_mispredict_penalty_scales(self):
+        alternating = [
+            Instruction(op=OpClass.BRANCH, pc=0x1000, taken=i % 2 == 0,
+                        target=0x1000)
+            for i in range(400)
+        ]
+        def cycles(penalty):
+            core = OutOfOrderCore(custom_core(mispredict_penalty=penalty),
+                                  FixedLatencyMemory(2, 2),
+                                  StaticTakenPredictor())
+            return core.run(alternating).cycles
+
+        assert cycles(10) > cycles(1) + 200 * 5  # 200 mispredicts
+
+    def test_taken_branch_refetches_line(self):
+        """Each taken branch starts a new fetch line (icache access)."""
+        loop = []
+        for iteration in range(50):
+            loop.append(ialu(0x1000))
+            loop.append(Instruction(op=OpClass.BRANCH, pc=0x1004,
+                                    taken=iteration != 49, target=0x1000))
+        memory = FixedLatencyMemory(2, 2)
+        core = OutOfOrderCore(paper_core(8), memory, PerfectPredictor())
+        result = core.run(loop)
+        # one access per iteration (line re-entered after the taken branch)
+        assert memory.instruction_accesses == 50
+        assert result.fetch_lines == 50
+
+
+class TestCommitBandwidth:
+    def test_commit_width_bounds_throughput(self):
+        insts = straight_line(4000)
+        wide = OutOfOrderCore(custom_core(width=8),
+                              FixedLatencyMemory(2, 2), PerfectPredictor())
+        narrow = OutOfOrderCore(
+            custom_core(width=2, ruu_size=64, lsq_size=32),
+            FixedLatencyMemory(2, 2), PerfectPredictor())
+        assert narrow.run(insts).cycles > wide.run(insts).cycles * 3
+
+    def test_cycles_monotone_in_trace_length(self):
+        core_config = custom_core()
+        def cycles(n):
+            core = OutOfOrderCore(core_config, FixedLatencyMemory(2, 2),
+                                  PerfectPredictor())
+            return core.run(straight_line(n)).cycles
+        values = [cycles(n) for n in (100, 500, 2000)]
+        assert values == sorted(values)

@@ -1,0 +1,39 @@
+"""Tests for instruction records."""
+
+import pytest
+
+from repro.cpu.isa import NUM_REGISTERS, Instruction, OpClass
+
+
+class TestOpClass:
+    def test_memory_classification(self):
+        assert OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_memory
+        for op in (OpClass.IALU, OpClass.FMUL, OpClass.BRANCH):
+            assert not op.is_memory
+
+
+class TestInstruction:
+    def test_defaults(self):
+        inst = Instruction(op=OpClass.IALU, pc=0x1000)
+        assert inst.dest == -1
+        assert inst.src1 == -1
+        assert inst.addr == -1
+        assert not inst.taken
+
+    def test_memory_ops_require_address(self):
+        with pytest.raises(ValueError):
+            Instruction(op=OpClass.LOAD, pc=0x1000)
+        with pytest.raises(ValueError):
+            Instruction(op=OpClass.STORE, pc=0x1000)
+        Instruction(op=OpClass.LOAD, pc=0x1000, addr=0x2000)  # fine
+
+    def test_register_bounds(self):
+        with pytest.raises(ValueError):
+            Instruction(op=OpClass.IALU, pc=0, dest=NUM_REGISTERS)
+        Instruction(op=OpClass.IALU, pc=0, dest=NUM_REGISTERS - 1)
+
+    def test_frozen(self):
+        inst = Instruction(op=OpClass.IALU, pc=0x1000)
+        with pytest.raises(AttributeError):
+            inst.pc = 0x2000  # type: ignore[misc]

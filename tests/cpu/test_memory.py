@@ -1,0 +1,36 @@
+"""Tests for the memory-system interface pieces."""
+
+import pytest
+
+from repro.cache.cache import AccessKind
+from repro.cpu.memory import AccessTiming, FixedLatencyMemory
+
+
+class TestAccessTiming:
+    def test_valid(self):
+        assert AccessTiming(latency=3).latency == 3
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            AccessTiming(latency=0)
+
+
+class TestFixedLatencyMemory:
+    def test_latencies_by_kind(self):
+        memory = FixedLatencyMemory(instruction_latency=2, data_latency=7)
+        assert memory.access(0x1000, AccessKind.INSTRUCTION) == 2
+        assert memory.access(0x1000, AccessKind.LOAD) == 7
+        assert memory.access(0x1000, AccessKind.STORE) == 7
+
+    def test_counters(self):
+        memory = FixedLatencyMemory()
+        memory.access(0, AccessKind.INSTRUCTION)
+        memory.access(0, AccessKind.LOAD)
+        memory.access(0, AccessKind.STORE)
+        assert memory.instruction_accesses == 1
+        assert memory.data_accesses == 2
+
+    def test_interface_properties(self):
+        memory = FixedLatencyMemory(block_size=64)
+        assert memory.fetch_block_size == 64
+        assert memory.l1_instruction_latency == memory.instruction_latency

@@ -1,0 +1,55 @@
+"""Tests for the MSHR (outstanding-miss) limit in the core model."""
+
+from repro.cpu.branch import PerfectPredictor
+from repro.cpu.core import CoreConfig, DEFAULT_UNITS_8WAY, OutOfOrderCore, paper_core
+from repro.cpu.isa import Instruction, OpClass
+from repro.cpu.memory import FixedLatencyMemory
+
+
+def independent_loads(count, latency_addr=0x2000):
+    return [
+        Instruction(op=OpClass.LOAD, pc=0x1000, dest=8 + (i % 24),
+                    addr=latency_addr)
+        for i in range(count)
+    ]
+
+
+def core_with_mshrs(mshr_count):
+    base = paper_core(8)
+    config = CoreConfig(
+        name=f"mshr{mshr_count}", width=8, ruu_size=128, lsq_size=64,
+        units=dict(DEFAULT_UNITS_8WAY), mshr_count=mshr_count,
+    )
+    return config
+
+
+def run(mshr_count, data_latency=40, count=400):
+    memory = FixedLatencyMemory(2, data_latency)
+    core = OutOfOrderCore(core_with_mshrs(mshr_count), memory,
+                          PerfectPredictor())
+    return core.run(independent_loads(count)).cycles
+
+
+class TestMSHRLimit:
+    def test_fewer_mshrs_serialise_misses(self):
+        unlimited = run(mshr_count=0)
+        plenty = run(mshr_count=64)
+        scarce = run(mshr_count=2)
+        assert scarce > plenty
+        assert plenty <= unlimited * 1.1
+
+    def test_two_mshrs_bound_throughput(self):
+        """400 loads of latency 40 through 2 MSHRs need >= 400*40/2 cycles."""
+        cycles = run(mshr_count=2, data_latency=40, count=400)
+        assert cycles >= 400 * 40 / 2
+
+    def test_l1_hits_bypass_mshrs(self):
+        """Loads at the L1 latency never occupy MSHRs."""
+        fast = run(mshr_count=1, data_latency=2, count=400)
+        assert fast < 400 * 2  # fully pipelined despite a single MSHR
+
+    def test_zero_disables_limit(self):
+        assert run(mshr_count=0) == run(mshr_count=10_000)
+
+    def test_paper_core_default_is_bounded(self):
+        assert paper_core(8).mshr_count > 0

@@ -1,0 +1,51 @@
+"""Tests for the command-line harness."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestList:
+    def test_list_prints_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("fig02", "fig15", "table2"):
+            assert experiment_id in out
+        assert "[heavy]" in out
+
+
+class TestRun:
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "RMNM worked example" in out
+        assert "YES (matches Table 1)" in out
+
+    def test_run_with_settings(self, capsys):
+        code = main(["run", "fig10", "--instructions", "4000",
+                     "--workloads", "twolf", "--warmup-fraction", "0.25"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RMNM coverage" in out
+        assert "twolf" in out
+
+    def test_rejects_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_output_file(self, tmp_path, capsys):
+        path = tmp_path / "out.txt"
+        main(["run", "table3", "--output", str(path)])
+        capsys.readouterr()
+        assert "HMNM4" in path.read_text()
+
+
+class TestAll:
+    def test_all_skip_heavy_small(self, capsys):
+        code = main(["all", "--skip-heavy", "--instructions", "4000",
+                     "--workloads", "twolf", "--warmup-fraction", "0.25"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig02" in out
+        assert "fig14" in out
+        assert "fig15" not in out

@@ -1,0 +1,80 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments.base import ExperimentResult, ExperimentSettings
+from repro.experiments.cli import main
+from repro.experiments.report import (
+    generate_report,
+    render_markdown_report,
+)
+
+TINY = ExperimentSettings(num_instructions=4000, warmup_fraction=0.25,
+                          workloads=("twolf",))
+
+
+def demo_result():
+    return ExperimentResult(
+        experiment_id="fig13",
+        title="CMNM coverage [%]",
+        headers=["app", "CMNM_2_9", "CMNM_8_12"],
+        rows=[["twolf", 20.0, 90.0], ["Arith. Mean", 20.0, 90.0]],
+        notes="a note",
+        paper_reference="Figure 13",
+    )
+
+
+class TestRenderMarkdown:
+    def test_structure(self):
+        markdown = render_markdown_report([demo_result()], TINY)
+        assert markdown.startswith("# MNM reproduction report")
+        assert "## fig13 — CMNM coverage [%]" in markdown
+        assert "| app | CMNM_2_9 | CMNM_8_12 |" in markdown
+        assert "| twolf | 20.0 | 90.0 |" in markdown
+        assert "> a note" in markdown
+        assert "twolf" in markdown
+
+    def test_chart_included_for_known_figures(self):
+        markdown = render_markdown_report([demo_result()], TINY)
+        assert "```" in markdown
+        assert "█" in markdown
+
+    def test_charts_can_be_disabled(self):
+        markdown = render_markdown_report([demo_result()], TINY,
+                                          with_charts=False)
+        assert "█" not in markdown
+
+    def test_settings_recorded(self):
+        markdown = render_markdown_report([], TINY)
+        assert "4000 instructions" in markdown
+        assert "seed: 0" in markdown
+
+
+class TestGenerateReport:
+    def test_selected_experiments(self):
+        markdown = generate_report(TINY, experiments=["table1", "table3"])
+        assert "## table1" in markdown
+        assert "## table3" in markdown
+        assert "## fig02" not in markdown
+
+    def test_skip_heavy_drops_core_experiments(self):
+        markdown = generate_report(TINY, experiments=None, skip_heavy=True,
+                                   with_charts=False)
+        assert "## fig15" not in markdown
+        assert "## fig10" in markdown
+
+
+class TestReportCLI:
+    def test_report_command_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "out.md"
+        code = main([
+            "report", "--skip-heavy", "--instructions", "4000",
+            "--warmup-fraction", "0.25", "--workloads", "twolf",
+            "--report-out", str(path),
+        ])
+        assert code == 0
+        content = path.read_text()
+        assert content.startswith("# MNM reproduction report")
+        assert "## fig13" in content
+        out = capsys.readouterr().out
+        assert "report written" in out

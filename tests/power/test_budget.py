@@ -1,0 +1,77 @@
+"""Tests for the hardware-budget reports."""
+
+import pytest
+
+from repro.cache.presets import paper_hierarchy_5level
+from repro.core.presets import (
+    hmnm_design,
+    parse_design,
+    perfect_design,
+    smnm_design,
+    tmnm_design,
+)
+from repro.power.budget import DesignBudget, budget_table, design_budget
+from repro.experiments.cli import main
+
+
+class TestDesignBudget:
+    def test_perfect_is_free(self):
+        budget = design_budget(paper_hierarchy_5level(), perfect_design())
+        assert budget.storage_bits == 0
+        assert budget.query_nj == 0.0
+        assert budget.query_vs_l2 == 0.0
+
+    def test_hybrids_grow_with_complexity(self):
+        budgets = [design_budget(paper_hierarchy_5level(), hmnm_design(v))
+                   for v in (1, 2, 3, 4)]
+        storages = [b.storage_bits for b in budgets]
+        energies = [b.query_nj for b in budgets]
+        assert storages == sorted(storages)
+        assert energies == sorted(energies)
+
+    def test_smnm_reports_logic_area(self):
+        budget = design_budget(paper_hierarchy_5level(), smnm_design(20, 3))
+        assert budget.logic_gates > 0
+        table_only = design_budget(paper_hierarchy_5level(),
+                                   tmnm_design(12, 3))
+        assert table_only.logic_gates == 0
+
+    def test_query_cheaper_than_l2_for_all_paper_designs(self):
+        """The paper's premise: consulting the MNM costs a fraction of the
+        lookups it can save."""
+        from repro.core.presets import all_paper_design_names
+
+        for name in all_paper_design_names():
+            budget = design_budget(paper_hierarchy_5level(),
+                                   parse_design(name))
+            assert budget.query_vs_l2 < 1.0, name
+
+    def test_storage_kb(self):
+        budget = DesignBudget("x", storage_bits=8192, logic_gates=0,
+                              query_nj=0.1, update_nj=0.05, l2_probe_nj=0.5)
+        assert budget.storage_kb == 1.0
+        assert budget.query_vs_l2 == pytest.approx(0.2)
+
+
+class TestBudgetTable:
+    def test_renders_rows(self):
+        text = budget_table(paper_hierarchy_5level(),
+                            [hmnm_design(1), perfect_design()])
+        assert "HMNM1" in text
+        assert "PERFECT" in text
+        assert "query vs L2 probe" in text
+
+
+class TestDesignsCLI:
+    def test_named_designs(self, capsys):
+        assert main(["designs", "HMNM2", "PERFECT"]) == 0
+        out = capsys.readouterr().out
+        assert "HMNM2" in out
+        assert "PERFECT" in out
+
+    def test_default_lists_all_figure_configs(self, capsys):
+        assert main(["designs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("RMNM_128_1", "SMNM_20x3", "TMNM_12x3", "CMNM_8_12",
+                     "HMNM4"):
+            assert name in out

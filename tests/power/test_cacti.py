@@ -1,0 +1,91 @@
+"""Tests for the analytical energy/delay models."""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.presets import paper_hierarchy_5level
+from repro.power.cacti import (
+    cache_access_time_ns,
+    cache_read_energy_nj,
+    cache_write_energy_nj,
+    logic_energy_nj,
+    small_array_energy_nj,
+    sram_read_energy_nj,
+)
+
+
+def config(size=4096, assoc=1, block=32, ports=1):
+    return CacheConfig(name="c", level=1, size_bytes=size,
+                       associativity=assoc, block_size=block, hit_latency=2,
+                       ports=ports)
+
+
+class TestMonotonicity:
+    """The experiments only need the model to order organisations the way a
+    physical model would."""
+
+    def test_energy_grows_with_capacity(self):
+        sizes = [4096, 16384, 131072, 2 * 1024 * 1024]
+        energies = [cache_read_energy_nj(config(size=s)) for s in sizes]
+        assert energies == sorted(energies)
+        assert energies[-1] > 5 * energies[0]
+
+    def test_energy_grows_with_associativity(self):
+        assert (cache_read_energy_nj(config(assoc=8))
+                > cache_read_energy_nj(config(assoc=1)))
+
+    def test_energy_grows_with_ports(self):
+        assert (cache_read_energy_nj(config(ports=2))
+                > cache_read_energy_nj(config(ports=1)))
+
+    def test_write_costs_more_than_read(self):
+        assert cache_write_energy_nj(config()) > cache_read_energy_nj(config())
+
+    def test_access_time_grows_with_capacity(self):
+        assert (cache_access_time_ns(config(size=2 * 1024 * 1024, assoc=8))
+                > cache_access_time_ns(config(size=4096)))
+
+
+class TestCalibration:
+    def test_l1_anchor(self):
+        """~0.2-0.6 nJ for the paper's 4KB L1 (CACTI 3.1 ballpark)."""
+        energy = cache_read_energy_nj(config())
+        assert 0.1 < energy < 1.0
+
+    def test_l5_anchor(self):
+        energy = cache_read_energy_nj(
+            config(size=2 * 1024 * 1024, assoc=8, block=128))
+        assert 4.0 < energy < 20.0
+
+    def test_hierarchy_ladder_strictly_increasing(self):
+        hierarchy = paper_hierarchy_5level()
+        energies = [cache_read_energy_nj(tier.configs[-1])
+                    for tier in hierarchy.tiers]
+        assert energies == sorted(energies)
+
+
+class TestSmallStructures:
+    def test_small_array_much_cheaper_than_caches(self):
+        """MNM tables must cost well under the caches they shadow."""
+        table = small_array_energy_nj(12 * 1024 * 3)  # TMNM_12x3-ish bits
+        l2 = cache_read_energy_nj(config(size=16 * 1024, assoc=2))
+        assert table < l2 / 3
+
+    def test_small_array_zero_bits(self):
+        assert small_array_energy_nj(0) == 0.0
+
+    def test_small_array_monotone(self):
+        assert small_array_energy_nj(1 << 16) > small_array_energy_nj(1 << 8)
+
+    def test_logic_energy_linear(self):
+        assert logic_energy_nj(2000) == pytest.approx(2 * logic_energy_nj(1000))
+        assert logic_energy_nj(0) == 0.0
+        assert logic_energy_nj(-5) == 0.0
+
+    def test_sram_validation(self):
+        with pytest.raises(ValueError):
+            sram_read_energy_nj(0)
+        with pytest.raises(ValueError):
+            sram_read_energy_nj(64, associativity=0)
+        with pytest.raises(ValueError):
+            sram_read_energy_nj(64, ports=0)

@@ -1,0 +1,78 @@
+"""Tests for MNM structure energy pricing."""
+
+import pytest
+
+from repro.cache.cache import AccessKind
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.presets import paper_hierarchy_5level
+from repro.core.machine import MostlyNoMachine
+from repro.core.presets import (
+    hmnm_design,
+    null_design,
+    parse_design,
+    perfect_design,
+    rmnm_design,
+)
+from repro.power.cacti import cache_read_energy_nj
+from repro.power.mnm_power import (
+    component_lookup_nj,
+    machine_query_energy_nj,
+    machine_update_energy_nj,
+)
+
+
+def make_machine(design):
+    return MostlyNoMachine(CacheHierarchy(paper_hierarchy_5level()), design)
+
+
+class TestQueryEnergy:
+    def test_perfect_is_free(self):
+        machine = make_machine(perfect_design())
+        assert machine_query_energy_nj(machine) == 0.0
+        assert machine_update_energy_nj(machine) == 0.0
+
+    def test_null_is_free(self):
+        machine = make_machine(null_design())
+        assert machine_query_energy_nj(machine) == 0.0
+
+    def test_hybrids_grow_with_complexity(self):
+        energies = [machine_query_energy_nj(make_machine(hmnm_design(v)))
+                    for v in (1, 2, 3, 4)]
+        assert energies == sorted(energies)
+        assert energies[0] > 0.0
+
+    def test_mnm_cheaper_than_l2_probe(self):
+        """The whole point: consulting the MNM must cost less than the
+        lookups it can save (the paper's premise that MNM structures are
+        much smaller than the caches)."""
+        hierarchy = paper_hierarchy_5level()
+        l2 = hierarchy.tiers[1].configs[0]
+        for variant in (1, 2, 3, 4):
+            machine = make_machine(hmnm_design(variant))
+            assert machine_query_energy_nj(machine) < cache_read_energy_nj(l2)
+
+    def test_rmnm_counted_once(self):
+        shared_only = make_machine(rmnm_design(512, 2))
+        energy = machine_query_energy_nj(shared_only)
+        assert energy > 0.0
+        # doubling lanes (same shared structure) does not double energy:
+        # compare against a 3-level hierarchy with fewer lanes
+        assert energy < 2 * machine_query_energy_nj(shared_only)
+
+    def test_update_cheaper_than_query(self):
+        machine = make_machine(hmnm_design(4))
+        assert (machine_update_energy_nj(machine)
+                < machine_query_energy_nj(machine))
+
+
+class TestComponentPricing:
+    def test_all_components_priced(self):
+        machine = make_machine(hmnm_design(4))
+        for name in machine.tracked_cache_names():
+            assert component_lookup_nj(machine.filter_for(name)) > 0.0
+
+    def test_query_consistent_with_components(self):
+        machine = make_machine(hmnm_design(2))
+        per_level = sum(component_lookup_nj(machine.filter_for(n))
+                        for n in machine.tracked_cache_names())
+        assert machine_query_energy_nj(machine) > per_level  # + RMNM

@@ -1,0 +1,109 @@
+"""Tests for address arithmetic and block-granularity mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.addresses import (
+    ADDRESS_SPACE,
+    BlockMapper,
+    align_up,
+    block_address,
+    block_base,
+    is_power_of_two,
+    log2_exact,
+    validate_address,
+)
+
+
+class TestPowerOfTwo:
+    def test_powers_are_recognised(self):
+        for exponent in range(31):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers_are_rejected(self):
+        for value in (0, -1, 3, 6, 12, 100, 1 << 20 | 1):
+            assert not is_power_of_two(value)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(32) == 5
+        assert log2_exact(1 << 20) == 20
+
+    def test_log2_exact_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            log2_exact(48)
+        with pytest.raises(ValueError):
+            log2_exact(0)
+
+
+class TestBlockAddress:
+    def test_shifts_by_offset_bits(self):
+        # Figure 4 of the paper: 128-byte blocks shift the address 7 bits
+        assert block_address(0x1234_5680, 128) == 0x1234_5680 >> 7
+
+    def test_same_block_same_address(self):
+        assert block_address(0x1000, 32) == block_address(0x101F, 32)
+        assert block_address(0x1000, 32) != block_address(0x1020, 32)
+
+    def test_block_base_realigns(self):
+        assert block_base(0x1234_5678, 64) == 0x1234_5640
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            block_address(ADDRESS_SPACE, 32)
+        with pytest.raises(ValueError):
+            validate_address(-1)
+
+    def test_align_up(self):
+        assert align_up(0, 8) == 0
+        assert align_up(1, 8) == 8
+        assert align_up(8, 8) == 8
+        assert align_up(9, 8) == 16
+
+    def test_align_up_rejects_bad_alignment(self):
+        with pytest.raises(ValueError):
+            align_up(5, 3)
+
+
+class TestBlockMapper:
+    def test_identity_when_sizes_equal(self):
+        mapper = BlockMapper(granule=32, block_size=32)
+        assert mapper.fanout == 1
+        assert list(mapper.to_granules(7)) == [7]
+        assert mapper.to_cache_block(7) == 7
+
+    def test_fanout_for_larger_blocks(self):
+        # the paper: a 128B-block cache generates 128/32 = 4 RMNM updates
+        mapper = BlockMapper(granule=32, block_size=128)
+        assert mapper.fanout == 4
+        assert list(mapper.to_granules(3)) == [12, 13, 14, 15]
+
+    def test_round_trip(self):
+        mapper = BlockMapper(granule=32, block_size=128)
+        for cache_block in range(20):
+            for granule in mapper.to_granules(cache_block):
+                assert mapper.to_cache_block(granule) == cache_block
+
+    def test_byte_to_granule(self):
+        mapper = BlockMapper(granule=32, block_size=64)
+        assert mapper.byte_to_granule(0x40) == 2
+
+    def test_rejects_block_smaller_than_granule(self):
+        with pytest.raises(ValueError):
+            BlockMapper(granule=64, block_size=32)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            BlockMapper(granule=24, block_size=48)
+
+    @given(st.integers(min_value=0, max_value=ADDRESS_SPACE - 1),
+           st.sampled_from([32, 64, 128, 256]))
+    def test_granules_cover_block_exactly(self, address, block_size):
+        mapper = BlockMapper(granule=32, block_size=block_size)
+        cache_block = block_address(address, block_size)
+        granules = list(mapper.to_granules(cache_block))
+        assert len(granules) == block_size // 32
+        # the byte address's own granule is among them
+        assert block_address(address, 32) in granules
+        # granules are contiguous
+        assert granules == list(range(granules[0], granules[0] + len(granules)))

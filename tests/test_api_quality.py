@@ -1,0 +1,138 @@
+"""API quality gates: docstrings, exports and size goldens.
+
+These tests enforce the library's documentation contract — every public
+module, class and function carries a docstring — and pin the hardware
+sizes of the paper's named configurations so an accidental change to a
+filter's geometry is caught immediately.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.presets import paper_hierarchy_5level
+from repro.core.machine import MostlyNoMachine
+from repro.core.presets import parse_design
+
+
+def all_repro_modules():
+    modules = [repro]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        modules.append(importlib.import_module(info.name))
+    return modules
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        undocumented = [m.__name__ for m in all_repro_modules()
+                        if not (m.__doc__ or "").strip()]
+        assert not undocumented, f"modules without docstrings: {undocumented}"
+
+    def test_every_public_class_and_function_documented(self):
+        undocumented = []
+        for module in all_repro_modules():
+            for name, obj in vars(module).items():
+                if name.startswith("_"):
+                    continue
+                if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                    continue
+                if getattr(obj, "__module__", "") != module.__name__:
+                    continue  # re-exports documented at their home
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(f"{module.__name__}.{name}")
+        assert not undocumented, (
+            f"public items without docstrings: {undocumented}"
+        )
+
+    def test_public_methods_documented_in_core(self):
+        """The core package (the paper's contribution) gets the strictest
+        gate: every public method documented."""
+        import repro.core as core_pkg
+
+        undocumented = []
+        for info in pkgutil.walk_packages(core_pkg.__path__,
+                                          prefix="repro.core."):
+            module = importlib.import_module(info.name)
+            for cls_name, cls in vars(module).items():
+                if cls_name.startswith("_") or not inspect.isclass(cls):
+                    continue
+                if cls.__module__ != module.__name__:
+                    continue
+                for method_name, method in vars(cls).items():
+                    if method_name.startswith("_"):
+                        continue
+                    if not (inspect.isfunction(method)
+                            or isinstance(method, property)):
+                        continue
+                    target = (method.fget if isinstance(method, property)
+                              else method)
+                    if target is None or not (target.__doc__ or "").strip():
+                        # inherited docstrings are fine
+                        parent = next(
+                            (getattr(base, method_name, None)
+                             for base in cls.__mro__[1:]
+                             if getattr(base, method_name, None) is not None),
+                            None,
+                        )
+                        parent_target = (
+                            parent.fget
+                            if isinstance(parent, property) else parent
+                        )
+                        if parent_target is None or not (
+                            getattr(parent_target, "__doc__", "") or ""
+                        ).strip():
+                            undocumented.append(
+                                f"{module.__name__}.{cls_name}.{method_name}"
+                            )
+        assert not undocumented, undocumented
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestStorageGoldens:
+    """Pinned hardware sizes of the paper's named configurations.
+
+    The numbers encode each structure's geometry (tags + lanes for the
+    RMNM, Σi² flip-flops for the SMNM, counters for TMNM/CMNM plus the
+    virtual-tag finder); a diff here means a filter's geometry changed.
+    """
+
+    # the 5-level hierarchy tracks 5 caches (il2, dl2, ul3, ul4, ul5), so
+    # a shared RMNM carries 5 lane bits per entry
+    @pytest.mark.parametrize("name,expected_bits", [
+        ("RMNM_128_1", 128 * ((32 - 7) + 5)),      # 7 index bits
+        ("RMNM_4096_8", 4096 * ((32 - 9) + 5)),    # 512 sets -> 9 index bits
+        ("TMNM_10x1", 5 * 1024 * 3),
+        ("TMNM_12x3", 5 * 3 * 4096 * 3),
+        ("SMNM_10x2", 5 * 2 * 386),
+        ("PERFECT", 0),
+    ])
+    def test_design_storage(self, name, expected_bits):
+        machine = MostlyNoMachine(
+            CacheHierarchy(paper_hierarchy_5level()), parse_design(name)
+        )
+        assert machine.storage_bits == expected_bits
+
+    def test_hmnm4_size_order(self):
+        """HMNM4 lands in the tens-of-KB range — small next to the 2.7MB
+        of caches it guards, the paper's central cost claim."""
+        machine = MostlyNoMachine(
+            CacheHierarchy(paper_hierarchy_5level()), parse_design("HMNM4")
+        )
+        size_kb = machine.storage_bits / 8 / 1024
+        assert 20 < size_kb < 100
+        cache_kb = sum(
+            cache.config.size_bytes for _, cache in machine.hierarchy.all_caches()
+        ) / 1024
+        assert size_kb < cache_kb / 20

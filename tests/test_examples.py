@@ -1,0 +1,65 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is executed in-process via ``runpy`` with tiny arguments so
+the whole suite stays fast; the assertions check the scripts print their
+headline results (not specific numbers).
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = "examples"
+
+
+def run_example(monkeypatch, capsys, script, argv):
+    monkeypatch.setattr(sys, "argv", [script] + argv)
+    runpy.run_path(f"{EXAMPLES}/{script}", run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "quickstart.py",
+                          ["twolf", "6000"])
+        assert "HMNM4" in out
+        assert "PERFECT" in out
+        assert "coverage" in out
+
+    def test_hierarchy_depth_study(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "hierarchy_depth_study.py",
+                          ["vpr", "5000"])
+        assert "2level" in out
+        assert "7level" in out
+        assert "miss time share" in out
+
+    def test_filter_design_exploration(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys,
+                          "filter_design_exploration.py", ["twolf", "5000"])
+        assert "highest coverage" in out
+        assert "CMNM_8_12" in out
+
+    def test_power_study(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "power_study.py",
+                          ["5000", "twolf"])
+        assert "parallel" in out
+        assert "serial" in out
+
+    def test_scheduler_hints(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "scheduler_hints.py",
+                          ["twolf", "5000"])
+        assert "bypass only" in out
+        assert "hinted" in out
+
+    def test_tlb_filter(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "tlb_filter.py",
+                          ["twolf", "5000"])
+        assert "L2 TLB lookups avoided" in out
+        assert "violations = 0" in out
+
+    def test_decision_audit(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "decision_audit.py",
+                          ["HMNM2", "twolf", "5000"])
+        assert "SOUND" in out
+        assert "unsound answers" in out

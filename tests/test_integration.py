@@ -1,0 +1,175 @@
+"""End-to-end integration tests: cross-module invariants on real workloads.
+
+These tie the whole stack together — workload generation, hierarchy, MNM,
+timing, energy, core — and assert the system-level invariants the
+experiments rely on.
+"""
+
+import pytest
+
+from repro import (
+    Placement,
+    get_trace,
+    paper_hierarchy_5level,
+    parse_design,
+    run_core_trace,
+    run_reference_pass,
+)
+from repro.cache.presets import hierarchy_preset
+from repro.core.presets import (
+    cmnm_design,
+    hmnm_design,
+    perfect_design,
+    smnm_design,
+    tmnm_design,
+)
+from repro.cpu.core import paper_core
+from tests.conftest import small_hierarchy_config
+
+INSTRUCTIONS = 12_000
+WARMUP = 4_000
+
+
+@pytest.fixture(scope="module")
+def gcc_trace():
+    return get_trace("gcc", INSTRUCTIONS, seed=0)
+
+
+@pytest.fixture(scope="module")
+def gcc_refs(gcc_trace):
+    return list(gcc_trace.memory_references())
+
+
+class TestOracleBounds:
+    """The perfect MNM bounds every real design, in every metric."""
+
+    def test_coverage_bounded_by_one_and_real_below_perfect(self, gcc_refs):
+        designs = [hmnm_design(4), perfect_design()]
+        result = run_reference_pass(gcc_refs, paper_hierarchy_5level(),
+                                    designs, "gcc", warmup=len(gcc_refs) // 3)
+        perfect = result.designs["PERFECT"].coverage
+        real = result.designs["HMNM4"].coverage
+        assert perfect.coverage == 1.0
+        assert real.coverage <= 1.0
+        assert real.identified <= perfect.identified
+        assert real.candidates == perfect.candidates
+
+    def test_access_time_ordering(self, gcc_refs):
+        designs = [tmnm_design(10, 1), hmnm_design(4), perfect_design()]
+        result = run_reference_pass(gcc_refs, paper_hierarchy_5level(),
+                                    designs, "gcc", warmup=len(gcc_refs) // 3)
+        baseline = result.baseline_access_time
+        small = result.designs["TMNM_10x1"].access_time
+        hybrid = result.designs["HMNM4"].access_time
+        oracle = result.designs["PERFECT"].access_time
+        assert oracle <= hybrid <= small <= baseline
+
+    def test_cycles_ordering(self, gcc_trace):
+        hierarchy = paper_hierarchy_5level()
+        base = run_core_trace(gcc_trace, hierarchy, None, warmup=WARMUP)
+        hybrid = run_core_trace(gcc_trace, hierarchy, hmnm_design(4),
+                                warmup=WARMUP)
+        oracle = run_core_trace(gcc_trace, hierarchy, perfect_design(),
+                                warmup=WARMUP)
+        assert oracle.cycles <= hybrid.cycles <= base.cycles
+
+
+class TestCompositionMonotonicity:
+    """Adding components to a hybrid can only add coverage."""
+
+    def test_hybrid_dominates_components(self, gcc_refs):
+        # HMNM4 contains TMNM_12x3 at levels 4-5 and an RMNM everywhere;
+        # compare against the pure designs on the same pass
+        designs = [smnm_design(20, 3), hmnm_design(4)]
+        result = run_reference_pass(gcc_refs, paper_hierarchy_5level(),
+                                    designs, "gcc", warmup=len(gcc_refs) // 3)
+        smnm = result.designs["SMNM_20x3"].coverage.coverage
+        hybrid = result.designs["HMNM4"].coverage.coverage
+        assert hybrid >= smnm - 1e-9
+
+
+class TestPlacementInvariance:
+    """Coverage is a property of the technique, not the MNM's position
+    (Section 4.2 of the paper)."""
+
+    def test_coverage_identical_across_placements(self, gcc_refs):
+        results = {}
+        for placement in Placement:
+            design = cmnm_design(4, 10).with_placement(placement)
+            result = run_reference_pass(
+                gcc_refs, paper_hierarchy_5level(), [design], "gcc",
+                warmup=len(gcc_refs) // 3)
+            results[placement] = result.designs[design.name].coverage.coverage
+        values = set(round(v, 12) for v in results.values())
+        assert len(values) == 1
+
+    def test_serial_energy_at_most_parallel(self, gcc_refs):
+        energies = {}
+        for placement in (Placement.PARALLEL, Placement.SERIAL,
+                          Placement.DISTRIBUTED):
+            design = hmnm_design(2).with_placement(placement)
+            result = run_reference_pass(
+                gcc_refs, paper_hierarchy_5level(), [design], "gcc",
+                warmup=len(gcc_refs) // 3)
+            energies[placement] = result.designs[design.name].energy.mnm_nj
+        assert energies[Placement.SERIAL] <= energies[Placement.PARALLEL]
+        assert (energies[Placement.DISTRIBUTED]
+                <= energies[Placement.SERIAL] + 1e-6)
+
+
+class TestDeterminism:
+    def test_identical_runs_bit_identical(self, gcc_trace):
+        hierarchy = paper_hierarchy_5level()
+        a = run_core_trace(gcc_trace, hierarchy, hmnm_design(2),
+                           warmup=WARMUP)
+        b = run_core_trace(gcc_trace, hierarchy, hmnm_design(2),
+                           warmup=WARMUP)
+        assert a.cycles == b.cycles
+        assert a.energy.total_nj == b.energy.total_nj
+        assert a.coverage.identified == b.coverage.identified
+
+    def test_seed_changes_trace_and_results(self):
+        hierarchy = paper_hierarchy_5level()
+        a = run_core_trace(get_trace("vpr", 6000, seed=0), hierarchy, None)
+        b = run_core_trace(get_trace("vpr", 6000, seed=9), hierarchy, None)
+        assert a.cycles != b.cycles
+
+
+class TestCrossHierarchy:
+    @pytest.mark.parametrize("preset", ["2level", "3level", "5level",
+                                        "7level"])
+    def test_every_preset_supports_full_runs(self, preset, gcc_trace):
+        hierarchy = hierarchy_preset(preset)
+        run = run_core_trace(gcc_trace, hierarchy, hmnm_design(1),
+                             core_config=paper_core(4), warmup=WARMUP)
+        assert run.cycles > 0
+        assert run.coverage.violations == 0
+
+    def test_deeper_hierarchies_offer_more_candidates(self, gcc_refs):
+        candidates = {}
+        for preset in ("2level", "5level"):
+            result = run_reference_pass(
+                gcc_refs, hierarchy_preset(preset), [perfect_design()],
+                "gcc", warmup=len(gcc_refs) // 3)
+            candidates[preset] = result.designs["PERFECT"].coverage.candidates
+        assert candidates["5level"] > candidates["2level"]
+
+
+class TestEnergyConsistency:
+    def test_baseline_energy_identical_across_design_runs(self, gcc_refs):
+        """The baseline numbers embedded in a pass must not depend on which
+        designs ride along."""
+        a = run_reference_pass(gcc_refs, paper_hierarchy_5level(),
+                               [tmnm_design(10, 1)], "gcc")
+        b = run_reference_pass(gcc_refs, paper_hierarchy_5level(),
+                               [hmnm_design(4), perfect_design()], "gcc")
+        assert a.baseline_access_time == b.baseline_access_time
+        assert a.baseline_energy.total_nj == pytest.approx(
+            b.baseline_energy.total_nj)
+
+    def test_perfect_energy_never_exceeds_baseline(self, gcc_refs):
+        result = run_reference_pass(
+            gcc_refs, paper_hierarchy_5level(),
+            [perfect_design().with_placement(Placement.SERIAL)], "gcc")
+        assert (result.designs["PERFECT"].energy.total_nj
+                <= result.baseline_energy.total_nj)

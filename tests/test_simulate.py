@@ -1,0 +1,158 @@
+"""Tests for the high-level simulation façade."""
+
+import pytest
+
+from repro.cache.cache import AccessKind
+from repro.core.base import Placement
+from repro.core.presets import (
+    hmnm_design,
+    null_design,
+    parse_design,
+    perfect_design,
+    tmnm_design,
+)
+from repro.cpu.core import paper_core
+from repro.simulate import (
+    build_memory,
+    run_core_trace,
+    run_reference_pass,
+)
+from repro.workloads import get_trace
+from tests.conftest import small_hierarchy_config
+
+CONFIG = small_hierarchy_config(3)
+
+
+class TestBuildMemory:
+    def test_baseline_has_no_mnm(self):
+        memory = build_memory(CONFIG, None)
+        assert memory.mnm is None
+        assert memory.coverage is None
+        assert memory.accountant is not None
+
+    def test_null_design_is_baseline(self):
+        memory = build_memory(CONFIG, null_design())
+        assert memory.mnm is None
+
+    def test_active_design_builds_machine(self):
+        memory = build_memory(CONFIG, tmnm_design(8, 1))
+        assert memory.mnm is not None
+        assert memory.coverage is not None
+
+    def test_access_returns_latency(self):
+        memory = build_memory(CONFIG, None)
+        cold = memory.access(0x4000, AccessKind.LOAD)
+        warm = memory.access(0x4000, AccessKind.LOAD)
+        assert cold == 1 + 4 + 8 + 100
+        assert warm == 1
+
+    def test_fetch_properties(self):
+        memory = build_memory(CONFIG, None)
+        assert memory.fetch_block_size == 16
+        assert memory.l1_instruction_latency == 1
+
+    def test_reset_meters_keeps_state(self):
+        memory = build_memory(CONFIG, tmnm_design(8, 1))
+        memory.access(0x4000, AccessKind.LOAD)
+        memory.reset_meters()
+        assert memory.accountant.totals.accesses == 0
+        assert memory.access(0x4000, AccessKind.LOAD) == 1  # still warm
+
+
+class TestRunCoreTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return get_trace("twolf", 4000, seed=0)
+
+    def test_baseline_run(self, trace):
+        run = run_core_trace(trace, CONFIG, None, core_config=paper_core(4))
+        assert run.design_name == "NONE"
+        assert run.cycles > 0
+        assert run.coverage is None
+        assert 0.0 < run.hit_rate("dl1") <= 1.0
+
+    def test_mnm_run_reports_coverage(self, trace):
+        run = run_core_trace(trace, CONFIG, hmnm_design(1),
+                             core_config=paper_core(4))
+        assert run.design_name == "HMNM1"
+        assert run.coverage is not None
+        assert run.coverage.violations == 0
+
+    def test_perfect_never_slower(self, trace):
+        base = run_core_trace(trace, CONFIG, None, core_config=paper_core(4))
+        perfect = run_core_trace(trace, CONFIG, perfect_design(),
+                                 core_config=paper_core(4))
+        assert perfect.cycles <= base.cycles
+
+    def test_real_design_bounded_by_perfect(self, trace):
+        base = run_core_trace(trace, CONFIG, None, core_config=paper_core(4))
+        perfect = run_core_trace(trace, CONFIG, perfect_design(),
+                                 core_config=paper_core(4))
+        real = run_core_trace(trace, CONFIG, hmnm_design(4),
+                              core_config=paper_core(4))
+        assert perfect.cycles <= real.cycles <= base.cycles
+
+    def test_warmup_shrinks_counts(self, trace):
+        full = run_core_trace(trace, CONFIG, None, core_config=paper_core(4))
+        tail = run_core_trace(trace, CONFIG, None, core_config=paper_core(4),
+                              warmup=len(trace) // 2)
+        assert tail.core.instructions < full.core.instructions
+        assert tail.cycles < full.cycles
+
+    def test_deterministic(self, trace):
+        a = run_core_trace(trace, CONFIG, hmnm_design(2),
+                           core_config=paper_core(4))
+        b = run_core_trace(trace, CONFIG, hmnm_design(2),
+                           core_config=paper_core(4))
+        assert a.cycles == b.cycles
+        assert a.energy.total_nj == b.energy.total_nj
+
+
+class TestRunReferencePass:
+    @pytest.fixture(scope="class")
+    def refs(self):
+        trace = get_trace("twolf", 4000, seed=0)
+        return list(trace.memory_references(16))
+
+    def test_multi_design_pass(self, refs):
+        designs = [tmnm_design(8, 1), perfect_design()]
+        result = run_reference_pass(refs, CONFIG, designs, "twolf")
+        assert result.references == len(refs)
+        assert set(result.designs) == {"TMNM_8x1", "PERFECT"}
+        perfect = result.designs["PERFECT"].coverage
+        assert perfect.coverage == 1.0
+        real = result.designs["TMNM_8x1"].coverage
+        assert 0.0 <= real.coverage <= 1.0
+        assert real.violations == 0
+
+    def test_baseline_metrics(self, refs):
+        result = run_reference_pass(refs, CONFIG, [], "twolf")
+        assert result.baseline_access_time > 0
+        assert 0.0 < result.miss_time_fraction < 1.0
+        assert result.baseline_energy.total_nj > 0
+
+    def test_reductions_ordered(self, refs):
+        designs = [tmnm_design(8, 1), perfect_design()]
+        result = run_reference_pass(refs, CONFIG, designs, "twolf")
+        real = result.access_time_reduction("TMNM_8x1")
+        perfect = result.access_time_reduction("PERFECT")
+        assert 0.0 <= real <= perfect < 1.0
+
+    def test_energy_reduction_perfect_positive(self, refs):
+        result = run_reference_pass(
+            refs, CONFIG,
+            [perfect_design().with_placement(Placement.SERIAL)], "twolf")
+        assert result.energy_reduction("PERFECT") > 0.0
+
+    def test_warmup_excluded(self, refs):
+        full = run_reference_pass(refs, CONFIG, [], "twolf")
+        tail = run_reference_pass(refs, CONFIG, [], "twolf",
+                                  warmup=len(refs) // 2)
+        assert tail.references == len(refs) - len(refs) // 2
+        assert tail.baseline_access_time < full.baseline_access_time
+
+    def test_cache_stats_exposed(self, refs):
+        result = run_reference_pass(refs, CONFIG, [], "twolf")
+        assert "dl1" in result.cache_stats
+        probes, hits = result.cache_stats["dl1"]
+        assert probes >= hits >= 0

@@ -1,0 +1,59 @@
+"""Tests for the repro-trace CLI."""
+
+import pytest
+
+from repro.workloads.cli import main
+
+
+class TestProfiles:
+    def test_lists_all_workloads(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ammp", "mcf", "twolf"):
+            assert name in out
+
+
+class TestGen:
+    def test_gen_and_save(self, tmp_path, capsys):
+        path = tmp_path / "t.npz"
+        assert main(["gen", "vpr", "2000", "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "generated" in out
+        assert path.exists()
+
+    def test_gen_without_save(self, capsys):
+        assert main(["gen", "vpr", "1000"]) == 0
+        assert "generated" in capsys.readouterr().out
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["gen", "perl", "1000"])
+
+
+class TestInfo:
+    def test_info_from_workload_name(self, capsys):
+        assert main(["info", "twolf", "--instructions", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "twolf" in out
+        assert "code footprint" in out
+        assert "load" in out
+
+    def test_info_from_file(self, tmp_path, capsys):
+        path = tmp_path / "t.npz"
+        main(["gen", "gcc", "2000", "--out", str(path)])
+        capsys.readouterr()
+        assert main(["info", str(path)]) == 0
+        assert "gcc" in capsys.readouterr().out
+
+    def test_info_bad_source(self):
+        with pytest.raises(SystemExit, match="neither a file nor"):
+            main(["info", "no-such-thing"])
+
+
+class TestDump:
+    def test_dump_shows_instructions(self, capsys):
+        assert main(["dump", "mcf", "--count", "8",
+                     "--instructions", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "0x" in out
+        assert out.count("\n") >= 8

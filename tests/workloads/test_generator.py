@@ -1,0 +1,129 @@
+"""Tests for the synthetic trace generator."""
+
+import pytest
+
+from repro.cpu.isa import INSTRUCTION_BYTES, OpClass
+from repro.workloads.generator import (
+    CODE_BASE,
+    STACK_BASE,
+    STACK_BYTES,
+    TraceGenerator,
+    generate_trace,
+)
+from repro.workloads.spec import profile, workload_names
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_trace("twolf", 5000, seed=1)
+        b = generate_trace("twolf", 5000, seed=1)
+        assert a.instructions == b.instructions
+
+    def test_different_seed_differs(self):
+        a = generate_trace("twolf", 5000, seed=1)
+        b = generate_trace("twolf", 5000, seed=2)
+        assert a.instructions != b.instructions
+
+    def test_workloads_differ_under_same_seed(self):
+        a = generate_trace("twolf", 5000, seed=0)
+        b = generate_trace("vpr", 5000, seed=0)
+        assert a.instructions != b.instructions
+
+
+class TestStructure:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace("gcc", 20000, seed=0)
+
+    def test_length_at_least_requested(self, trace):
+        assert len(trace) >= 20000
+
+    def test_pcs_inside_code_region(self, trace):
+        code_bytes = profile("gcc").code_bytes
+        for inst in trace.instructions:
+            assert CODE_BASE <= inst.pc < CODE_BASE + code_bytes
+            assert inst.pc % INSTRUCTION_BYTES == 0
+
+    def test_memory_addresses_in_known_regions(self, trace):
+        for inst in trace.instructions:
+            if inst.op.is_memory:
+                in_stack = STACK_BASE <= inst.addr < STACK_BASE + STACK_BYTES
+                in_heap = 0x1000_0000 <= inst.addr < 0x7000_0000
+                assert in_stack or in_heap, hex(inst.addr)
+
+    def test_op_mix_tracks_profile(self, trace):
+        spec = profile("gcc")
+        counts = trace.op_counts()
+        total = len(trace)
+        load_fraction = counts[OpClass.LOAD] / total
+        store_fraction = counts[OpClass.STORE] / total
+        assert abs(load_fraction - spec.load_fraction) < 0.06
+        assert abs(store_fraction - spec.store_fraction) < 0.05
+
+    def test_branches_present_and_mostly_loops(self, trace):
+        branches = [i for i in trace.instructions if i.op is OpClass.BRANCH]
+        assert branches
+        taken = sum(1 for b in branches if b.taken)
+        assert 0.2 < taken / len(branches) < 0.99
+
+    def test_loop_branch_targets_backward(self, trace):
+        for inst in trace.instructions:
+            if inst.op is OpClass.BRANCH and inst.taken and inst.target <= inst.pc:
+                assert inst.pc - inst.target < 64 * INSTRUCTION_BYTES
+
+    def test_register_ranges(self, trace):
+        for inst in trace.instructions[:2000]:
+            assert inst.dest < 64
+            assert inst.src1 < 64
+            assert inst.src2 < 64
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_every_profile_generates(self, name):
+        trace = generate_trace(name, 2000, seed=0)
+        assert len(trace) >= 2000
+        assert trace.name == name
+
+    def test_fp_profiles_emit_fp_ops(self):
+        trace = generate_trace("art", 10000, seed=0)
+        counts = trace.op_counts()
+        assert counts[OpClass.FALU] + counts[OpClass.FMUL] > 0
+
+    def test_int_profiles_emit_no_fp(self):
+        trace = generate_trace("bzip2", 10000, seed=0)
+        counts = trace.op_counts()
+        assert counts[OpClass.FALU] + counts[OpClass.FMUL] == 0
+
+    def test_memory_bound_profiles_have_larger_footprints(self):
+        """mcf must touch far more distinct blocks than twolf."""
+        mcf_blocks = {
+            inst.addr >> 5 for inst in generate_trace("mcf", 30000).instructions
+            if inst.op.is_memory
+        }
+        twolf_blocks = {
+            inst.addr >> 5 for inst in generate_trace("twolf", 30000).instructions
+            if inst.op.is_memory
+        }
+        assert len(mcf_blocks) > 2 * len(twolf_blocks)
+
+    def test_apsi_has_largest_code_footprint_of_fp(self):
+        lines = {}
+        for name in ("apsi", "art", "applu"):
+            trace = generate_trace(name, 30000)
+            lines[name] = len({i.pc >> 5 for i in trace.instructions})
+        assert lines["apsi"] > lines["art"]
+        assert lines["apsi"] > lines["applu"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_trace("twolf", 0)
+        with pytest.raises(ValueError):
+            generate_trace("nosuchapp", 100)
+
+    def test_generator_reusable(self):
+        generator = TraceGenerator(profile("vpr"), seed=0)
+        first = generator.generate(1000)
+        second = generator.generate(1000)
+        # the generator keeps evolving state: traces continue, not repeat
+        assert first.instructions != second.instructions

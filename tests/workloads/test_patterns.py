@@ -1,0 +1,132 @@
+"""Tests for the address pattern primitives."""
+
+import random
+
+import pytest
+
+from repro.workloads.patterns import (
+    HotColdPattern,
+    LoopReusePattern,
+    PointerChasePattern,
+    RandomPattern,
+    Region,
+    SequentialPattern,
+    StridedPattern,
+)
+
+
+REGION = Region(base=0x1000, size=4096)
+
+
+def addresses(pattern, count):
+    return [pattern.next_address() for _ in range(count)]
+
+
+class TestRegion:
+    def test_contains(self):
+        assert REGION.contains(0x1000)
+        assert REGION.contains(0x1FFF)
+        assert not REGION.contains(0x2000)
+        assert not REGION.contains(0xFFF)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Region(0, 4)
+        with pytest.raises(ValueError):
+            Region((1 << 32) - 16, 4096)
+
+
+class TestSequential:
+    def test_advances_and_wraps(self):
+        pattern = SequentialPattern(Region(0x1000, 64), step=16)
+        assert addresses(pattern, 5) == [0x1000, 0x1010, 0x1020, 0x1030,
+                                         0x1000]
+
+    def test_stays_in_region(self):
+        pattern = SequentialPattern(REGION, step=24)
+        assert all(REGION.contains(a) for a in addresses(pattern, 1000))
+
+
+class TestStrided:
+    def test_stride_spacing(self):
+        pattern = StridedPattern(Region(0x0, 4096), stride=256)
+        first = addresses(pattern, 4)
+        assert first == [0, 256, 512, 768]
+
+    def test_phase_shifts_after_wrap(self):
+        pattern = StridedPattern(Region(0x0, 512), stride=256, phase_step=8)
+        sweep1 = addresses(pattern, 2)
+        sweep2 = addresses(pattern, 2)
+        assert sweep2 == [a + 8 for a in sweep1]
+
+    def test_stays_in_region(self):
+        pattern = StridedPattern(REGION, stride=192)
+        assert all(REGION.contains(a) for a in addresses(pattern, 1000))
+
+
+class TestRandom:
+    def test_alignment_and_bounds(self):
+        pattern = RandomPattern(REGION, random.Random(0), align=8)
+        for address in addresses(pattern, 500):
+            assert REGION.contains(address)
+            assert address % 8 == 0
+
+    def test_deterministic(self):
+        a = RandomPattern(REGION, random.Random(3))
+        b = RandomPattern(REGION, random.Random(3))
+        assert addresses(a, 50) == addresses(b, 50)
+
+
+class TestPointerChase:
+    def test_visits_every_node_once_per_lap(self):
+        region = Region(0x0, 64 * 16)
+        pattern = PointerChasePattern(region, random.Random(1), node_size=64)
+        lap = addresses(pattern, 16)
+        assert sorted(lap) == [i * 64 for i in range(16)]
+        assert addresses(pattern, 16) == lap  # the cycle repeats
+
+    def test_order_is_shuffled(self):
+        region = Region(0x0, 64 * 64)
+        pattern = PointerChasePattern(region, random.Random(5), node_size=64)
+        lap = addresses(pattern, 64)
+        assert lap != sorted(lap)
+
+    def test_node_alignment(self):
+        pattern = PointerChasePattern(REGION, random.Random(0), node_size=32)
+        assert all(a % 32 == 0x1000 % 32 for a in addresses(pattern, 100))
+
+
+class TestHotCold:
+    def test_hot_fraction_respected(self):
+        region = Region(0x0, 64 * 1024)
+        pattern = HotColdPattern(region, random.Random(0), hot_bytes=1024,
+                                 hot_fraction=0.9)
+        sample = addresses(pattern, 5000)
+        hot = sum(1 for a in sample if a < 1024)
+        assert hot / len(sample) > 0.85
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotColdPattern(REGION, random.Random(0), hot_fraction=1.5)
+
+
+class TestLoopReuse:
+    def test_sweeps_tile_before_moving(self):
+        pattern = LoopReusePattern(Region(0x0, 4096), tile_bytes=64,
+                                   sweeps_per_tile=2, step=16)
+        sample = addresses(pattern, 8)
+        assert sample == [0, 16, 32, 48] * 2
+        next_tile = addresses(pattern, 4)
+        assert next_tile == [64, 80, 96, 112]
+
+    def test_wraps_region(self):
+        pattern = LoopReusePattern(Region(0x0, 128), tile_bytes=64,
+                                   sweeps_per_tile=1, step=32)
+        sample = addresses(pattern, 8)
+        assert sample == [0, 32, 64, 96, 0, 32, 64, 96]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoopReusePattern(REGION, tile_bytes=4, step=8)
+        with pytest.raises(ValueError):
+            LoopReusePattern(REGION, sweeps_per_tile=0)

@@ -1,0 +1,96 @@
+"""Tests for the workload profile catalogue."""
+
+import pytest
+
+from repro.workloads.spec import (
+    StreamSpec,
+    WorkloadProfile,
+    all_profiles,
+    profile,
+    workload_names,
+)
+
+
+class TestCatalogue:
+    def test_ten_workloads_five_per_suite(self):
+        names = workload_names()
+        assert len(names) == 10
+        suites = [profile(name).suite for name in names]
+        assert suites.count("fp") == 5
+        assert suites.count("int") == 5
+
+    def test_fp_first_in_table2_order(self):
+        names = workload_names()
+        assert all(profile(n).suite == "fp" for n in names[:5])
+        assert all(profile(n).suite == "int" for n in names[5:])
+
+    def test_canonical_names(self):
+        assert set(workload_names()) == {
+            "ammp", "applu", "apsi", "art", "equake",
+            "bzip2", "gcc", "mcf", "twolf", "vpr",
+        }
+
+    def test_all_profiles_matches_names(self):
+        assert [p.name for p in all_profiles()] == list(workload_names())
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            profile("perl")
+
+
+class TestProfileShape:
+    def test_memory_bound_apps_have_low_reuse(self):
+        assert profile("mcf").data_reuse < profile("twolf").data_reuse
+        assert profile("art").data_reuse < profile("bzip2").data_reuse
+
+    def test_apsi_has_biggest_fp_code(self):
+        fp_codes = {n: profile(n).code_bytes
+                    for n in workload_names() if profile(n).suite == "fp"}
+        assert max(fp_codes, key=fp_codes.get) == "apsi"
+
+    def test_gcc_has_biggest_code_overall(self):
+        codes = {n: profile(n).code_bytes for n in workload_names()}
+        assert max(codes, key=codes.get) == "gcc"
+
+    def test_mcf_touches_most_data(self):
+        footprints = {
+            n: sum(s.size for s in profile(n).streams)
+            for n in workload_names()
+        }
+        assert max(footprints, key=footprints.get) == "mcf"
+
+    def test_fp_profiles_have_fp_fraction(self):
+        for name in workload_names():
+            spec = profile(name)
+            if spec.suite == "fp":
+                assert spec.fp_fraction > 0
+            else:
+                assert spec.fp_fraction == 0
+
+    def test_stream_weights_positive(self):
+        for spec in all_profiles():
+            for stream in spec.streams:
+                assert stream.weight > 0
+
+
+class TestValidation:
+    def test_stream_kind_checked(self):
+        with pytest.raises(ValueError, match="unknown stream kind"):
+            StreamSpec("walk", 1024, 1.0)
+
+    def test_stream_weight_checked(self):
+        with pytest.raises(ValueError):
+            StreamSpec("random", 1024, 0.0)
+
+    def test_fractions_must_leave_alu_room(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(
+                name="bad", suite="int", description="", code_bytes=8192,
+                streams=(StreamSpec("random", 1024, 1.0),),
+                load_fraction=0.5, store_fraction=0.4, branch_fraction=0.2,
+            )
+
+    def test_needs_streams(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="bad", suite="int", description="",
+                            code_bytes=8192, streams=())

@@ -1,0 +1,100 @@
+"""Tests for the trace container, views and persistence."""
+
+import os
+
+import pytest
+
+from repro.cache.cache import AccessKind
+from repro.cpu.isa import Instruction, OpClass
+from repro.workloads import clear_trace_cache, get_trace
+from repro.workloads.trace import Trace
+
+
+def tiny_trace():
+    instructions = [
+        Instruction(op=OpClass.IALU, pc=0x1000, dest=8, src1=1),
+        Instruction(op=OpClass.LOAD, pc=0x1004, dest=9, src1=8,
+                    addr=0x2000),
+        Instruction(op=OpClass.STORE, pc=0x1008, src1=9, src2=8,
+                    addr=0x2008),
+        Instruction(op=OpClass.BRANCH, pc=0x100C, src1=9, taken=True,
+                    target=0x1000),
+        Instruction(op=OpClass.IALU, pc=0x1000, dest=8, src1=1),
+    ]
+    return Trace(name="tiny", seed=7, instructions=instructions,
+                 description="hand trace")
+
+
+class TestViews:
+    def test_len_and_iter(self):
+        trace = tiny_trace()
+        assert len(trace) == 5
+        assert [inst.op for inst in trace][:2] == [OpClass.IALU, OpClass.LOAD]
+
+    def test_memory_references_merge_fetch_and_data(self):
+        trace = tiny_trace()
+        refs = list(trace.memory_references(fetch_block_size=32))
+        # line 0x1000..0x101F fetched once, then load, store; the taken
+        # branch forces a refetch of the line for the 5th instruction
+        assert refs == [
+            (0x1000, AccessKind.INSTRUCTION),
+            (0x2000, AccessKind.LOAD),
+            (0x2008, AccessKind.STORE),
+            (0x1000, AccessKind.INSTRUCTION),
+        ]
+
+    def test_line_change_triggers_fetch(self):
+        instructions = [
+            Instruction(op=OpClass.IALU, pc=0x1000 + 4 * i) for i in range(16)
+        ]
+        trace = Trace("t", 0, instructions)
+        refs = list(trace.memory_references(fetch_block_size=32))
+        assert refs == [(0x1000, AccessKind.INSTRUCTION),
+                        (0x1020, AccessKind.INSTRUCTION)]
+
+    def test_op_counts(self):
+        counts = tiny_trace().op_counts()
+        assert counts[OpClass.IALU] == 2
+        assert counts[OpClass.LOAD] == 1
+
+    def test_data_references(self):
+        assert tiny_trace().data_references == 2
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        trace = tiny_trace()
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == trace.name
+        assert loaded.seed == trace.seed
+        assert loaded.description == trace.description
+        assert loaded.instructions == trace.instructions
+
+    def test_round_trip_generated_trace(self, tmp_path):
+        trace = get_trace("twolf", 2000, seed=3)
+        path = str(tmp_path / "twolf.npz")
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.instructions == trace.instructions
+        assert os.path.getsize(path) > 0
+
+
+class TestCache:
+    def test_get_trace_memoises(self):
+        clear_trace_cache()
+        a = get_trace("vpr", 1500, seed=0)
+        b = get_trace("vpr", 1500, seed=0)
+        assert a is b
+
+    def test_distinct_keys_distinct_traces(self):
+        clear_trace_cache()
+        a = get_trace("vpr", 1500, seed=0)
+        b = get_trace("vpr", 1500, seed=1)
+        assert a is not b
+
+    def test_clear(self):
+        a = get_trace("vpr", 1500, seed=0)
+        clear_trace_cache()
+        assert get_trace("vpr", 1500, seed=0) is not a

@@ -1,0 +1,76 @@
+"""Tests for the Zipf access pattern."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads.patterns import Region, ZipfPattern
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.spec import StreamSpec, WorkloadProfile
+
+
+REGION = Region(base=0x10000, size=64 * 1024)
+
+
+class TestZipfPattern:
+    def test_addresses_in_region_and_aligned(self):
+        pattern = ZipfPattern(REGION, random.Random(0), block_size=64)
+        for _ in range(500):
+            address = pattern.next_address()
+            assert REGION.contains(address)
+            assert (address - REGION.base) % 64 == 0
+
+    def test_heavy_skew(self):
+        """With s=1, the hottest block dominates a uniform draw."""
+        pattern = ZipfPattern(REGION, random.Random(1), exponent=1.0)
+        counts = Counter(pattern.next_address() for _ in range(20000))
+        hottest = counts.most_common(1)[0][1]
+        num_blocks = REGION.size // 64
+        uniform_expectation = 20000 / num_blocks
+        assert hottest > 10 * uniform_expectation
+
+    def test_higher_exponent_is_more_skewed(self):
+        def top_share(exponent):
+            pattern = ZipfPattern(REGION, random.Random(2),
+                                  exponent=exponent)
+            counts = Counter(pattern.next_address() for _ in range(8000))
+            top10 = sum(count for _, count in counts.most_common(10))
+            return top10 / 8000
+
+        assert top_share(1.5) > top_share(0.5)
+
+    def test_hot_blocks_are_shuffled(self):
+        """The hottest block should not simply be the region base."""
+        hot_addresses = set()
+        for seed in range(6):
+            pattern = ZipfPattern(REGION, random.Random(seed))
+            counts = Counter(pattern.next_address() for _ in range(3000))
+            hot_addresses.add(counts.most_common(1)[0][0])
+        assert len(hot_addresses) > 1
+
+    def test_deterministic(self):
+        a = ZipfPattern(REGION, random.Random(5))
+        b = ZipfPattern(REGION, random.Random(5))
+        assert [a.next_address() for _ in range(100)] == [
+            b.next_address() for _ in range(100)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfPattern(REGION, random.Random(0), exponent=0.0)
+        with pytest.raises(ValueError):
+            ZipfPattern(REGION, random.Random(0), block_size=4)
+
+
+class TestZipfInProfiles:
+    def test_zipf_stream_spec_accepted(self):
+        spec = StreamSpec("zipf", 64 * 1024, 1.0, param=64)
+        profile = WorkloadProfile(
+            name="zipfy", suite="int", description="zipf test",
+            code_bytes=8192, streams=(spec,),
+        )
+        trace = TraceGenerator(profile, seed=0).generate(3000)
+        assert len(trace) >= 3000
+        data = [inst.addr for inst in trace.instructions
+                if inst.op.is_memory]
+        assert data
