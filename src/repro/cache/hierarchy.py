@@ -333,6 +333,22 @@ class CacheHierarchy:
         for _, cache in self.all_caches():
             cache.stats.reset()
 
+    def export_stats(self, registry) -> None:
+        """Fold per-cache probe/hit/miss totals into a telemetry registry.
+
+        Adds each cache's current counters to ``cache.<name>.probes`` /
+        ``.hits`` / ``.misses``; call once at the end of a run so
+        multi-run harnesses accumulate across workloads.  ``registry``
+        is a :class:`repro.telemetry.MetricsRegistry` (duck-typed to
+        avoid a hard dependency from the cache layer on telemetry).
+        """
+        for _, cache in self.all_caches():
+            stats = cache.stats
+            base = f"cache.{cache.config.name}"
+            registry.counter(base + ".probes").inc(stats.probes)
+            registry.counter(base + ".hits").inc(stats.hits)
+            registry.counter(base + ".misses").inc(stats.misses)
+
     def run(self, references: Sequence[Tuple[int, AccessKind]]) -> List[AccessOutcome]:
         """Convenience: access a sequence of ``(address, kind)`` pairs."""
         return [self.access(address, kind) for address, kind in references]

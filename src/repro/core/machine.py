@@ -26,6 +26,7 @@ from repro.core.base import FilterStats, MissFilter, NullFilter, Placement
 from repro.core.hybrid import CompositeFilter
 from repro.core.perfect import PerfectFilter
 from repro.core.rmnm import RMNMCache, RMNMLane
+from repro.telemetry import get_registry
 
 #: Per-level definite-miss bits, index ``tier - 1``; bit 0 is always False.
 MissBits = Tuple[bool, ...]
@@ -145,6 +146,16 @@ class MostlyNoMachine:
             cache.add_place_listener(self._make_listener(entry, place=True))
             cache.add_replace_listener(self._make_listener(entry, place=False))
 
+        # Telemetry: counters are resolved once here so query() pays a
+        # single None-check when telemetry is disabled (the default).
+        registry = get_registry()
+        self._query_counters: Optional[Tuple] = None
+        if registry.enabled:
+            self._query_counters = (
+                registry.counter("mnm.queries"),
+                registry.counter("mnm.miss_answers"),
+            )
+
         # Precomputed query route: per access kind, the (bit index, tracked
         # cache) pairs for tiers 2..N — query() is the hottest path in the
         # experiment runner.
@@ -191,6 +202,11 @@ class MostlyNoMachine:
             if entry.filter.is_definite_miss(granule_addr):
                 stats.miss_answers += 1
                 bits[bit_index] = True
+        counters = self._query_counters
+        if counters is not None:
+            counters[0].inc()
+            if True in bits:
+                counters[1].inc()
         return tuple(bits)
 
     # ------------------------------------------------------------ inspection

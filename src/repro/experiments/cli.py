@@ -6,16 +6,22 @@ Examples::
     repro-mnm run fig10 fig13 --instructions 60000
     repro-mnm all --skip-heavy
     repro-mnm all --output results.txt
+    repro-mnm run fig10 --metrics-out metrics.json --trace-out trace.jsonl
+    repro-mnm all --profile            # writes BENCH_telemetry.json
+    repro-mnm telemetry summary metrics.json
+    repro-mnm telemetry summary trace.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional
 
+from repro import telemetry
 from repro.experiments.base import ExperimentSettings
 from repro.experiments.registry import (
     experiment_ids,
@@ -62,6 +68,15 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--report-out", type=str, default="report.md",
                         help="markdown output path (default report.md)")
     _add_settings_args(report)
+
+    tele = sub.add_parser(
+        "telemetry", help="inspect telemetry artifacts")
+    tele_sub = tele.add_subparsers(dest="telemetry_command", required=True)
+    tele_summary = tele_sub.add_parser(
+        "summary",
+        help="pretty-print a metrics snapshot (JSON) or aggregate a "
+             "decision trace (JSONL) back to its bypass counters")
+    tele_summary.add_argument("path", help="metrics/trace/profile file")
     return parser
 
 
@@ -81,6 +96,23 @@ def _add_settings_args(parser: argparse.ArgumentParser) -> None:
                              "column (the paper's figures are bar charts)")
     parser.add_argument("--json", dest="json_path", type=str, default="",
                         help="append results as JSON lines to this file")
+    parser.add_argument("--metrics-out", type=str, default="",
+                        help="write a telemetry metrics snapshot (JSON) "
+                             "to this path after the run")
+    parser.add_argument("--trace-out", type=str, default="",
+                        help="write sampled per-access MNM decision "
+                             "records (JSONL) to this path")
+    parser.add_argument("--trace-sample", type=float, default=1.0,
+                        help="decision-trace sampling rate in (0, 1] "
+                             "(default 1.0 = every access)")
+    parser.add_argument("--profile", action="store_true",
+                        help="time simulation phases and per-experiment "
+                             "wall-clock; writes a machine-readable "
+                             "profile (see --profile-out)")
+    parser.add_argument("--profile-out", type=str,
+                        default="BENCH_telemetry.json",
+                        help="profile output path used with --profile "
+                             "(default BENCH_telemetry.json)")
 
 
 def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
@@ -102,6 +134,139 @@ def _emit(text: str, output_path: str) -> None:
     if output_path:
         with open(output_path, "a") as handle:
             handle.write(text + "\n")
+
+
+def _check_output_dir(flag: str, path: str) -> None:
+    """Fail before the run, not after it, when an output path is bad."""
+    directory = os.path.dirname(path) or "."
+    if not os.path.isdir(directory):
+        raise SystemExit(
+            f"repro-mnm: error: {flag} directory does not exist: "
+            f"{directory}")
+
+
+def _enable_telemetry(args: argparse.Namespace) -> None:
+    """Turn on the telemetry pieces the flags ask for."""
+    if args.metrics_out:
+        _check_output_dir("--metrics-out", args.metrics_out)
+        telemetry.enable_metrics()
+    if args.trace_out:
+        if not 0.0 < args.trace_sample <= 1.0:
+            raise SystemExit(
+                "repro-mnm: error: --trace-sample must be in (0, 1], "
+                f"got {args.trace_sample}")
+        _check_output_dir("--trace-out", args.trace_out)
+        telemetry.enable_tracing(args.trace_out,
+                                 sample_rate=args.trace_sample)
+    if args.profile:
+        _check_output_dir("--profile-out", args.profile_out)
+        telemetry.enable_profiling()
+
+
+def _bench_payload(settings: ExperimentSettings, command: str) -> dict:
+    """The machine-readable profile document (``BENCH_telemetry.json``).
+
+    Records per-experiment wall-clock and the simulation throughputs
+    (references/sec for reference passes, instructions/sec for core
+    runs) — the numbers future performance PRs diff against.
+    """
+    profiler = telemetry.get_profiler()
+    phases = profiler.snapshot()
+    experiments = {
+        name.split(".", 1)[1]: stats["seconds"]
+        for name, stats in phases.items()
+        if name.startswith("experiment.")
+    }
+    throughput = {}
+    pass_stats = profiler.stats_for("reference_pass")
+    if pass_stats is not None and pass_stats.units:
+        throughput["references_per_sec"] = pass_stats.per_sec
+    core_stats = profiler.stats_for("core_trace")
+    if core_stats is not None and core_stats.units:
+        throughput["instructions_per_sec"] = core_stats.per_sec
+    return {
+        "schema": "repro-telemetry-bench/v1",
+        "command": command,
+        "settings": {
+            "instructions": settings.num_instructions,
+            "warmup_fraction": settings.warmup_fraction,
+            "seed": settings.seed,
+            "workloads": list(settings.workload_list),
+        },
+        "experiments": experiments,
+        "throughput": throughput,
+        "phases": phases,
+    }
+
+
+def _write_telemetry_outputs(args: argparse.Namespace,
+                             settings: ExperimentSettings) -> None:
+    """Flush the enabled telemetry pieces to their output files."""
+    logger = telemetry.get_logger("telemetry")
+    if args.metrics_out:
+        telemetry.get_registry().write_json(args.metrics_out)
+        logger.info(f"metrics snapshot written to {args.metrics_out}")
+    tracer = telemetry.get_tracer()
+    if tracer.enabled:
+        tracer.close()
+        logger.info(
+            f"decision trace written to {args.trace_out}",
+            records=tracer.emitted, dropped=tracer.dropped,
+            bytes=tracer.bytes_written,
+        )
+    if args.profile:
+        payload = _bench_payload(settings, args.command)
+        with open(args.profile_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        for name, stats in sorted(payload["phases"].items()):
+            line = f"{name}: {stats['seconds']:.2f}s"
+            if "per_sec" in stats:
+                line += (f" ({stats['per_sec']:.0f} "
+                         f"{stats['unit_name']}/s)")
+            logger.info(line)
+        logger.info(f"profile written to {args.profile_out}")
+
+
+def _run_command(args: argparse.Namespace,
+                 settings: ExperimentSettings) -> int:
+    """Execute the report/run/all commands (telemetry already enabled)."""
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        markdown = generate_report(
+            settings,
+            skip_heavy=args.skip_heavy,
+            with_charts=not args.no_charts,
+            progress=True,
+        )
+        with open(args.report_out, "w") as handle:
+            handle.write(markdown)
+        print(f"report written to {args.report_out}")
+        return 0
+
+    if args.command == "run":
+        selected = args.experiments
+    else:
+        selected = [
+            experiment_id for experiment_id in experiment_ids()
+            if not (args.skip_heavy and get_experiment(experiment_id).heavy)
+        ]
+
+    for experiment_id in selected:
+        started = time.perf_counter()
+        result = run_experiment(experiment_id, settings)
+        rendered = result.render(float_digits=1)
+        _emit(rendered, args.output)
+        if args.chart:
+            _emit("\n" + result.render_chart(), args.output)
+        if args.json_path:
+            with open(args.json_path, "a") as handle:
+                json.dump(result.to_dict(), handle)
+                handle.write("\n")
+        _emit(f"[{experiment_id} took {time.perf_counter() - started:.1f}s]\n",
+              args.output)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -129,43 +294,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(budget_table(paper_hierarchy_5level(), designs))
         return 0
 
-    settings = _settings_from_args(args)
-    if args.command == "report":
-        from repro.experiments.report import generate_report
-
-        markdown = generate_report(
-            settings,
-            skip_heavy=args.skip_heavy,
-            with_charts=not args.no_charts,
-            progress=True,
-        )
-        with open(args.report_out, "w") as handle:
-            handle.write(markdown)
-        print(f"report written to {args.report_out}")
+    if args.command == "telemetry":
+        try:
+            print(telemetry.summarize_path(args.path))
+        except OSError as exc:
+            print(f"repro-mnm: error: cannot read {args.path}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 1
+        except ValueError:
+            print(f"repro-mnm: error: {args.path} is not a telemetry "
+                  "artifact (expected a metrics/profile JSON or a "
+                  "decision-trace JSONL)", file=sys.stderr)
+            return 1
         return 0
 
-    if args.command == "run":
-        selected = args.experiments
-    else:
-        selected = [
-            experiment_id for experiment_id in experiment_ids()
-            if not (args.skip_heavy and get_experiment(experiment_id).heavy)
-        ]
-
-    for experiment_id in selected:
-        started = time.time()
-        result = run_experiment(experiment_id, settings)
-        rendered = result.render(float_digits=1)
-        _emit(rendered, args.output)
-        if args.chart:
-            _emit("\n" + result.render_chart(), args.output)
-        if args.json_path:
-            with open(args.json_path, "a") as handle:
-                json.dump(result.to_dict(), handle)
-                handle.write("\n")
-        _emit(f"[{experiment_id} took {time.time() - started:.1f}s]\n",
-              args.output)
-    return 0
+    settings = _settings_from_args(args)
+    _enable_telemetry(args)
+    try:
+        code = _run_command(args, settings)
+        _write_telemetry_outputs(args, settings)
+        return code
+    finally:
+        telemetry.reset()
 
 
 if __name__ == "__main__":

@@ -111,5 +111,14 @@ def experiment_ids() -> Tuple[str, ...]:
 def run_experiment(
     experiment_id: str, settings: Optional[ExperimentSettings] = None
 ) -> ExperimentResult:
-    """Run one experiment by id."""
-    return get_experiment(experiment_id).runner(settings)
+    """Run one experiment by id.
+
+    When profiling is enabled (``repro-mnm ... --profile``), the run is
+    timed into an ``experiment.<id>`` phase — the per-experiment
+    wall-clock that ``BENCH_telemetry.json`` reports.
+    """
+    from repro.telemetry import get_profiler
+
+    entry = get_experiment(experiment_id)
+    with get_profiler().phase(f"experiment.{experiment_id}"):
+        return entry.runner(settings)

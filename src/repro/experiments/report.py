@@ -17,6 +17,7 @@ from repro.experiments.registry import (
     get_experiment,
     run_experiment,
 )
+from repro.telemetry import get_logger
 
 #: Which column each experiment charts (None = last column).
 _CHART_COLUMNS = {
@@ -103,11 +104,12 @@ def generate_report(
             experiment_id for experiment_id in experiment_ids()
             if not (skip_heavy and get_experiment(experiment_id).heavy)
         ]
+    logger = get_logger("report")
     results = []
     for experiment_id in experiments:
-        started = time.time()
+        started = time.perf_counter()
         results.append(run_experiment(experiment_id, settings))
         if progress:
-            print(f"[report] {experiment_id} done "
-                  f"({time.time() - started:.1f}s)")
+            logger.info(f"{experiment_id} done "
+                        f"({time.perf_counter() - started:.1f}s)")
     return render_markdown_report(results, settings, with_charts=with_charts)

@@ -15,13 +15,14 @@ Two entry points cover everything the experiments need:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.coverage import CoverageMeter
 from repro.analysis.timing import AccessTimingModel
 from repro.cache.cache import AccessKind
-from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cache.hierarchy import AccessOutcome, CacheHierarchy, HierarchyConfig
 from repro.core.base import Placement
 from repro.core.machine import MNMDesign, MostlyNoMachine
 from repro.cpu.branch import BranchPredictor
@@ -33,7 +34,87 @@ from repro.power.mnm_power import (
     machine_query_energy_nj,
     machine_update_energy_nj,
 )
+from repro.telemetry import (
+    Histogram,
+    MetricsRegistry,
+    access_record,
+    get_profiler,
+    get_registry,
+    get_tracer,
+)
 from repro.workloads.trace import Trace
+
+
+class _AccessTelemetry:
+    """Per-run buffer of one design's access metrics.
+
+    Built only when the global registry is live, so the hot paths pay a
+    single ``is not None`` check when telemetry is disabled.  Counts are
+    buffered locally (plain ints) rather than written straight into the
+    registry so the warmup boundary can :meth:`clear` them — warmup
+    accesses never leak into the snapshot — and :meth:`flush` folds the
+    measured totals into the global instruments at the end of a run.
+
+    The bypass and candidate counts follow :class:`~repro.analysis.
+    coverage.CoverageMeter` semantics exactly: a tier is a *candidate*
+    when the walk reached and missed it (tiers 2..missed) and *bypassed*
+    when its miss bit was also set — so snapshot counters and meter
+    totals agree by construction.
+    """
+
+    __slots__ = ("_registry", "_design", "_with_access",
+                 "accesses", "latency", "bypass", "candidates")
+
+    def __init__(self, registry: MetricsRegistry, design_name: str,
+                 num_tiers: int, with_access_instruments: bool = True) -> None:
+        self._registry = registry
+        self._design = design_name
+        self._with_access = with_access_instruments
+        self.accesses = 0
+        self.latency = (Histogram("memory.latency_cycles")
+                        if with_access_instruments else None)
+        self.bypass = [0] * num_tiers
+        self.candidates = [0] * num_tiers
+
+    def record(self, outcome: AccessOutcome,
+               bits: Optional[Sequence[bool]],
+               latency: Optional[int] = None) -> None:
+        """Fold one (outcome, bits, latency) triple into the buffer."""
+        self.accesses += 1
+        if self.latency is not None and latency is not None:
+            self.latency.observe(latency)
+        missed = outcome.tiers_missed
+        candidates = self.candidates
+        bypass = self.bypass
+        for tier in range(2, missed + 1):
+            candidates[tier - 1] += 1
+            if bits is not None and bits[tier - 1]:
+                bypass[tier - 1] += 1
+
+    def clear(self) -> None:
+        """Zero the buffer (the warmup boundary)."""
+        self.accesses = 0
+        if self.latency is not None:
+            self.latency.reset()
+        self.bypass = [0] * len(self.bypass)
+        self.candidates = [0] * len(self.candidates)
+
+    def flush(self) -> None:
+        """Fold the buffered totals into the global registry and clear."""
+        registry = self._registry
+        if self._with_access:
+            registry.counter("memory.accesses").inc(self.accesses)
+            if self.latency is not None:
+                registry.histogram(
+                    "memory.latency_cycles", self.latency.bounds
+                ).merge(self.latency)
+        prefix = f"mnm.{self._design}"
+        for tier in range(2, len(self.bypass) + 1):
+            registry.counter(
+                f"{prefix}.candidates.l{tier}").inc(self.candidates[tier - 1])
+            registry.counter(
+                f"{prefix}.bypass.l{tier}").inc(self.bypass[tier - 1])
+        self.clear()
 
 
 class SimulatedMemory(MemorySystem):
@@ -64,6 +145,16 @@ class SimulatedMemory(MemorySystem):
         l1i = hierarchy.cache_for(1, AccessKind.INSTRUCTION).config
         self._fetch_block = l1i.block_size
         self._l1i_latency = l1i.hit_latency
+        # Telemetry: resolved once at construction; disabled runs pay a
+        # single None-check per access.
+        self._design_name = mnm.name if mnm is not None else "NONE"
+        registry = get_registry()
+        self._telemetry = (
+            _AccessTelemetry(registry, self._design_name, hierarchy.num_tiers)
+            if registry.enabled else None
+        )
+        tracer = get_tracer()
+        self._tracer = tracer if tracer.enabled else None
 
     def access(self, address: int, kind: AccessKind) -> int:
         bits = self.mnm.query(address, kind) if self.mnm is not None else None
@@ -76,7 +167,17 @@ class SimulatedMemory(MemorySystem):
             # prefetches walk the hierarchy off the critical path; their
             # fills train the MNM through the normal event streams
             self.prefetcher.on_demand_access(address, kind, outcome)
-        return self.timing.latency(outcome, bits)
+        latency = self.timing.latency(outcome, bits)
+        if self._telemetry is not None:
+            self._telemetry.record(outcome, bits, latency)
+        tracer = self._tracer
+        if tracer is not None and tracer.want():
+            tracer.emit(access_record(
+                address, kind.value, outcome.supplier, outcome.tiers_missed,
+                {self._design_name: bits} if bits is not None else {},
+                latency,
+            ))
+        return latency
 
     @property
     def fetch_block_size(self) -> int:
@@ -93,7 +194,20 @@ class SimulatedMemory(MemorySystem):
             self.accountant.reset()
         if self.coverage is not None:
             self.coverage.reset()
+        if self._telemetry is not None:
+            self._telemetry.clear()
         self.hierarchy.reset_stats()
+
+    def export_telemetry(self) -> None:
+        """Flush buffered access metrics into the global metrics registry.
+
+        No-op when telemetry is disabled.  :func:`run_core_trace` calls
+        this at the end of a run; standalone users of
+        :class:`SimulatedMemory` call it themselves once measurement is
+        over (after which the buffer starts from zero again).
+        """
+        if self._telemetry is not None:
+            self._telemetry.flush()
 
 
 def build_memory(
@@ -202,6 +316,8 @@ def run_core_trace(
     """
     if core_config is None:
         core_config = paper_core(8)
+    profiler = get_profiler()
+    started = time.perf_counter() if profiler.enabled else 0.0
     memory = build_memory(hierarchy_config, design)
     core = OutOfOrderCore(core_config, memory, predictor)
     result = core.run(
@@ -211,6 +327,15 @@ def run_core_trace(
         cache.config.name: (cache.stats.probes, cache.stats.hits)
         for _, cache in memory.hierarchy.all_caches()
     }
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("core.instructions").inc(result.instructions)
+        registry.counter("core.cycles").inc(result.cycles)
+        memory.export_telemetry()
+        memory.hierarchy.export_stats(registry)
+    if profiler.enabled:
+        profiler.add("core_trace", time.perf_counter() - started,
+                     units=result.instructions, unit_name="instructions")
     return WorkloadRun(
         workload=trace.name,
         design_name=design.name if design is not None else "NONE",
@@ -283,6 +408,11 @@ def run_reference_pass(
     contents), so filters, meters and accountants for every design ride on
     a single simulation pass.
     """
+    registry = get_registry()
+    tracer = get_tracer()
+    profiler = get_profiler()
+    pass_started = time.perf_counter() if profiler.enabled else 0.0
+
     hierarchy = CacheHierarchy(hierarchy_config)
     timing = AccessTimingModel(hierarchy_config)
     energy_model = HierarchyEnergyModel(hierarchy_config)
@@ -311,6 +441,20 @@ def run_reference_pass(
         )
         entries.append((design, machine, meter, accountant, design_timing))
 
+    # Telemetry instruments (None when disabled — the common case — so
+    # the loop below pays one truthiness check per reference).
+    metrics: Optional[List[_AccessTelemetry]] = None
+    ref_counter = None
+    if registry.enabled:
+        ref_counter = registry.counter("pass.references")
+        metrics = [
+            _AccessTelemetry(registry, design.name, hierarchy.num_tiers,
+                             with_access_instruments=False)
+            for design, *_ in entries
+        ]
+    trace_on = tracer.enabled
+    telemetry_active = metrics is not None or trace_on
+
     access_times = [0] * len(entries)
     count = 0
     seen = 0
@@ -336,6 +480,18 @@ def run_reference_pass(
             meter.record(outcome, bits)
             accountant.account(outcome, bits)
             access_times[index] += design_timing.latency(outcome, bits)
+        if telemetry_active:
+            if metrics is not None:
+                ref_counter.inc()
+                for index, recorder in enumerate(metrics):
+                    recorder.record(outcome, bits_list[index])
+            if trace_on and tracer.want():
+                tracer.emit(access_record(
+                    address, kind.value, outcome.supplier,
+                    outcome.tiers_missed,
+                    {entry[0].name: bits_list[index]
+                     for index, entry in enumerate(entries)},
+                ))
 
     results = {
         design.name: DesignPassResult(
@@ -350,6 +506,13 @@ def run_reference_pass(
         cache.config.name: (cache.stats.probes, cache.stats.hits)
         for _, cache in hierarchy.all_caches()
     }
+    if metrics is not None:
+        for recorder in metrics:
+            recorder.flush()
+        hierarchy.export_stats(registry)
+    if profiler.enabled:
+        profiler.add("reference_pass", time.perf_counter() - pass_started,
+                     units=count, unit_name="references")
     return ReferencePassResult(
         workload=workload_name,
         hierarchy_name=hierarchy_config.name,

@@ -1,0 +1,183 @@
+"""Telemetry subsystem: metrics, decision tracing, profiling, logging.
+
+The MNM's value proposition is visibility into decisions — which
+accesses were proven misses, which levels were bypassed, what that
+saved.  This package is the observability layer that makes those
+decisions inspectable at three granularities:
+
+* :mod:`~repro.telemetry.registry` — aggregate **counters, gauges and
+  histograms**, snapshotable to JSON (``--metrics-out``);
+* :mod:`~repro.telemetry.tracer` — a **sampled JSONL stream** of
+  per-access MNM decision records (``--trace-out``);
+* :mod:`~repro.telemetry.profiling` — **phase timers and throughput
+  meters** around the simulation entry points (``--profile``);
+* :mod:`~repro.telemetry.logger` — the harness' structured progress
+  logger.
+
+Everything defaults to *off* via process-wide null singletons, so the
+hot paths (``MostlyNoMachine.query``, ``SimulatedMemory.access``, the
+reference-pass loop) pay one attribute check when telemetry is
+disabled.  The CLI (or a test) turns pieces on with the ``enable_*``
+functions and restores the defaults with :func:`reset`::
+
+    from repro import telemetry
+
+    registry = telemetry.enable_metrics()
+    tracer = telemetry.enable_tracing("decisions.jsonl", sample_rate=0.1)
+    profiler = telemetry.enable_profiling()
+    try:
+        ...  # run simulations; they pick the singletons up automatically
+        registry.write_json("metrics.json")
+    finally:
+        telemetry.reset()   # closes the tracer, restores null defaults
+
+Global state is deliberate: the simulation call graph (CLI → experiment
+registry → memoised passes → hierarchy/MNM) is too deep to thread a
+telemetry handle through every signature, and the null-singleton default
+keeps the disabled cost to a pointer read — the same trade the standard
+library's ``logging`` makes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.telemetry.logger import TelemetryLogger, get_logger
+from repro.telemetry.profiling import (
+    NULL_PROFILER,
+    NullProfiler,
+    PhaseStats,
+    Profiler,
+)
+from repro.telemetry.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.telemetry.summary import (
+    aggregate_trace,
+    format_snapshot,
+    summarize_path,
+    trace_counters,
+)
+from repro.telemetry.tracer import (
+    DEFAULT_MAX_BYTES,
+    NULL_TRACER,
+    DecisionTracer,
+    NullTracer,
+    access_record,
+)
+
+__all__ = [
+    "Counter",
+    "DecisionTracer",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullProfiler",
+    "NullRegistry",
+    "NullTracer",
+    "PhaseStats",
+    "Profiler",
+    "TelemetryLogger",
+    "access_record",
+    "aggregate_trace",
+    "disable",
+    "enable_metrics",
+    "enable_profiling",
+    "enable_tracing",
+    "format_snapshot",
+    "get_logger",
+    "get_profiler",
+    "get_registry",
+    "get_tracer",
+    "reset",
+    "set_profiler",
+    "set_registry",
+    "set_tracer",
+    "summarize_path",
+    "trace_counters",
+]
+
+_registry: MetricsRegistry = NULL_REGISTRY
+_tracer: Union[DecisionTracer, NullTracer] = NULL_TRACER
+_profiler: Profiler = NULL_PROFILER
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide metrics registry (a no-op singleton by default)."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install a metrics registry and return it."""
+    global _registry
+    _registry = registry
+    return registry
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Install (and return) a fresh live metrics registry."""
+    return set_registry(MetricsRegistry())
+
+
+def get_tracer() -> Union[DecisionTracer, NullTracer]:
+    """The process-wide decision tracer (a no-op singleton by default)."""
+    return _tracer
+
+
+def set_tracer(tracer: Union[DecisionTracer, NullTracer]) -> Union[
+        DecisionTracer, NullTracer]:
+    """Install a decision tracer and return it (closing any previous one)."""
+    global _tracer
+    if _tracer is not tracer:
+        _tracer.close()
+    _tracer = tracer
+    return tracer
+
+
+def enable_tracing(
+    path: str,
+    sample_rate: float = 1.0,
+    max_bytes: int = DEFAULT_MAX_BYTES,
+) -> DecisionTracer:
+    """Install (and return) a live JSONL tracer writing to ``path``."""
+    tracer = DecisionTracer(path, sample_rate=sample_rate, max_bytes=max_bytes)
+    set_tracer(tracer)
+    return tracer
+
+
+def get_profiler() -> Profiler:
+    """The process-wide profiler (a no-op singleton by default)."""
+    return _profiler
+
+
+def set_profiler(profiler: Profiler) -> Profiler:
+    """Install a profiler and return it."""
+    global _profiler
+    _profiler = profiler
+    return profiler
+
+
+def enable_profiling() -> Profiler:
+    """Install (and return) a fresh live profiler."""
+    return set_profiler(Profiler())
+
+
+def disable() -> None:
+    """Alias of :func:`reset` (reads better at call sites that only
+    ever turned telemetry on temporarily)."""
+    reset()
+
+
+def reset() -> None:
+    """Restore the disabled defaults, closing any live tracer."""
+    global _registry, _tracer, _profiler
+    _tracer.close()
+    _registry = NULL_REGISTRY
+    _tracer = NULL_TRACER
+    _profiler = NULL_PROFILER

@@ -1,0 +1,79 @@
+"""Lightweight structured logger for harness progress lines.
+
+The experiment harness used to announce progress with bare ``print``
+calls scattered through the code.  This module gives those lines one
+front door: a named logger with levels, ``key=value`` structured fields
+and a redirectable stream, so scripts can silence or capture harness
+chatter without touching the simulation code.
+
+This is intentionally *not* :mod:`logging`: the harness needs exactly
+one formatting convention (``[name] message key=value``), zero global
+configuration surface, and output that keeps matching what the CLI
+tests already assert.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, Optional, TextIO
+
+#: Ordered log levels (higher = more severe).
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class TelemetryLogger:
+    """Named logger writing ``[name] message key=value`` lines.
+
+    Args:
+        name: tag printed in brackets before every message.
+        level: minimum level actually written (default ``"info"``).
+        stream: output stream; None means "current ``sys.stdout``",
+            resolved at write time so pytest's capture and shell
+            redirection both behave.
+    """
+
+    def __init__(self, name: str, level: str = "info",
+                 stream: Optional[TextIO] = None) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}")
+        self.name = name
+        self.level = level
+        self.stream = stream
+
+    def _write(self, level: str, message: str, fields: Dict[str, Any]) -> None:
+        if LEVELS[level] < LEVELS[self.level]:
+            return
+        parts = [f"[{self.name}] {message}"]
+        parts.extend(f"{key}={value}" for key, value in fields.items())
+        stream = self.stream if self.stream is not None else sys.stdout
+        stream.write(" ".join(parts) + "\n")
+
+    def debug(self, message: str, **fields: Any) -> None:
+        """Log at debug level."""
+        self._write("debug", message, fields)
+
+    def info(self, message: str, **fields: Any) -> None:
+        """Log at info level."""
+        self._write("info", message, fields)
+
+    def warning(self, message: str, **fields: Any) -> None:
+        """Log at warning level."""
+        self._write("warning", message, fields)
+
+    def error(self, message: str, **fields: Any) -> None:
+        """Log at error level."""
+        self._write("error", message, fields)
+
+    def __repr__(self) -> str:
+        return f"TelemetryLogger({self.name!r}, level={self.level!r})"
+
+
+_LOGGERS: Dict[str, TelemetryLogger] = {}
+
+
+def get_logger(name: str) -> TelemetryLogger:
+    """Interned named logger (one instance per name per process)."""
+    logger = _LOGGERS.get(name)
+    if logger is None:
+        logger = _LOGGERS[name] = TelemetryLogger(name)
+    return logger

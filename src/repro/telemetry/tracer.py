@@ -1,0 +1,186 @@
+"""Structured per-access decision tracer (JSONL, sampled, size-bounded).
+
+The tracer is the forensic half of the telemetry subsystem: where the
+:mod:`~repro.telemetry.registry` keeps aggregate counters, the tracer
+writes one JSON object per sampled memory reference describing what the
+MNM decided and what actually happened — the per-access decision stream
+that level-prediction analyses (and the paper's own coverage arguments)
+are built on.
+
+Record schema, one object per line::
+
+    {
+      "t": "access",            # record type
+      "n": 17,                  # 0-based index among *sampled-eligible* accesses
+      "addr": 74896,            # byte address
+      "kind": "load",           # instruction | load | store
+      "supplier": 3,            # 1-based tier that supplied the data; null = memory
+      "missed": 2,              # how many tiers missed before supply
+      "designs": {              # per-design MNM decision
+        "HMNM4": {
+          "bits": [0, 0, 1, 0, 0],   # per-tier definite-miss bits (tier 1 first)
+          "bypassed": [3]            # tiers actually bypassed (bit set & reached)
+        }
+      },
+      "latency": 42             # priced latency in cycles (omitted when unknown)
+    }
+
+Determinism: sampling is stride-based (every *k*-th eligible access for a
+rate of 1/*k*), not random, so the same run always traces the same
+accesses — the repo-wide bit-identical-reproduction rule applies to
+telemetry artifacts too.
+
+Boundedness: the tracer stops writing once ``max_bytes`` of output would
+be exceeded and counts the records it dropped; a runaway trace can cost
+at most the configured budget of disk.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Optional, Sequence
+
+#: Default output budget: 64 MiB of JSONL before the tracer stops writing.
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+
+def access_record(
+    address: int,
+    kind_name: str,
+    supplier: Optional[int],
+    tiers_missed: int,
+    designs: Dict[str, Sequence[bool]],
+    latency: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Build the canonical per-access trace record.
+
+    ``designs`` maps design name -> per-tier miss-bit vector (tier 1
+    first); the ``bypassed`` list is derived here so every producer
+    agrees on its meaning: a tier is *bypassed* when its bit is set and
+    the walk actually reached it (``tier <= tiers_missed``).
+    """
+    record: Dict[str, Any] = {
+        "t": "access",
+        "addr": address,
+        "kind": kind_name,
+        "supplier": supplier,
+        "missed": tiers_missed,
+        "designs": {
+            name: {
+                "bits": [1 if bit else 0 for bit in bits],
+                "bypassed": [
+                    tier
+                    for tier in range(2, tiers_missed + 1)
+                    if bits[tier - 1]
+                ],
+            }
+            for name, bits in designs.items()
+        },
+    }
+    if latency is not None:
+        record["latency"] = latency
+    return record
+
+
+class DecisionTracer:
+    """Writes sampled decision records as JSONL with a hard size bound.
+
+    Args:
+        path: output file (created/truncated on open).
+        sample_rate: fraction of eligible accesses to record, in (0, 1].
+            Converted to a deterministic stride ``round(1 / rate)``; a
+            rate of 1.0 records everything.
+        max_bytes: output budget; once a record would push the file past
+            it, the record (and all later ones) is counted as dropped
+            instead of written.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: str,
+        sample_rate: float = 1.0,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        if not 0.0 < sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in (0, 1], got {sample_rate}"
+            )
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.path = path
+        self.sample_rate = sample_rate
+        self.stride = max(1, round(1.0 / sample_rate))
+        self.max_bytes = max_bytes
+        self.seen = 0
+        self.emitted = 0
+        self.dropped = 0
+        self.bytes_written = 0
+        self._handle: Optional[IO[str]] = open(path, "w")
+
+    def want(self) -> bool:
+        """Advance the sampling clock; True when this access is sampled.
+
+        Call exactly once per eligible access, and :meth:`emit` only when
+        it returns True — the stride counts *eligible* accesses, so the
+        n-th sampled record is deterministic for a given run.
+        """
+        sampled = self.seen % self.stride == 0
+        self.seen += 1
+        return sampled
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Write one record as a JSON line (or count it as dropped)."""
+        if self._handle is None:
+            self.dropped += 1
+            return
+        record.setdefault("n", self.seen - 1)
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        if self.bytes_written + len(line) > self.max_bytes:
+            self.dropped += 1
+            return
+        self._handle.write(line)
+        self.bytes_written += len(line)
+        self.emitted += 1
+
+    def close(self) -> None:
+        """Flush and close the output file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "DecisionTracer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DecisionTracer({self.path!r}, stride={self.stride}, "
+            f"emitted={self.emitted}, dropped={self.dropped})"
+        )
+
+
+class NullTracer:
+    """Disabled tracer: never samples, never writes (the default)."""
+
+    enabled = False
+
+    def want(self) -> bool:
+        """Always False — nothing is ever sampled."""
+        return False
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Discard the record."""
+
+    def close(self) -> None:
+        """No-op."""
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+#: Process-wide disabled-tracer singleton (the default).
+NULL_TRACER = NullTracer()

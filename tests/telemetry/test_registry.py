@@ -1,0 +1,135 @@
+"""Metrics registry semantics: counters, gauges, histograms, null mode."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    NULL_REGISTRY,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("x")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_reset(self):
+        counter = Counter("x")
+        counter.inc(7)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(1.5)
+        gauge.set(2.5)
+        assert registry.snapshot()["gauges"]["g"] == 2.5
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_inclusive_upper_edges(self):
+        histogram = Histogram("h", bounds=(1, 10, 100))
+        for value in (1, 1, 10, 11, 100, 101, 5000):
+            histogram.observe(value)
+        # counts: <=1, <=10, <=100, overflow
+        assert histogram.counts == [2, 1, 2, 2]
+        assert histogram.count == 7
+        assert histogram.total == 1 + 1 + 10 + 11 + 100 + 101 + 5000
+
+    def test_mean_and_dict_shape(self):
+        histogram = Histogram("h", bounds=(2, 4))
+        histogram.observe(2)
+        histogram.observe(4)
+        data = histogram.to_dict()
+        assert data["count"] == 2
+        assert data["mean"] == 3.0
+        assert data["buckets"] == {"le_2": 1, "le_4": 1, "gt_4": 0}
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(10, 1))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+
+    def test_merge_requires_same_layout(self):
+        a = Histogram("a", bounds=(1, 2))
+        b = Histogram("b", bounds=(1, 2))
+        b.observe(1)
+        b.observe(3)
+        a.merge(b)
+        assert a.counts == [1, 0, 1]
+        assert a.count == 2
+        with pytest.raises(ValueError):
+            a.merge(Histogram("c", bounds=(5,)))
+
+
+class TestRegistry:
+    def test_instruments_are_interned(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_snapshot_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.25)
+        registry.histogram("h", bounds=(1,)).observe(2)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert snapshot["counters"] == {"c": 3}
+        assert snapshot["gauges"] == {"g": 1.25}
+        assert snapshot["histograms"]["h"]["buckets"] == {"le_1": 0, "gt_1": 1}
+
+    def test_write_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        path = tmp_path / "m.json"
+        registry.write_json(str(path))
+        assert json.loads(path.read_text())["counters"]["c"] == 1
+
+    def test_reset_keeps_identity(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(5)
+        registry.reset()
+        assert counter.value == 0
+        assert registry.counter("c") is counter
+
+
+class TestNullRegistry:
+    def test_disabled_and_shared_noop_instruments(self):
+        null = NullRegistry()
+        assert not null.enabled
+        counter = null.counter("anything")
+        assert counter is null.counter("other")
+        counter.inc(100)
+        null.gauge("g").set(9)
+        null.histogram("h").observe(3)
+        assert null.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_default_global_is_null_singleton(self):
+        assert telemetry.get_registry() is NULL_REGISTRY
+        assert not telemetry.get_registry().enabled
+
+
+class TestGlobalContext:
+    def test_enable_and_reset(self):
+        registry = telemetry.enable_metrics()
+        assert telemetry.get_registry() is registry
+        assert registry.enabled
+        telemetry.reset()
+        assert telemetry.get_registry() is NULL_REGISTRY

@@ -1,0 +1,117 @@
+"""Decision tracer: JSONL validity, deterministic sampling, size bounds."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import DecisionTracer, NullTracer, access_record
+
+
+def read_jsonl(path):
+    with open(path) as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestAccessRecord:
+    def test_bypassed_is_bits_intersect_reached_tiers(self):
+        record = access_record(
+            address=0x1000, kind_name="load", supplier=4, tiers_missed=3,
+            designs={"D": (False, True, False, True, True)},
+        )
+        decision = record["designs"]["D"]
+        assert decision["bits"] == [0, 1, 0, 1, 1]
+        # tier 2 (bit set, reached) counts; tier 4/5 bits are beyond the
+        # walk (supplier = 4) and tier 1 is never an MNM target.
+        assert decision["bypassed"] == [2]
+        assert record["missed"] == 3
+        assert record["supplier"] == 4
+
+    def test_latency_is_optional(self):
+        record = access_record(0, "store", None, 2, {})
+        assert "latency" not in record
+        record = access_record(0, "store", None, 2, {}, latency=7)
+        assert record["latency"] == 7
+
+
+class TestDecisionTracer:
+    def test_writes_valid_jsonl(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with DecisionTracer(path) as tracer:
+            for n in range(5):
+                if tracer.want():
+                    tracer.emit(access_record(n, "load", 1, 0, {}))
+        records = read_jsonl(path)
+        assert len(records) == 5
+        assert [r["addr"] for r in records] == list(range(5))
+        assert all(r["t"] == "access" for r in records)
+
+    def test_sampling_stride_is_deterministic(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with DecisionTracer(path, sample_rate=0.25) as tracer:
+            for n in range(100):
+                if tracer.want():
+                    tracer.emit(access_record(n, "load", 1, 0, {}))
+        records = read_jsonl(path)
+        assert len(records) == 25
+        # every 4th eligible access, starting with the first
+        assert [r["n"] for r in records] == list(range(0, 100, 4))
+
+    def test_rejects_bad_rates(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        for rate in (0.0, -1, 1.5):
+            with pytest.raises(ValueError):
+                DecisionTracer(path, sample_rate=rate)
+
+    def test_output_is_size_bounded(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with DecisionTracer(path, max_bytes=500) as tracer:
+            for n in range(100):
+                if tracer.want():
+                    tracer.emit(access_record(n, "load", 1, 0, {}))
+            emitted, dropped = tracer.emitted, tracer.dropped
+            bytes_written = tracer.bytes_written
+        assert bytes_written <= 500
+        assert emitted > 0
+        assert dropped > 0
+        assert emitted + dropped == 100
+        # the file stayed valid JSONL despite the cutoff
+        assert len(read_jsonl(path)) == emitted
+
+    def test_close_is_idempotent_and_emit_after_close_drops(self, tmp_path):
+        tracer = DecisionTracer(str(tmp_path / "t.jsonl"))
+        tracer.close()
+        tracer.close()
+        tracer.emit({"t": "access"})
+        assert tracer.dropped == 1
+
+
+class TestNullTracer:
+    def test_never_samples(self):
+        null = NullTracer()
+        assert not null.enabled
+        assert not any(null.want() for _ in range(10))
+        null.emit({"t": "access"})
+        null.close()
+
+    def test_default_global_is_null(self):
+        assert not telemetry.get_tracer().enabled
+
+
+class TestGlobalTracing:
+    def test_enable_tracing_installs_and_reset_closes(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tracer = telemetry.enable_tracing(path, sample_rate=1.0)
+        assert telemetry.get_tracer() is tracer
+        assert tracer.want()
+        tracer.emit(access_record(1, "load", None, 2, {}))
+        telemetry.reset()
+        assert not telemetry.get_tracer().enabled
+        # reset closed the file; content is intact
+        assert len(read_jsonl(path)) == 1
+
+    def test_set_tracer_closes_previous(self, tmp_path):
+        first = telemetry.enable_tracing(str(tmp_path / "a.jsonl"))
+        telemetry.enable_tracing(str(tmp_path / "b.jsonl"))
+        first.emit({"t": "access"})
+        assert first.dropped == 1  # already closed
