@@ -1,0 +1,106 @@
+"""Benchmark the parallel executor and the on-disk pass cache.
+
+Runs ``repro-mnm report --skip-heavy`` in fresh subprocesses under four
+configurations — serial cold, parallel cold, parallel cold writing a
+disk cache, and serial warm reading it back — asserts that all four
+reports are byte-identical (the determinism contract), and writes the
+measured wall-clock numbers to ``BENCH_parallel.json``.
+
+Standalone (subprocess timings don't fit pytest-benchmark's calibrated
+in-process model)::
+
+    python benchmarks/bench_parallel_report.py [--instructions N] [--jobs N]
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _run_report(out_path, instructions, jobs, cache_dir=None):
+    """Time one ``report`` invocation in a fresh interpreter."""
+    command = [
+        sys.executable, "-m", "repro.experiments", "report", "--skip-heavy",
+        "--instructions", str(instructions), "--jobs", str(jobs),
+        "--report-out", out_path,
+    ]
+    if cache_dir:
+        command += ["--cache-dir", cache_dir]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [os.path.join(REPO_ROOT, "src"),
+                    env.get("PYTHONPATH", "")] if p)
+    started = time.perf_counter()
+    subprocess.run(command, check=True, env=env,
+                   stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    return time.perf_counter() - started
+
+
+def main(argv=None):
+    """Run the four scenarios, check byte-identity, write the JSON."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--instructions", type=int, default=20_000)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--output", default=os.path.join(
+        REPO_ROOT, "BENCH_parallel.json"))
+    args = parser.parse_args(argv)
+
+    workdir = tempfile.mkdtemp(prefix="bench-parallel-")
+    cache_dir = os.path.join(workdir, "cache")
+    reports = {}
+    timings = {}
+    try:
+        scenarios = [
+            ("serial_cold", 1, None),
+            ("parallel_cold", args.jobs, None),
+            ("disk_cache_cold", args.jobs, cache_dir),
+            ("disk_cache_warm", 1, cache_dir),
+        ]
+        for name, jobs, cache in scenarios:
+            out_path = os.path.join(workdir, name + ".md")
+            timings[name] = _run_report(out_path, args.instructions, jobs,
+                                        cache)
+            with open(out_path, "rb") as handle:
+                reports[name] = handle.read()
+            print(f"{name:18s} {timings[name]:6.1f}s")
+
+        baseline = reports["serial_cold"]
+        for name, content in reports.items():
+            assert content == baseline, f"{name} report differs from serial"
+        print("all reports byte-identical")
+
+        serial = timings["serial_cold"]
+        result = {
+            "benchmark": "parallel report executor + disk pass cache",
+            "command": (f"repro-mnm report --skip-heavy "
+                        f"--instructions {args.instructions}"),
+            "cpus": os.cpu_count(),
+            "jobs": args.jobs,
+            "instructions": args.instructions,
+            "seconds": {k: round(v, 2) for k, v in timings.items()},
+            "speedup_vs_serial_cold": {
+                k: round(serial / v, 2) for k, v in timings.items()
+            },
+            "reports_byte_identical": True,
+            "notes": ("parallel_cold speedup scales with available cores "
+                      "(cpus above is what this host exposed); "
+                      "disk_cache_warm measures a re-run against a "
+                      "populated --cache-dir"),
+        }
+        with open(args.output, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

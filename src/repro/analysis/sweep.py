@@ -13,8 +13,8 @@ from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
 from repro.cache.cache import AccessKind
-from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
-from repro.core.machine import MNMDesign, MostlyNoMachine
+from repro.cache.hierarchy import HierarchyConfig
+from repro.core.machine import MNMDesign
 
 
 @dataclass(frozen=True)
@@ -47,19 +47,16 @@ def sweep_designs(
     # module-level import would be circular
     from repro.simulate import run_reference_pass
 
-    sizes = {}
-    for design in designs:
-        machine = MostlyNoMachine(CacheHierarchy(hierarchy_config), design)
-        sizes[design.name] = machine.storage_bits
     result = run_reference_pass(
         references, hierarchy_config, designs, warmup=warmup
     )
     points = []
     for design in designs:
-        meter = result.designs[design.name].coverage
+        design_result = result.designs[design.name]
+        meter = design_result.coverage
         points.append(SweepPoint(
             design_name=design.name,
-            storage_bits=sizes[design.name],
+            storage_bits=design_result.storage_bits,
             coverage=meter.coverage,
             violations=meter.violations,
         ))

@@ -6,13 +6,28 @@ Use from Python::
     print(run_experiment("fig13", ExperimentSettings(num_instructions=60_000)).render())
 
 or from the shell: ``repro-mnm all`` / ``python -m repro.experiments all``.
+Independent simulation passes can be fanned out over worker processes
+(``repro-mnm report --jobs 4``) and persisted across runs
+(``--cache-dir``); see :mod:`repro.experiments.executor` and
+:mod:`repro.experiments.passcache`.
 """
 
 from repro.experiments.base import (
     ExperimentResult,
     ExperimentSettings,
     clear_pass_cache,
+    core_run,
     reference_pass,
+)
+from repro.experiments.executor import (
+    default_jobs,
+    execute_tasks,
+    prefetch_experiments,
+)
+from repro.experiments.passcache import (
+    PassCache,
+    configure_pass_cache,
+    get_pass_cache,
 )
 from repro.experiments.registry import (
     ExperimentEntry,
@@ -25,9 +40,16 @@ __all__ = [
     "ExperimentEntry",
     "ExperimentResult",
     "ExperimentSettings",
+    "PassCache",
     "clear_pass_cache",
+    "configure_pass_cache",
+    "core_run",
+    "default_jobs",
+    "execute_tasks",
     "experiment_ids",
     "get_experiment",
+    "get_pass_cache",
+    "prefetch_experiments",
     "reference_pass",
     "run_experiment",
 ]

@@ -19,7 +19,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.analysis.report import TextTable
 from repro.cache.hierarchy import HierarchyConfig
 from repro.core.machine import MNMDesign
-from repro.simulate import ReferencePassResult, run_reference_pass
+from repro.experiments.passcache import core_key, get_pass_cache, pass_key
+from repro.simulate import (
+    ReferencePassResult,
+    WorkloadRun,
+    run_core_trace,
+    run_reference_pass,
+)
 from repro.workloads import get_trace, workload_names
 
 #: Default trace length for harness runs; benchmarks use smaller settings.
@@ -144,12 +150,8 @@ def mean_row(label: str, rows: Sequence[Sequence[object]]) -> List[object]:
 
 
 # ---------------------------------------------------------------------------
-# Memoised reference passes
+# Memoised simulation passes
 # ---------------------------------------------------------------------------
-
-_PassKey = Tuple[str, str, int, int, int, Tuple[str, ...]]
-_PASS_CACHE: Dict[_PassKey, ReferencePassResult] = {}
-
 
 def reference_pass(
     workload: str,
@@ -159,30 +161,25 @@ def reference_pass(
 ) -> ReferencePassResult:
     """Memoised :func:`repro.simulate.run_reference_pass` for one workload.
 
-    The cache key includes the design names: a pass is reused only by
-    experiments needing the same design set (plus the always-present
-    baseline numbers).
+    Keys are full structural fingerprints (see :mod:`repro.experiments.
+    passcache`): a pass is reused only for an identical (workload,
+    hierarchy, design-set, settings) simulation, never because two
+    configurations merely share a name.
     """
-    design_names = tuple(d.name + ":" + d.placement.value for d in designs)
-    key = (
-        workload,
-        hierarchy_config.name,
-        settings.num_instructions,
-        settings.warmup_instructions,
-        settings.seed,
-        design_names,
-    )
-    cached = _PASS_CACHE.get(key)
+    cache = get_pass_cache()
+    key = pass_key(workload, hierarchy_config, designs, settings)
+    cached = cache.lookup(key)
     if cached is not None:
         return cached
 
     trace = get_trace(workload, settings.num_instructions, settings.seed)
     fetch_block = hierarchy_config.tiers[0].configs[0].block_size
-    references = trace.memory_references(fetch_block)
+    # One materialised pass: counting references for warmup scaling and
+    # simulating them used to generate the stream twice.
+    references = list(trace.memory_references(fetch_block))
     # Warmup is expressed in instructions; references per instruction vary,
     # so scale by the trace's reference density.
-    total_refs = sum(1 for _ in trace.memory_references(fetch_block))
-    warmup_refs = int(total_refs * settings.warmup_fraction)
+    warmup_refs = int(len(references) * settings.warmup_fraction)
     result = run_reference_pass(
         references,
         hierarchy_config,
@@ -190,10 +187,37 @@ def reference_pass(
         workload_name=workload,
         warmup=warmup_refs,
     )
-    _PASS_CACHE[key] = result
+    cache.store(key, result)
+    return result
+
+
+def core_run(
+    workload: str,
+    hierarchy_config: HierarchyConfig,
+    design: Optional[MNMDesign],
+    settings: ExperimentSettings,
+) -> WorkloadRun:
+    """Memoised :func:`repro.simulate.run_core_trace` for one workload.
+
+    Full-system runs (Table 2, Figures 15/16) are the heaviest unit of
+    work in a report; caching them lets experiments share baselines and
+    lets the parallel executor fan them out across worker processes.
+    """
+    cache = get_pass_cache()
+    key = core_key(workload, hierarchy_config, design, settings)
+    cached = cache.lookup(key)
+    if cached is not None:
+        return cached
+
+    trace = get_trace(workload, settings.num_instructions, settings.seed)
+    result = run_core_trace(
+        trace, hierarchy_config, design,
+        warmup=settings.warmup_instructions,
+    )
+    cache.store(key, result)
     return result
 
 
 def clear_pass_cache() -> None:
     """Drop memoised passes (tests use this)."""
-    _PASS_CACHE.clear()
+    get_pass_cache().clear()

@@ -23,6 +23,7 @@ from typing import List, Optional
 
 from repro import telemetry
 from repro.experiments.base import ExperimentSettings
+from repro.experiments.passcache import configure_pass_cache
 from repro.experiments.registry import (
     experiment_ids,
     get_experiment,
@@ -113,6 +114,16 @@ def _add_settings_args(parser: argparse.ArgumentParser) -> None:
                         default="BENCH_telemetry.json",
                         help="profile output path used with --profile "
                              "(default BENCH_telemetry.json)")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="worker processes for independent simulation "
+                             "passes (0 = auto: one per CPU; results are "
+                             "bit-identical for any value)")
+    parser.add_argument("--cache-dir", type=str, default="",
+                        help="persist computed simulation passes to this "
+                             "directory and reuse them across runs")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable pass memoisation entirely (every "
+                             "experiment recomputes its simulations)")
 
 
 def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
@@ -228,9 +239,28 @@ def _write_telemetry_outputs(args: argparse.Namespace,
         logger.info(f"profile written to {args.profile_out}")
 
 
+def _resolve_jobs(args: argparse.Namespace) -> int:
+    """The effective worker count for this invocation."""
+    from repro.experiments.executor import default_jobs
+
+    if args.jobs < 0:
+        raise SystemExit(
+            f"repro-mnm: error: --jobs must be >= 0, got {args.jobs}")
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
+    if jobs > 1 and args.trace_out:
+        # Decision-trace records from concurrent workers would interleave
+        # nondeterministically; tracing forces a serial run.
+        telemetry.get_logger("cli").info(
+            "--trace-out requires deterministic record order; "
+            "running with --jobs 1")
+        return 1
+    return jobs
+
+
 def _run_command(args: argparse.Namespace,
                  settings: ExperimentSettings) -> int:
     """Execute the report/run/all commands (telemetry already enabled)."""
+    jobs = _resolve_jobs(args)
     if args.command == "report":
         from repro.experiments.report import generate_report
 
@@ -239,6 +269,7 @@ def _run_command(args: argparse.Namespace,
             skip_heavy=args.skip_heavy,
             with_charts=not args.no_charts,
             progress=True,
+            jobs=jobs,
         )
         with open(args.report_out, "w") as handle:
             handle.write(markdown)
@@ -252,6 +283,11 @@ def _run_command(args: argparse.Namespace,
             experiment_id for experiment_id in experiment_ids()
             if not (args.skip_heavy and get_experiment(experiment_id).heavy)
         ]
+
+    if jobs > 1:
+        from repro.experiments.executor import prefetch_experiments
+
+        prefetch_experiments(selected, settings, jobs)
 
     for experiment_id in selected:
         started = time.perf_counter()
@@ -309,6 +345,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     settings = _settings_from_args(args)
+    try:
+        configure_pass_cache(cache_dir=args.cache_dir or None,
+                             enabled=not args.no_cache)
+    except OSError as exc:
+        raise SystemExit(
+            f"repro-mnm: error: cannot create --cache-dir "
+            f"{args.cache_dir}: {exc.strerror or exc}")
     _enable_telemetry(args)
     try:
         code = _run_command(args, settings)
@@ -316,6 +359,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return code
     finally:
         telemetry.reset()
+        configure_pass_cache()
 
 
 if __name__ == "__main__":

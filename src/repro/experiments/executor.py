@@ -1,0 +1,177 @@
+"""Parallel execution engine for experiment simulation passes.
+
+``generate_report`` (and ``repro-mnm run/all``) used to execute every
+(workload × hierarchy × design-set) simulation strictly serially, even
+though the passes are embarrassingly parallel.  This module fans the
+independent tasks planned by :mod:`repro.experiments.planning` out across
+a :class:`concurrent.futures.ProcessPoolExecutor` and merges the results
+back deterministically:
+
+* each worker computes a :class:`~repro.simulate.ReferencePassResult` /
+  :class:`~repro.simulate.WorkloadRun` through the same memoised entry
+  points the serial path uses, and returns it together with snapshots of
+  its local telemetry registry/profiler;
+* the parent seeds its in-process pass cache with the returned results
+  (so the subsequent serial experiment loop is all cache hits) and folds
+  the telemetry snapshots into its own instruments **in task-submission
+  order**, so ``--metrics-out`` counter totals are identical to a serial
+  run's.
+
+Determinism contract: the simulations are pure functions of their task
+spec, workers neither share state nor depend on scheduling, and the
+parent consumes results in a fixed order — so the same settings produce
+a bit-identical report for any ``--jobs`` value.  (Wall-clock profiler
+*timings* naturally vary between runs; the profiled unit counts do not.)
+
+Decision tracing (``--trace-out``) is the one telemetry piece that is
+not parallel-safe — records from concurrent workers would interleave
+nondeterministically — so the CLI forces ``--jobs 1`` when it is on.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro import telemetry
+from repro.experiments.base import ExperimentSettings
+from repro.experiments.passcache import configure_pass_cache, get_pass_cache
+from repro.experiments.planning import Task
+
+
+def default_jobs() -> int:
+    """The ``--jobs`` auto value: one worker per available CPU."""
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class _TelemetryFlags:
+    """Which telemetry pieces workers should record for the parent."""
+
+    metrics: bool
+    profile: bool
+
+
+@dataclass
+class _TaskOutcome:
+    """What a worker hands back for one executed task."""
+
+    result: Any
+    metrics: Optional[dict]
+    profile: Optional[Dict[str, dict]]
+
+
+def _run_task(
+    task: Task,
+    flags: _TelemetryFlags,
+    cache_dir: Optional[str],
+    cache_enabled: bool,
+) -> _TaskOutcome:
+    """Worker entry point: execute one task with local telemetry.
+
+    Runs in the pool process.  The worker gets its own registry/profiler
+    so the returned snapshots contain exactly this task's recordings, and
+    its own pass cache configured like the parent's — with a shared
+    ``--cache-dir`` the worker itself persists the result to disk.
+    """
+    configure_pass_cache(cache_dir=cache_dir, enabled=cache_enabled)
+    registry = telemetry.enable_metrics() if flags.metrics else None
+    profiler = telemetry.enable_profiling() if flags.profile else None
+    try:
+        result = task.execute()
+        return _TaskOutcome(
+            result=result,
+            metrics=registry.snapshot() if registry is not None else None,
+            profile=profiler.snapshot() if profiler is not None else None,
+        )
+    finally:
+        telemetry.reset()
+
+
+def execute_tasks(tasks: Sequence[Task], jobs: int) -> int:
+    """Run every not-yet-cached task and seed the pass cache.
+
+    Tasks are deduplicated by cache key (experiments share passes —
+    Figures 2 and 3, or the Figure 15/16/Table 2 baselines) and already
+    cached ones are skipped, so the pool only sees genuinely new work.
+    Returns the number of tasks computed.
+    """
+    cache = get_pass_cache()
+    if not cache.enabled:
+        # --no-cache: workers could not hand results back through the
+        # cache, so prefetching would just double the work.
+        return 0
+    pending: List[Task] = []
+    seen = set()
+    for task in tasks:
+        key = task.cache_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        if cache.lookup(key) is not None:
+            continue
+        pending.append(task)
+    if not pending:
+        return 0
+
+    jobs = max(1, min(jobs, len(pending)))
+    if jobs == 1:
+        # In-process fallback: one task, or an explicit --jobs 1.
+        for task in pending:
+            task.execute()
+        return len(pending)
+
+    flags = _TelemetryFlags(
+        metrics=telemetry.get_registry().enabled,
+        profile=telemetry.get_profiler().enabled,
+    )
+    registry = telemetry.get_registry()
+    profiler = telemetry.get_profiler()
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(_run_task, task, flags, cache.cache_dir, cache.enabled)
+            for task in pending
+        ]
+        # Consume in submission order — merged telemetry and cache
+        # contents end up independent of worker scheduling.
+        for task, future in zip(pending, futures):
+            outcome = future.result()
+            cache.seed(task.cache_key(), outcome.result)
+            if outcome.metrics is not None:
+                registry.merge_snapshot(outcome.metrics)
+            if outcome.profile is not None:
+                profiler.merge_snapshot(outcome.profile)
+    return len(pending)
+
+
+def plan_experiments(
+    experiment_ids: Sequence[str],
+    settings: ExperimentSettings,
+) -> List[Task]:
+    """Collect the task specs of every plannable selected experiment."""
+    from repro.experiments.registry import get_experiment
+
+    tasks: List[Task] = []
+    for experiment_id in experiment_ids:
+        entry = get_experiment(experiment_id)
+        if entry.planner is not None:
+            tasks.extend(entry.planner(settings))
+    return tasks
+
+
+def prefetch_experiments(
+    experiment_ids: Sequence[str],
+    settings: Optional[ExperimentSettings],
+    jobs: int,
+) -> int:
+    """Precompute the selected experiments' passes with ``jobs`` workers.
+
+    After this returns, running the experiments serially hits the pass
+    cache for every planned simulation; experiments without planners
+    (``table1``, ``table3``, ``pareto``) are unaffected and still compute
+    inline.  Returns the number of passes actually computed.
+    """
+    settings = settings or ExperimentSettings()
+    return execute_tasks(plan_experiments(experiment_ids, settings), jobs)

@@ -26,11 +26,10 @@ from repro.core.presets import (
 from repro.experiments.base import (
     ExperimentResult,
     ExperimentSettings,
+    core_run,
     mean_row,
     reference_pass,
 )
-from repro.simulate import run_core_trace
-from repro.workloads import get_trace
 
 #: Hierarchy depths compared by Figures 2 and 3.
 DEPTH_PRESETS = ("2level", "3level", "5level", "7level")
@@ -174,14 +173,12 @@ def run_figure15(settings: Optional[ExperimentSettings] = None) -> ExperimentRes
     settings = settings or ExperimentSettings()
     hierarchy = paper_hierarchy_5level()
     designs = _performance_designs()
-    warmup = settings.warmup_instructions
     rows: List[List[object]] = []
     for workload in settings.workload_list:
-        trace = get_trace(workload, settings.num_instructions, settings.seed)
-        baseline = run_core_trace(trace, hierarchy, None, warmup=warmup)
+        baseline = core_run(workload, hierarchy, None, settings)
         row: List[object] = [workload]
         for design in designs:
-            run = run_core_trace(trace, hierarchy, design, warmup=warmup)
+            run = core_run(workload, hierarchy, design, settings)
             reduction = (
                 (baseline.cycles - run.cycles) / baseline.cycles
                 if baseline.cycles
@@ -211,15 +208,13 @@ def run_figure16(settings: Optional[ExperimentSettings] = None) -> ExperimentRes
     designs = tuple(
         design.with_placement(Placement.SERIAL) for design in _performance_designs()
     )
-    warmup = settings.warmup_instructions
     rows: List[List[object]] = []
     for workload in settings.workload_list:
-        trace = get_trace(workload, settings.num_instructions, settings.seed)
-        baseline = run_core_trace(trace, hierarchy, None, warmup=warmup)
+        baseline = core_run(workload, hierarchy, None, settings)
         baseline_energy = baseline.energy.total_nj
         row: List[object] = [workload]
         for design in designs:
-            run = run_core_trace(trace, hierarchy, design, warmup=warmup)
+            run = core_run(workload, hierarchy, design, settings)
             reduction = (
                 (baseline_energy - run.energy.total_nj) / baseline_energy
                 if baseline_energy

@@ -1,0 +1,195 @@
+"""Execution planning: experiments → independent simulation tasks.
+
+The parallel executor (:mod:`repro.experiments.executor`) cannot ship
+live :class:`~repro.core.machine.MNMDesign` objects to worker processes —
+their filter factories are closures, which do not pickle.  Instead each
+experiment contributes *task specs*: plain picklable descriptions
+(workload, hierarchy config, paper design names, settings) that a worker
+rebuilds locally with :func:`repro.core.presets.parse_design` and runs
+through the same memoised entry points the serial path uses
+(:func:`~repro.experiments.base.reference_pass` /
+:func:`~repro.experiments.base.core_run`).  Because both sides construct
+designs through the same preset functions, parent and worker derive
+identical content-addressed cache keys — seeding the parent's cache with
+worker results is therefore exact, and a parallel report is bit-identical
+to a serial one.
+
+Experiments whose work does not decompose into named-design passes
+(``table1``, ``table3``, ``pareto``) simply have no planner and run
+serially in the parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.cache.hierarchy import HierarchyConfig
+from repro.cache.presets import hierarchy_preset, paper_hierarchy_5level
+from repro.core.base import Placement
+from repro.core.machine import MNMDesign
+from repro.core.presets import (
+    figure10_designs,
+    figure11_designs,
+    figure12_designs,
+    figure13_designs,
+    figure14_designs,
+    figure15_designs,
+    hmnm_design,
+    parse_design,
+    perfect_design,
+)
+from repro.experiments.base import (
+    ExperimentSettings,
+    core_run,
+    reference_pass,
+)
+from repro.experiments.passcache import core_key, pass_key
+
+#: Hierarchy depths swept by Figures 2/3 and the depth extension
+#: (mirrors ``repro.experiments.figures.DEPTH_PRESETS``; duplicated here
+#: because figures.py imports the registry which imports this module).
+DEPTH_PRESETS: Tuple[str, ...] = ("2level", "3level", "5level", "7level")
+
+
+def _build_design(name: str, placement: str) -> MNMDesign:
+    design = parse_design(name)
+    if design.placement.value != placement:
+        design = design.with_placement(Placement(placement))
+    return design
+
+
+@dataclass(frozen=True)
+class PassTask:
+    """One multi-design reference pass, described portably."""
+
+    workload: str
+    hierarchy_config: HierarchyConfig
+    design_names: Tuple[str, ...]
+    placement: str
+    settings: ExperimentSettings
+
+    def designs(self) -> Tuple[MNMDesign, ...]:
+        return tuple(
+            _build_design(name, self.placement) for name in self.design_names
+        )
+
+    def cache_key(self) -> str:
+        return pass_key(self.workload, self.hierarchy_config,
+                        self.designs(), self.settings)
+
+    def execute(self):
+        return reference_pass(self.workload, self.hierarchy_config,
+                              self.designs(), self.settings)
+
+
+@dataclass(frozen=True)
+class CoreTask:
+    """One full-system (out-of-order core) run, described portably."""
+
+    workload: str
+    hierarchy_config: HierarchyConfig
+    design_name: Optional[str]  # None = no-MNM baseline
+    placement: str
+    settings: ExperimentSettings
+
+    def design(self) -> Optional[MNMDesign]:
+        if self.design_name is None:
+            return None
+        return _build_design(self.design_name, self.placement)
+
+    def cache_key(self) -> str:
+        return core_key(self.workload, self.hierarchy_config,
+                        self.design(), self.settings)
+
+    def execute(self):
+        return core_run(self.workload, self.hierarchy_config,
+                        self.design(), self.settings)
+
+
+Task = Union[PassTask, CoreTask]
+Planner = Callable[[ExperimentSettings], List[Task]]
+
+
+# ---------------------------------------------------------------------------
+# Planners
+# ---------------------------------------------------------------------------
+
+def plan_depth_baselines(settings: ExperimentSettings) -> List[Task]:
+    """Figures 2/3: a baseline pass per (workload, depth preset)."""
+    return [
+        PassTask(workload, hierarchy_preset(preset), (), "parallel", settings)
+        for workload in settings.workload_list
+        for preset in DEPTH_PRESETS
+    ]
+
+
+def _coverage_planner(
+    designs_fn: Callable[[], Tuple[MNMDesign, ...]],
+) -> Planner:
+    """Figures 10-14: one pass per workload over the figure's line-up."""
+    def plan(settings: ExperimentSettings) -> List[Task]:
+        names = tuple(design.name for design in designs_fn())
+        hierarchy = paper_hierarchy_5level()
+        return [
+            PassTask(workload, hierarchy, names, "parallel", settings)
+            for workload in settings.workload_list
+        ]
+    return plan
+
+
+plan_figure10 = _coverage_planner(figure10_designs)
+plan_figure10.__doc__ = "Figure 10 passes: the RMNM line-up per workload."
+plan_figure11 = _coverage_planner(figure11_designs)
+plan_figure11.__doc__ = "Figure 11 passes: the SMNM line-up per workload."
+plan_figure12 = _coverage_planner(figure12_designs)
+plan_figure12.__doc__ = "Figure 12 passes: the TMNM line-up per workload."
+plan_figure13 = _coverage_planner(figure13_designs)
+plan_figure13.__doc__ = "Figure 13 passes: the CMNM line-up per workload."
+plan_figure14 = _coverage_planner(figure14_designs)
+plan_figure14.__doc__ = "Figure 14 passes: the HMNM line-up per workload."
+
+
+def plan_depth_extension(settings: ExperimentSettings) -> List[Task]:
+    """The depth extension: (HMNM2, PERFECT) per (workload, preset)."""
+    names = (hmnm_design(2).name, perfect_design().name)
+    return [
+        PassTask(workload, hierarchy_preset(preset), names, "parallel",
+                 settings)
+        for workload in settings.workload_list
+        for preset in DEPTH_PRESETS
+    ]
+
+
+def plan_table2(settings: ExperimentSettings) -> List[Task]:
+    """Table 2: one baseline core run per workload."""
+    hierarchy = paper_hierarchy_5level()
+    return [
+        CoreTask(workload, hierarchy, None, "parallel", settings)
+        for workload in settings.workload_list
+    ]
+
+
+def _performance_planner(placement: str) -> Planner:
+    """Figures 15/16: baseline + per-design core runs per workload."""
+    def plan(settings: ExperimentSettings) -> List[Task]:
+        names = tuple(design.name for design in figure15_designs())
+        hierarchy = paper_hierarchy_5level()
+        tasks: List[Task] = []
+        for workload in settings.workload_list:
+            tasks.append(
+                CoreTask(workload, hierarchy, None, "parallel", settings))
+            tasks.extend(
+                CoreTask(workload, hierarchy, name, placement, settings)
+                for name in names
+            )
+        return tasks
+    return plan
+
+
+plan_figure15 = _performance_planner("parallel")
+plan_figure15.__doc__ = ("Figure 15 runs: baseline + parallel-placement "
+                         "designs per workload.")
+plan_figure16 = _performance_planner("serial")
+plan_figure16.__doc__ = ("Figure 16 runs: baseline + serial-placement "
+                         "designs per workload.")

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.experiments import planning
 from repro.experiments.base import ExperimentResult, ExperimentSettings
 from repro.experiments.figures import (
     run_figure2,
@@ -31,6 +32,10 @@ class ExperimentEntry:
     runner: Runner
     heavy: bool = False      # needs full-system (core) runs per design
     extension: bool = False  # not a paper artifact (our extensions)
+    #: Task planner for the parallel executor: maps settings to the
+    #: independent simulation passes the runner will consume.  None means
+    #: the experiment's work does not decompose and always runs inline.
+    planner: Optional[planning.Planner] = None
 
 
 _REGISTRY: Dict[str, ExperimentEntry] = {}
@@ -42,31 +47,38 @@ def _register(entry: ExperimentEntry) -> None:
 
 _register(ExperimentEntry(
     "fig02", "Miss fraction of data access time vs hierarchy depth",
-    run_figure2))
+    run_figure2, planner=planning.plan_depth_baselines))
 _register(ExperimentEntry(
-    "fig03", "Miss fraction of cache power vs hierarchy depth", run_figure3))
+    "fig03", "Miss fraction of cache power vs hierarchy depth", run_figure3,
+    planner=planning.plan_depth_baselines))
 _register(ExperimentEntry(
     "table1", "RMNM worked example scenario", run_table1))
 _register(ExperimentEntry(
     "table2", "Workload characteristics on the 5-level hierarchy",
-    run_table2, heavy=True))
+    run_table2, heavy=True, planner=planning.plan_table2))
 _register(ExperimentEntry(
     "table3", "HMNM configuration recipes", run_table3))
 _register(ExperimentEntry(
-    "fig10", "RMNM coverage sweep", run_figure10))
+    "fig10", "RMNM coverage sweep", run_figure10,
+    planner=planning.plan_figure10))
 _register(ExperimentEntry(
-    "fig11", "SMNM coverage sweep", run_figure11))
+    "fig11", "SMNM coverage sweep", run_figure11,
+    planner=planning.plan_figure11))
 _register(ExperimentEntry(
-    "fig12", "TMNM coverage sweep", run_figure12))
+    "fig12", "TMNM coverage sweep", run_figure12,
+    planner=planning.plan_figure12))
 _register(ExperimentEntry(
-    "fig13", "CMNM coverage sweep", run_figure13))
+    "fig13", "CMNM coverage sweep", run_figure13,
+    planner=planning.plan_figure13))
 _register(ExperimentEntry(
-    "fig14", "HMNM coverage sweep", run_figure14))
+    "fig14", "HMNM coverage sweep", run_figure14,
+    planner=planning.plan_figure14))
 _register(ExperimentEntry(
     "fig15", "Execution-cycle reduction, parallel MNM", run_figure15,
-    heavy=True))
+    heavy=True, planner=planning.plan_figure15))
 _register(ExperimentEntry(
-    "fig16", "Cache power reduction, serial MNM", run_figure16, heavy=True))
+    "fig16", "Cache power reduction, serial MNM", run_figure16, heavy=True,
+    planner=planning.plan_figure16))
 
 # -- extensions (not paper artifacts) ---------------------------------------
 
@@ -89,7 +101,7 @@ def _run_depth(settings):
 
 _register(ExperimentEntry(
     "depth", "MNM access-time benefit vs hierarchy depth",
-    _run_depth, extension=True))
+    _run_depth, extension=True, planner=planning.plan_depth_extension))
 
 
 def get_experiment(experiment_id: str) -> ExperimentEntry:

@@ -96,8 +96,16 @@ def generate_report(
     skip_heavy: bool = False,
     with_charts: bool = True,
     progress: bool = False,
+    jobs: int = 1,
 ) -> str:
-    """Run experiments and return the markdown report."""
+    """Run experiments and return the markdown report.
+
+    ``jobs > 1`` precomputes the experiments' independent simulation
+    passes on a process pool before the (then cache-hitting) serial
+    experiment loop; the rendered markdown is bit-identical for every
+    ``jobs`` value because each pass is a pure function of its inputs and
+    results merge in a fixed order (see :mod:`repro.experiments.executor`).
+    """
     settings = settings or ExperimentSettings()
     if experiments is None:
         experiments = [
@@ -105,6 +113,15 @@ def generate_report(
             if not (skip_heavy and get_experiment(experiment_id).heavy)
         ]
     logger = get_logger("report")
+    if jobs > 1:
+        from repro.experiments.executor import prefetch_experiments
+
+        started = time.perf_counter()
+        computed = prefetch_experiments(experiments, settings, jobs)
+        if progress and computed:
+            logger.info(
+                f"prefetched {computed} simulation passes with {jobs} jobs "
+                f"({time.perf_counter() - started:.1f}s)")
     results = []
     for experiment_id in experiments:
         started = time.perf_counter()

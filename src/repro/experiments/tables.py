@@ -16,9 +16,12 @@ from typing import List, Optional
 from repro.cache.presets import paper_hierarchy_5level
 from repro.core.presets import _HMNM_RECIPES  # intentional: the catalogue
 from repro.core.rmnm import RMNMCache, RMNMLane
-from repro.experiments.base import ExperimentResult, ExperimentSettings, mean_row
-from repro.simulate import run_core_trace
-from repro.workloads import get_trace
+from repro.experiments.base import (
+    ExperimentResult,
+    ExperimentSettings,
+    core_run,
+    mean_row,
+)
 
 
 def run_table1(settings: Optional[ExperimentSettings] = None) -> ExperimentResult:
@@ -65,11 +68,9 @@ def run_table2(settings: Optional[ExperimentSettings] = None) -> ExperimentResul
     """Table 2: workload characteristics on the 5-level hierarchy."""
     settings = settings or ExperimentSettings()
     hierarchy = paper_hierarchy_5level()
-    warmup = settings.warmup_instructions
     rows: List[List[object]] = []
     for workload in settings.workload_list:
-        trace = get_trace(workload, settings.num_instructions, settings.seed)
-        run = run_core_trace(trace, hierarchy, None, warmup=warmup)
+        run = core_run(workload, hierarchy, None, settings)
         dl1 = run.cache_stats.get("dl1", (0, 0))
         il1 = run.cache_stats.get("il1", (0, 0))
         rows.append([

@@ -358,6 +358,7 @@ class DesignPassResult:
     coverage: CoverageMeter
     energy: EnergyTotals
     access_time: int  # summed data access time under this design
+    storage_bits: int = 0  # MNM state cost of the design on this hierarchy
 
 
 @dataclass
@@ -493,14 +494,21 @@ def run_reference_pass(
                      for index, entry in enumerate(entries)},
                 ))
 
+    if count == 0:
+        raise ValueError(
+            f"reference pass for {workload_name or hierarchy_config.name!r} "
+            f"measured nothing: warmup={warmup} consumed the entire "
+            f"reference stream ({seen} references)"
+        )
     results = {
         design.name: DesignPassResult(
             design_name=design.name,
             coverage=meter,
             energy=accountant.totals,
             access_time=access_times[index],
+            storage_bits=machine.storage_bits,
         )
-        for index, (design, _machine, meter, accountant, _timing) in enumerate(entries)
+        for index, (design, machine, meter, accountant, _timing) in enumerate(entries)
     }
     cache_stats = {
         cache.config.name: (cache.stats.probes, cache.stats.hits)

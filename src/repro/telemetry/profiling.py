@@ -129,6 +129,25 @@ class Profiler:
         return {name: stats.to_dict()
                 for name, stats in sorted(self._phases.items())}
 
+    def merge_snapshot(self, snapshot: Dict[str, dict]) -> None:
+        """Fold another profiler's :meth:`snapshot` into this one.
+
+        Seconds, call counts and unit totals add per phase.  The parallel
+        executor uses this so worker-process simulation phases (and their
+        throughput unit counts) appear in the parent's ``--profile``
+        output just as a serial run's would.
+        """
+        if not self.enabled:
+            return
+        for name, data in snapshot.items():
+            stats = self._phase(name)
+            stats.seconds += data.get("seconds", 0.0)
+            stats.calls += data.get("calls", 0)
+            stats.units += data.get("units", 0)
+            unit_name = data.get("unit_name", "")
+            if unit_name:
+                stats.unit_name = unit_name
+
     def reset(self) -> None:
         """Drop all accumulated phases."""
         self._phases.clear()

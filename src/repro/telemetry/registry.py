@@ -209,6 +209,36 @@ class MetricsRegistry:
                            for name, h in sorted(self._histograms.items())},
         }
 
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add, gauges take the incoming value, histograms merge
+        bucket-wise (bucket edges are recovered from the snapshot's
+        ``le_<edge>`` labels).  The parallel executor uses this to combine
+        worker-process recordings so a parallel run's ``--metrics-out``
+        totals equal a serial run's.
+        """
+        if not self.enabled:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            buckets = data.get("buckets", {})
+            bounds = tuple(
+                float(label[3:]) for label in buckets
+                if label.startswith("le_")
+            )
+            histogram = self.histogram(
+                name, bounds or DEFAULT_LATENCY_BUCKETS)
+            for index, edge in enumerate(histogram.bounds):
+                histogram.counts[index] += buckets.get(f"le_{edge:g}", 0)
+            histogram.counts[-1] += buckets.get(
+                f"gt_{histogram.bounds[-1]:g}", 0)
+            histogram.total += data.get("sum", 0.0)
+            histogram.count += data.get("count", 0)
+
     def to_json(self, indent: Optional[int] = 2) -> str:
         """The snapshot rendered as a JSON document."""
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

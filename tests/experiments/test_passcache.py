@@ -1,0 +1,180 @@
+"""Tests for the content-addressed pass cache.
+
+Pins the regression the cache layer was built to fix: the old cache keyed
+on ``hierarchy_config.name`` / ``design.name`` only, so two
+configurations sharing a name but differing structurally collided and
+served stale results.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.machine import MNMDesign
+from repro.core.presets import hmnm_design, smnm_design, tmnm_design
+from repro.experiments import passcache
+from repro.experiments.base import ExperimentSettings, reference_pass
+from repro.experiments.passcache import (
+    PassCache,
+    configure_pass_cache,
+    core_key,
+    fingerprint_design,
+    fingerprint_hierarchy,
+    pass_key,
+)
+from tests.conftest import small_hierarchy_config
+
+TINY = ExperimentSettings(num_instructions=4000, warmup_fraction=0.25,
+                          workloads=("twolf",))
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Each test gets an isolated memory-only cache."""
+    configure_pass_cache()
+    yield
+    configure_pass_cache()
+
+
+class TestKeyCollisions:
+    def test_same_named_hierarchies_do_not_collide(self):
+        """Regression: equal names, different geometry → different keys."""
+        base = small_hierarchy_config()
+        slower = dataclasses.replace(base, memory_latency=base.memory_latency * 2)
+        assert base.name == slower.name
+        assert (pass_key("twolf", base, (), TINY)
+                != pass_key("twolf", slower, (), TINY))
+
+    def test_same_named_hierarchies_get_fresh_results(self):
+        """The slower hierarchy must not be served the faster one's pass."""
+        base = small_hierarchy_config()
+        slower = dataclasses.replace(base, memory_latency=base.memory_latency * 4)
+        fast = reference_pass("twolf", base, (), TINY)
+        slow = reference_pass("twolf", slower, (), TINY)
+        assert slow.baseline_access_time > fast.baseline_access_time
+
+    def test_same_named_designs_do_not_collide(self):
+        """Regression: a ``perfect`` flag flip must change the key."""
+        impostor = MNMDesign(name="PERFECT", perfect=False)
+        real = MNMDesign(name="PERFECT", perfect=True)
+        hierarchy = small_hierarchy_config()
+        assert (pass_key("twolf", hierarchy, (impostor,), TINY)
+                != pass_key("twolf", hierarchy, (real,), TINY))
+
+    def test_same_named_designs_get_fresh_results(self):
+        impostor = MNMDesign(name="PERFECT", perfect=False)
+        real = MNMDesign(name="PERFECT", perfect=True)
+        hierarchy = small_hierarchy_config()
+        a = reference_pass("twolf", hierarchy, (impostor,), TINY)
+        b = reference_pass("twolf", hierarchy, (real,), TINY)
+        assert b.designs["PERFECT"].coverage.coverage == 1.0
+        assert (a.designs["PERFECT"].coverage.coverage
+                < b.designs["PERFECT"].coverage.coverage)
+
+    def test_delay_and_placement_participate(self):
+        design = tmnm_design(8, 1)
+        tweaked = dataclasses.replace(design, delay=5)
+        hierarchy = small_hierarchy_config()
+        assert (pass_key("twolf", hierarchy, (design,), TINY)
+                != pass_key("twolf", hierarchy, (tweaked,), TINY))
+
+    def test_settings_participate(self):
+        hierarchy = small_hierarchy_config()
+        other = ExperimentSettings(num_instructions=5000,
+                                   warmup_fraction=0.25,
+                                   workloads=("twolf",))
+        assert (pass_key("twolf", hierarchy, (), TINY)
+                != pass_key("twolf", hierarchy, (), other))
+
+    def test_core_and_pass_namespaces_distinct(self):
+        hierarchy = small_hierarchy_config()
+        assert (pass_key("twolf", hierarchy, (), TINY)
+                != core_key("twolf", hierarchy, None, TINY))
+
+
+class TestFingerprints:
+    def test_factory_parameters_distinguish_designs(self):
+        """Closure-captured parameters must show up in the fingerprint."""
+        assert (fingerprint_design(smnm_design(10, 2))
+                != fingerprint_design(smnm_design(13, 2)))
+
+    def test_independent_builds_fingerprint_identically(self):
+        """The parent/worker contract: rebuilding a design from presets
+        yields the same key on both sides of a process boundary."""
+        assert (fingerprint_design(hmnm_design(4))
+                == fingerprint_design(hmnm_design(4)))
+        assert (fingerprint_hierarchy(small_hierarchy_config())
+                == fingerprint_hierarchy(small_hierarchy_config()))
+
+
+class TestMemoryTier:
+    def test_identity_preserved(self):
+        hierarchy = small_hierarchy_config()
+        first = reference_pass("twolf", hierarchy, (), TINY)
+        second = reference_pass("twolf", hierarchy, (), TINY)
+        assert first is second
+
+    def test_disabled_cache_always_recomputes(self):
+        configure_pass_cache(enabled=False)
+        hierarchy = small_hierarchy_config()
+        first = reference_pass("twolf", hierarchy, (), TINY)
+        second = reference_pass("twolf", hierarchy, (), TINY)
+        assert first is not second
+        assert first.baseline_access_time == second.baseline_access_time
+
+
+class TestDiskTier:
+    def test_round_trip(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        configure_pass_cache(cache_dir=cache_dir)
+        hierarchy = small_hierarchy_config()
+        first = reference_pass("twolf", hierarchy, (), TINY)
+
+        fresh = configure_pass_cache(cache_dir=cache_dir)
+        second = reference_pass("twolf", hierarchy, (), TINY)
+        assert fresh.stats.disk_hits == 1
+        assert second is not first
+        assert second.baseline_access_time == first.baseline_access_time
+        assert second.cache_stats == first.cache_stats
+
+    def test_schema_version_rejected(self, tmp_path, monkeypatch):
+        cache_dir = str(tmp_path / "cache")
+        cache = PassCache(cache_dir=cache_dir)
+        cache.store("some-key", {"value": 1})
+        assert PassCache(cache_dir=cache_dir).lookup("some-key") is not None
+
+        monkeypatch.setattr(passcache, "SCHEMA_VERSION",
+                            passcache.SCHEMA_VERSION + 1)
+        assert PassCache(cache_dir=cache_dir).lookup("some-key") is None
+
+    def test_key_mismatch_rejected(self, tmp_path):
+        """A (theoretical) SHA collision must not serve the wrong entry."""
+        cache_dir = str(tmp_path / "cache")
+        cache = PassCache(cache_dir=cache_dir)
+        cache.store("key-a", {"value": 1})
+        path = cache._path_for("key-a")
+        with open(path, "rb") as handle:
+            envelope = pickle.load(handle)
+        envelope["key"] = "key-b"
+        with open(path, "wb") as handle:
+            pickle.dump(envelope, handle)
+        assert PassCache(cache_dir=cache_dir).lookup("key-a") is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cache = PassCache(cache_dir=cache_dir)
+        cache.store("key", {"value": 1})
+        with open(cache._path_for("key"), "wb") as handle:
+            handle.write(b"not a pickle")
+        assert PassCache(cache_dir=cache_dir).lookup("key") is None
+
+    def test_stats_counted(self, tmp_path):
+        cache = PassCache(cache_dir=str(tmp_path / "cache"))
+        assert cache.lookup("k") is None
+        cache.store("k", 1)
+        assert cache.lookup("k") == 1
+        assert cache.stats.lookups == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.stores == 1

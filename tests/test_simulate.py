@@ -156,3 +156,17 @@ class TestRunReferencePass:
         assert "dl1" in result.cache_stats
         probes, hits = result.cache_stats["dl1"]
         assert probes >= hits >= 0
+
+    def test_warmup_consuming_everything_raises(self, refs):
+        """Regression: warmup >= stream length used to return division-
+        by-zero garbage averages instead of failing loudly."""
+        with pytest.raises(ValueError, match="warmup"):
+            run_reference_pass(refs, CONFIG, [], "twolf", warmup=len(refs))
+        with pytest.raises(ValueError, match="warmup"):
+            run_reference_pass(refs, CONFIG, [], "twolf",
+                               warmup=len(refs) + 10)
+
+    def test_storage_bits_reported(self, refs):
+        result = run_reference_pass(refs, CONFIG, [tmnm_design(8, 1)],
+                                    "twolf")
+        assert result.designs["TMNM_8x1"].storage_bits > 0
