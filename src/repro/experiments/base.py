@@ -45,12 +45,18 @@ class ExperimentSettings:
             filters and predictors without being measured.
         seed: workload generator seed.
         workloads: subset of workload names (default: the paper's ten).
+        fault_spec: fault-injection spec for chaos tests (see
+            :mod:`repro.testing.faults`); overrides the ``REPRO_FAULTS``
+            environment variable.  Deliberately **excluded** from the
+            pass-cache fingerprint — injected faults must never change
+            what a result is keyed as, only whether computing it fails.
     """
 
     num_instructions: int = DEFAULT_INSTRUCTIONS
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION
     seed: int = 0
     workloads: Tuple[str, ...] = ()
+    fault_spec: str = ""
 
     def __post_init__(self) -> None:
         if self.num_instructions < 1000:

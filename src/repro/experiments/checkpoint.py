@@ -1,0 +1,196 @@
+"""Checkpoint/resume for experiment runs: the run journal.
+
+A full reproduction run fans hundreds of simulation passes over a
+process pool; an interruption (Ctrl-C, a kill, a crash) used to throw
+all completed work away.  The journal makes runs *restartable*: a
+schema-versioned JSONL manifest records every completed task — its
+cache-key digest, which is also the filename of the result pickle in the
+run directory's pass cache — and is flushed after **every** task, so the
+instant a pass finishes it is durable.
+
+``repro-mnm run/all/report --resume <dir>`` owns this layout::
+
+    <dir>/journal.jsonl     # header line + one line per completed task
+    <dir>/passes/           # the disk pass cache (see passcache.py)
+
+The first invocation creates the directory; a re-run after an
+interruption loads the journal, skips every journaled task whose result
+is still readable from the pass cache, and recomputes only the rest —
+producing a report byte-identical to an uninterrupted run, because the
+cache is content-addressed and the passes are pure.
+
+Write discipline (the same contract the pass cache pins):
+
+* the header is written once, atomically, via temp file + ``os.replace``;
+* entries are appended as single ``\\n``-terminated lines, flushed and
+  fsynced per entry.  A crash can truncate at most the *last* line;
+  :meth:`RunJournal.load` ignores any line that does not parse, so a
+  torn write costs one recomputed task, never a misread journal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, Optional
+
+from repro import telemetry
+from repro.experiments.passcache import key_digest
+
+#: Journal header magic + layout version.  Bump the version whenever the
+#: entry shape changes; an old journal then reads as empty (every task
+#: recomputes — correct, just slower) instead of being misparsed.
+JOURNAL_MAGIC = "repro-run-journal"
+JOURNAL_SCHEMA = 1
+
+#: The journal's filename inside a run directory.
+JOURNAL_NAME = "journal.jsonl"
+
+#: The pass cache's directory inside a run directory.
+PASSES_DIR = "passes"
+
+
+class RunJournal:
+    """Append-only manifest of completed task cache-keys for one run dir.
+
+    Entries are keyed by the task's :func:`~repro.experiments.passcache.
+    key_digest`, so ``is_complete`` never needs the (huge) raw key on
+    disk and each entry names its result file in ``passes/``.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._completed: Dict[str, dict] = {}
+        self._handle = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def open(cls, run_dir: str) -> "RunJournal":
+        """Load (or create) the journal of ``run_dir``.
+
+        Creates the directory and an empty journal on first use; loads
+        and keeps appending to an existing one on resume.
+        """
+        os.makedirs(run_dir, exist_ok=True)
+        journal = cls(os.path.join(run_dir, JOURNAL_NAME))
+        journal.load()
+        return journal
+
+    @staticmethod
+    def passes_dir(run_dir: str) -> str:
+        """The pass-cache directory belonging to ``run_dir``."""
+        return os.path.join(run_dir, PASSES_DIR)
+
+    # -- reading -----------------------------------------------------------
+
+    def load(self) -> int:
+        """(Re)read the journal file; returns the completed-entry count.
+
+        A missing file means a fresh run.  A bad header (wrong magic or
+        schema) means a journal from another layout: it is renamed aside
+        (``.stale``) and treated as empty, so resuming against it
+        recomputes rather than trusting entries of unknown shape.
+        Unparseable trailing lines — a torn final write — are skipped.
+        """
+        self._completed.clear()
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except FileNotFoundError:
+            return 0
+        if not lines or not self._valid_header(lines[0]):
+            telemetry.get_logger("checkpoint").warning(
+                "ignoring journal with unknown header/schema",
+                path=self.path)
+            try:
+                os.replace(self.path, self.path + ".stale")
+            except OSError:
+                pass
+            return 0
+        for line in lines[1:]:
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn trailing write: at most one, costs a recompute
+            digest = entry.get("key_sha") if isinstance(entry, dict) else None
+            if digest:
+                self._completed[digest] = entry
+        return len(self._completed)
+
+    @staticmethod
+    def _valid_header(line: str) -> bool:
+        try:
+            header = json.loads(line)
+        except json.JSONDecodeError:
+            return False
+        return (isinstance(header, dict)
+                and header.get("magic") == JOURNAL_MAGIC
+                and header.get("schema") == JOURNAL_SCHEMA)
+
+    def is_complete(self, key: str) -> bool:
+        """Whether the task with this cache key already completed."""
+        return key_digest(key) in self._completed
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    def entries(self) -> Iterator[dict]:
+        """The completed entries, in no particular order."""
+        return iter(self._completed.values())
+
+    # -- writing -----------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._handle is not None:
+            return
+        if not os.path.exists(self.path):
+            self._write_header()
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _write_header(self) -> None:
+        header = json.dumps(
+            {"magic": JOURNAL_MAGIC, "schema": JOURNAL_SCHEMA},
+            sort_keys=True)
+        tmp_path = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(header + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+
+    def record(self, key: str, description: str = "",
+               elapsed: Optional[float] = None) -> None:
+        """Durably journal one completed task (flush + fsync per entry).
+
+        Idempotent per key: re-recording a task already journaled (a
+        resumed run re-seeding its cache) is a no-op.
+        """
+        digest = key_digest(key)
+        if digest in self._completed:
+            return
+        entry: dict = {"key_sha": digest}
+        if description:
+            entry["task"] = description
+        if elapsed is not None:
+            entry["elapsed_s"] = round(elapsed, 3)
+        self._ensure_open()
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._completed[digest] = entry
+
+    def close(self) -> None:
+        """Close the append handle (the journal object stays readable)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"RunJournal({self.path!r}, completed={len(self)})"

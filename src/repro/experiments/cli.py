@@ -8,8 +8,24 @@ Examples::
     repro-mnm all --output results.txt
     repro-mnm run fig10 --metrics-out metrics.json --trace-out trace.jsonl
     repro-mnm all --profile            # writes BENCH_telemetry.json
+    repro-mnm all --resume runs/full   # journaled; re-run to resume
+    repro-mnm run fig15 --retries 3 --task-timeout 600
     repro-mnm telemetry summary metrics.json
     repro-mnm telemetry summary trace.jsonl
+
+Exit codes — known user errors map to distinct non-zero codes with a
+one-line message instead of a raw traceback:
+
+====  =======================================================
+0     success
+2     usage error (argparse: unknown flag, missing argument)
+3     bad path (``--cache-dir``/``--resume``/output directory)
+4     invalid value (``--retries``, ``--task-timeout``,
+      ``--trace-sample``, ``--jobs``, conflicting flags)
+5     unknown experiment id
+6     a simulation task failed after exhausting its retries
+130   interrupted (Ctrl-C) — journaled runs resume with ``--resume``
+====  =======================================================
 """
 
 from __future__ import annotations
@@ -23,12 +39,33 @@ from typing import List, Optional
 
 from repro import telemetry
 from repro.experiments.base import ExperimentSettings
+from repro.experiments.checkpoint import RunJournal
 from repro.experiments.passcache import configure_pass_cache
 from repro.experiments.registry import (
     experiment_ids,
     get_experiment,
     run_experiment,
 )
+from repro.experiments.resilience import (
+    ExecutionPolicy,
+    TaskExecutionError,
+    policy_from_cli,
+)
+
+#: The exit-code table (documented in the module docstring and README).
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_BAD_PATH = 3
+EXIT_BAD_VALUE = 4
+EXIT_UNKNOWN_EXPERIMENT = 5
+EXIT_TASK_FAILED = 6
+EXIT_INTERRUPTED = 130
+
+
+def _fail(code: int, message: str) -> "SystemExit":
+    """A one-line CLI error with a distinct exit code (no traceback)."""
+    print(f"repro-mnm: error: {message}", file=sys.stderr)
+    return SystemExit(code)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -50,8 +87,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="design names (default: every configuration in the figures)")
 
     run = sub.add_parser("run", help="run selected experiments")
-    run.add_argument("experiments", nargs="+", choices=list(experiment_ids()),
-                     metavar="EXPERIMENT",
+    # Validated in main() rather than via argparse choices, so an unknown
+    # id gets its own exit code (EXIT_UNKNOWN_EXPERIMENT) and message.
+    run.add_argument("experiments", nargs="+", metavar="EXPERIMENT",
                      help=f"one of: {', '.join(experiment_ids())}")
     _add_settings_args(run)
 
@@ -124,6 +162,19 @@ def _add_settings_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable pass memoisation entirely (every "
                              "experiment recomputes its simulations)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="retries per simulation task after a transient "
+                             "failure (worker death, timeout); 0 disables "
+                             "(default 2)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help="seconds a parallel task may run before its "
+                             "worker is presumed hung, killed and the task "
+                             "retried (default: no timeout)")
+    parser.add_argument("--resume", type=str, default="",
+                        help="journaled run directory: created on first "
+                             "use; re-running after an interruption skips "
+                             "every already-completed pass (implies a disk "
+                             "pass cache in <dir>/passes)")
 
 
 def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
@@ -151,9 +202,8 @@ def _check_output_dir(flag: str, path: str) -> None:
     """Fail before the run, not after it, when an output path is bad."""
     directory = os.path.dirname(path) or "."
     if not os.path.isdir(directory):
-        raise SystemExit(
-            f"repro-mnm: error: {flag} directory does not exist: "
-            f"{directory}")
+        raise _fail(EXIT_BAD_PATH,
+                    f"{flag} directory does not exist: {directory}")
 
 
 def _enable_telemetry(args: argparse.Namespace) -> None:
@@ -163,15 +213,27 @@ def _enable_telemetry(args: argparse.Namespace) -> None:
         telemetry.enable_metrics()
     if args.trace_out:
         if not 0.0 < args.trace_sample <= 1.0:
-            raise SystemExit(
-                "repro-mnm: error: --trace-sample must be in (0, 1], "
-                f"got {args.trace_sample}")
+            raise _fail(EXIT_BAD_VALUE,
+                        "--trace-sample must be in (0, 1], "
+                        f"got {args.trace_sample}")
         _check_output_dir("--trace-out", args.trace_out)
         telemetry.enable_tracing(args.trace_out,
                                  sample_rate=args.trace_sample)
     if args.profile:
         _check_output_dir("--profile-out", args.profile_out)
         telemetry.enable_profiling()
+
+
+def _build_policy(args: argparse.Namespace) -> ExecutionPolicy:
+    """The failure-handling policy for --retries / --task-timeout."""
+    if args.retries < 0:
+        raise _fail(EXIT_BAD_VALUE,
+                    f"--retries must be >= 0, got {args.retries}")
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        raise _fail(EXIT_BAD_VALUE,
+                    f"--task-timeout must be > 0 seconds, "
+                    f"got {args.task_timeout}")
+    return policy_from_cli(args.retries, args.task_timeout, seed=args.seed)
 
 
 def _bench_payload(settings: ExperimentSettings, command: str) -> dict:
@@ -244,8 +306,7 @@ def _resolve_jobs(args: argparse.Namespace) -> int:
     from repro.experiments.executor import default_jobs
 
     if args.jobs < 0:
-        raise SystemExit(
-            f"repro-mnm: error: --jobs must be >= 0, got {args.jobs}")
+        raise _fail(EXIT_BAD_VALUE, f"--jobs must be >= 0, got {args.jobs}")
     jobs = args.jobs if args.jobs > 0 else default_jobs()
     if jobs > 1 and args.trace_out:
         # Decision-trace records from concurrent workers would interleave
@@ -258,9 +319,11 @@ def _resolve_jobs(args: argparse.Namespace) -> int:
 
 
 def _run_command(args: argparse.Namespace,
-                 settings: ExperimentSettings) -> int:
+                 settings: ExperimentSettings,
+                 journal: Optional[RunJournal] = None) -> int:
     """Execute the report/run/all commands (telemetry already enabled)."""
     jobs = _resolve_jobs(args)
+    policy = _build_policy(args)
     if args.command == "report":
         from repro.experiments.report import generate_report
 
@@ -270,6 +333,8 @@ def _run_command(args: argparse.Namespace,
             with_charts=not args.no_charts,
             progress=True,
             jobs=jobs,
+            policy=policy,
+            journal=journal,
         )
         with open(args.report_out, "w") as handle:
             handle.write(markdown)
@@ -284,10 +349,13 @@ def _run_command(args: argparse.Namespace,
             if not (args.skip_heavy and get_experiment(experiment_id).heavy)
         ]
 
-    if jobs > 1:
+    # A journaled run prefetches even with one job, so every planned pass
+    # is durably recorded (and skipped on resume) the moment it finishes.
+    if jobs > 1 or journal is not None:
         from repro.experiments.executor import prefetch_experiments
 
-        prefetch_experiments(selected, settings, jobs)
+        prefetch_experiments(selected, settings, jobs,
+                             policy=policy, journal=journal)
 
     for experiment_id in selected:
         started = time.perf_counter()
@@ -344,20 +412,61 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
         return 0
 
+    if args.command == "run":
+        unknown = [experiment_id for experiment_id in args.experiments
+                   if experiment_id not in experiment_ids()]
+        if unknown:
+            raise _fail(EXIT_UNKNOWN_EXPERIMENT,
+                        f"unknown experiment id(s): {', '.join(unknown)} "
+                        f"(see 'repro-mnm list')")
+
     settings = _settings_from_args(args)
+    journal: Optional[RunJournal] = None
+    cache_dir = args.cache_dir or None
+    if args.resume:
+        if args.cache_dir:
+            raise _fail(EXIT_BAD_VALUE,
+                        "--resume and --cache-dir conflict: a resume "
+                        "directory owns its pass cache in <dir>/passes")
+        if args.no_cache:
+            raise _fail(EXIT_BAD_VALUE,
+                        "--resume and --no-cache conflict: resuming "
+                        "requires the disk pass cache")
+        try:
+            journal = RunJournal.open(args.resume)
+        except OSError as exc:
+            raise _fail(EXIT_BAD_PATH,
+                        f"cannot open --resume directory {args.resume}: "
+                        f"{exc.strerror or exc}")
+        cache_dir = RunJournal.passes_dir(args.resume)
+        if len(journal):
+            telemetry.get_logger("cli").info(
+                f"resuming from {args.resume}",
+                completed_tasks=len(journal))
     try:
-        configure_pass_cache(cache_dir=args.cache_dir or None,
-                             enabled=not args.no_cache)
+        configure_pass_cache(cache_dir=cache_dir, enabled=not args.no_cache)
     except OSError as exc:
-        raise SystemExit(
-            f"repro-mnm: error: cannot create --cache-dir "
-            f"{args.cache_dir}: {exc.strerror or exc}")
+        flag = "--resume" if args.resume else "--cache-dir"
+        raise _fail(EXIT_BAD_PATH,
+                    f"cannot create {flag} cache directory {cache_dir}: "
+                    f"{exc.strerror or exc}")
     _enable_telemetry(args)
     try:
-        code = _run_command(args, settings)
+        code = _run_command(args, settings, journal)
         _write_telemetry_outputs(args, settings)
         return code
+    except KeyboardInterrupt:
+        hint = (f"; re-run with --resume {args.resume} to continue"
+                if args.resume else
+                "; use --resume <dir> to make runs restartable")
+        print(f"repro-mnm: interrupted{hint}", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except TaskExecutionError as exc:
+        print(f"repro-mnm: error: {exc}", file=sys.stderr)
+        return EXIT_TASK_FAILED
     finally:
+        if journal is not None:
+            journal.close()
         telemetry.reset()
         configure_pass_cache()
 

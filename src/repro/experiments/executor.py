@@ -23,6 +23,36 @@ parent consumes results in a fixed order — so the same settings produce
 a bit-identical report for any ``--jobs`` value.  (Wall-clock profiler
 *timings* naturally vary between runs; the profiled unit counts do not.)
 
+Failure handling (see :mod:`repro.experiments.resilience` for policy):
+
+* a task that raises a *retryable* error (transient worker death,
+  ``BrokenProcessPool``, a ``--task-timeout`` expiry, an injected chaos
+  fault) is retried with deterministic exponential backoff, up to the
+  policy's attempt budget; *fatal* errors (bad config, planning bugs)
+  abort immediately, wrapped in a :class:`~repro.experiments.resilience.
+  TaskExecutionError` that names the task;
+* a broken or hung pool is torn down (hung workers are terminated), the
+  pool is rebuilt, and only the still-incomplete tasks are resubmitted —
+  completed results are never recomputed;
+* after ``max_pool_failures`` *consecutive* pool collapses the engine
+  degrades to in-process serial execution for the remaining tasks, with
+  a logged warning, instead of crashing the run;
+* with a run journal (:mod:`repro.experiments.checkpoint`), every
+  completed task is durably recorded the moment it finishes, so an
+  interrupted run resumed with ``--resume`` recomputes only unfinished
+  work.
+
+Because retries re-execute a task from scratch and telemetry snapshots
+are only merged for *successful* outcomes, a run that weathered faults
+still reports the same counter totals — and the same report bytes — as a
+fault-free one.
+
+The engine's own health is observable through ``executor.*`` counters:
+``executor.tasks.completed`` / ``.retried`` / ``.timeout`` / ``.failed``
+/ ``.recovered`` (succeeded after at least one retry) / ``.resumed``
+(skipped via the journal), plus ``executor.pool.broken`` /
+``.rebuilds`` and ``executor.serial_fallback``.
+
 Decision tracing (``--trace-out``) is the one telemetry piece that is
 not parallel-safe — records from concurrent workers would interleave
 nondeterministically — so the CLI forces ``--jobs 1`` when it is on.
@@ -31,14 +61,28 @@ nondeterministically — so the CLI forces ``--jobs 1`` when it is on.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import telemetry
 from repro.experiments.base import ExperimentSettings
+from repro.experiments.checkpoint import RunJournal
 from repro.experiments.passcache import configure_pass_cache, get_pass_cache
 from repro.experiments.planning import Task
+from repro.experiments.resilience import (
+    ExecutionPolicy,
+    TaskExecutionError,
+    is_retryable,
+)
+from repro.testing.faults import (
+    configure_faults,
+    get_injector,
+    resolve_fault_spec,
+)
 
 
 def default_jobs() -> int:
@@ -61,48 +105,288 @@ class _TaskOutcome:
     result: Any
     metrics: Optional[dict]
     profile: Optional[Dict[str, dict]]
+    elapsed: float = 0.0
 
 
 def _run_task(
     task: Task,
+    attempt: int,
     flags: _TelemetryFlags,
     cache_dir: Optional[str],
     cache_enabled: bool,
+    fault_spec: str = "",
 ) -> _TaskOutcome:
     """Worker entry point: execute one task with local telemetry.
 
     Runs in the pool process.  The worker gets its own registry/profiler
     so the returned snapshots contain exactly this task's recordings, and
     its own pass cache configured like the parent's — with a shared
-    ``--cache-dir`` the worker itself persists the result to disk.
+    ``--cache-dir`` the worker itself persists the result to disk.  The
+    fault spec and attempt number are forwarded explicitly so chaos
+    injection works under any multiprocessing start method and converges
+    as the parent retries.
     """
     configure_pass_cache(cache_dir=cache_dir, enabled=cache_enabled)
+    injector = configure_faults(fault_spec) if fault_spec else None
     registry = telemetry.enable_metrics() if flags.metrics else None
     profiler = telemetry.enable_profiling() if flags.profile else None
     try:
+        if injector is not None:
+            injector.set_attempt(attempt)
+            injector.on_task_start(task.cache_key(), attempt)
+        started = time.perf_counter()
         result = task.execute()
         return _TaskOutcome(
             result=result,
             metrics=registry.snapshot() if registry is not None else None,
             profile=profiler.snapshot() if profiler is not None else None,
+            elapsed=time.perf_counter() - started,
         )
     finally:
         telemetry.reset()
+        if fault_spec:
+            configure_faults(None)
 
 
-def execute_tasks(tasks: Sequence[Task], jobs: int) -> int:
+def _sleep(seconds: float) -> None:
+    if seconds > 0:
+        time.sleep(seconds)
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Abandon a pool that may contain hung or dead workers.
+
+    ``shutdown(wait=True)`` would block forever on a hung worker, so the
+    teardown cancels queued work and terminates any process still alive.
+    (``_processes`` is private API, hence the defensive ``getattr`` — a
+    missing attribute degrades to plain shutdown, never to a crash.)
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            if process.is_alive():
+                process.terminate()
+        except OSError:
+            pass
+
+
+def _execute_one_serial(
+    task: Task,
+    policy: ExecutionPolicy,
+    journal: Optional[RunJournal],
+    start_attempt: int = 1,
+) -> None:
+    """Run one task in-process with the retry policy applied.
+
+    Used by the ``jobs == 1`` path and by the serial-degradation
+    fallback.  Failures carry the task's identity (experiment id,
+    workload, hierarchy) via :class:`TaskExecutionError`, so one dead
+    task out of hundreds is diagnosable from the message alone.
+    ``KeyboardInterrupt`` passes through untouched — the journal and
+    disk cache only ever contain fully-written entries, so Ctrl-C here
+    is always resumable.
+    """
+    registry = telemetry.get_registry()
+    key = task.cache_key()
+    attempt = start_attempt
+    while True:
+        injector = get_injector()
+        if injector is not None:
+            injector.set_attempt(attempt)
+        try:
+            if injector is not None:
+                injector.on_task_start(key, attempt)
+            started = time.perf_counter()
+            task.execute()
+        except Exception as exc:
+            if not is_retryable(exc) or attempt >= policy.retry.max_attempts:
+                registry.counter("executor.tasks.failed").inc()
+                raise TaskExecutionError(task.describe(), attempt, exc) from exc
+            registry.counter("executor.tasks.retried").inc()
+            _sleep(policy.retry.delay(key, attempt))
+            attempt += 1
+            continue
+        if attempt > 1:
+            registry.counter("executor.tasks.recovered").inc()
+        registry.counter("executor.tasks.completed").inc()
+        if journal is not None:
+            journal.record(key, task.describe(),
+                           elapsed=time.perf_counter() - started)
+        return
+
+
+def _execute_parallel(
+    pending: List[Task],
+    jobs: int,
+    policy: ExecutionPolicy,
+    journal: Optional[RunJournal],
+    fault_spec: str,
+) -> None:
+    """Fan tasks over worker pools until every one has completed.
+
+    One pool per *round*: a round submits every incomplete task, then
+    consumes results in submission order (the determinism contract).  A
+    pool-level failure — a broken pool, or a teardown forced by a task
+    exceeding ``task_timeout`` — ends the round; the pool is rebuilt and
+    only the still-incomplete tasks are resubmitted.  Every task sent
+    back to the queue after a pool failure is charged one attempt, both
+    so injected faults keyed on attempt numbers converge and so a
+    genuinely hung task cannot retry forever.
+    """
+    registry = telemetry.get_registry()
+    profiler = telemetry.get_profiler()
+    cache = get_pass_cache()
+    logger = telemetry.get_logger("executor")
+    flags = _TelemetryFlags(
+        metrics=registry.enabled,
+        profile=profiler.enabled,
+    )
+    attempts: Dict[int, int] = {index: 1 for index in range(len(pending))}
+    incomplete: List[Tuple[int, Task]] = list(enumerate(pending))
+    pool_failures = 0
+
+    while incomplete:
+        if pool_failures >= policy.max_pool_failures:
+            registry.counter("executor.serial_fallback").inc()
+            logger.warning(
+                "degrading to in-process serial execution after "
+                f"{pool_failures} consecutive pool failures",
+                remaining=len(incomplete))
+            for index, task in incomplete:
+                _execute_one_serial(task, policy, journal,
+                                    start_attempt=attempts[index])
+            return
+
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(incomplete)))
+        submitted: List[Tuple[int, Task, Any]] = []
+        next_round: List[Tuple[int, Task]] = []
+        pool_broken = False
+        timed_out = False
+        retry_delay = 0.0
+        aborted = False
+        try:
+            for index, task in incomplete:
+                try:
+                    future = pool.submit(
+                        _run_task, task, attempts[index], flags,
+                        cache.cache_dir, cache.enabled, fault_spec)
+                except (BrokenProcessPool, RuntimeError):
+                    pool_broken = True
+                    next_round.append((index, task))
+                    continue
+                submitted.append((index, task, future))
+
+            # Consume in submission order — merged telemetry and cache
+            # contents end up independent of worker scheduling.
+            for index, task, future in submitted:
+                key = task.cache_key()
+                if pool_broken or timed_out:
+                    # The pool is compromised: harvest only results that
+                    # already finished, never start a fresh wait.
+                    if not future.done():
+                        next_round.append((index, task))
+                        continue
+                try:
+                    outcome = future.result(timeout=policy.task_timeout)
+                except FutureTimeoutError:
+                    registry.counter("executor.tasks.timeout").inc()
+                    if attempts[index] >= policy.retry.max_attempts:
+                        registry.counter("executor.tasks.failed").inc()
+                        timed_out = True
+                        raise TaskExecutionError(
+                            task.describe(), attempts[index],
+                            TimeoutError(
+                                f"task exceeded the {policy.task_timeout}s "
+                                "task timeout on every attempt"))
+                    registry.counter("executor.tasks.retried").inc()
+                    timed_out = True
+                    next_round.append((index, task))
+                    continue
+                except BrokenProcessPool:
+                    registry.counter("executor.pool.broken").inc()
+                    pool_broken = True
+                    next_round.append((index, task))
+                    continue
+                except Exception as exc:
+                    # The task itself raised in the worker.
+                    if (not is_retryable(exc)
+                            or attempts[index] >= policy.retry.max_attempts):
+                        registry.counter("executor.tasks.failed").inc()
+                        aborted = True
+                        raise TaskExecutionError(
+                            task.describe(), attempts[index], exc) from exc
+                    registry.counter("executor.tasks.retried").inc()
+                    retry_delay = max(
+                        retry_delay,
+                        policy.retry.delay(key, attempts[index]))
+                    attempts[index] += 1
+                    next_round.append((index, task))
+                    continue
+                cache.seed(key, outcome.result)
+                if journal is not None:
+                    journal.record(key, task.describe(),
+                                   elapsed=outcome.elapsed)
+                if outcome.metrics is not None:
+                    registry.merge_snapshot(outcome.metrics)
+                if outcome.profile is not None:
+                    profiler.merge_snapshot(outcome.profile)
+                if attempts[index] > 1:
+                    registry.counter("executor.tasks.recovered").inc()
+                registry.counter("executor.tasks.completed").inc()
+        except BaseException:
+            aborted = True
+            _terminate_pool(pool)
+            raise
+        finally:
+            if not aborted:
+                if pool_broken or timed_out:
+                    _terminate_pool(pool)
+                else:
+                    pool.shutdown(wait=True)
+
+        if pool_broken or timed_out:
+            pool_failures += 1
+            registry.counter("executor.pool.rebuilds").inc()
+            # Charge one attempt to everything going another round: the
+            # culprit cannot be told apart from tasks queued behind it,
+            # and a fresh pool re-runs them all from scratch anyway.
+            for index, _task in next_round:
+                attempts[index] += 1
+            logger.warning(
+                "worker pool failed; rebuilding and resubmitting "
+                f"{len(next_round)} incomplete tasks",
+                cause="broken pool" if pool_broken else "task timeout",
+                consecutive_failures=pool_failures)
+        else:
+            pool_failures = 0
+        _sleep(retry_delay)
+        incomplete = next_round
+
+
+def execute_tasks(
+    tasks: Sequence[Task],
+    jobs: int,
+    policy: Optional[ExecutionPolicy] = None,
+    journal: Optional[RunJournal] = None,
+) -> int:
     """Run every not-yet-cached task and seed the pass cache.
 
     Tasks are deduplicated by cache key (experiments share passes —
-    Figures 2 and 3, or the Figure 15/16/Table 2 baselines) and already
-    cached ones are skipped, so the pool only sees genuinely new work.
-    Returns the number of tasks computed.
+    Figures 2 and 3, or the Figure 15/16/Table 2 baselines); tasks
+    already cached — including those restored from a ``--resume`` run
+    directory's disk cache — are skipped, so the pool only sees genuinely
+    new work.  ``policy`` controls retries/timeouts/degradation (default:
+    3 attempts, no timeout); ``journal`` makes completion durable per
+    task.  Returns the number of tasks computed.
     """
     cache = get_pass_cache()
     if not cache.enabled:
         # --no-cache: workers could not hand results back through the
         # cache, so prefetching would just double the work.
         return 0
+    policy = policy or ExecutionPolicy()
+    registry = telemetry.get_registry()
     pending: List[Task] = []
     seen = set()
     for task in tasks:
@@ -111,38 +395,32 @@ def execute_tasks(tasks: Sequence[Task], jobs: int) -> int:
             continue
         seen.add(key)
         if cache.lookup(key) is not None:
+            if journal is not None:
+                if journal.is_complete(key):
+                    registry.counter("executor.tasks.resumed").inc()
+                else:
+                    # Present via a shared cache but not yet journaled:
+                    # record it so the manifest stays complete.
+                    journal.record(key, task.describe())
             continue
         pending.append(task)
     if not pending:
         return 0
 
-    jobs = max(1, min(jobs, len(pending)))
-    if jobs == 1:
-        # In-process fallback: one task, or an explicit --jobs 1.
-        for task in pending:
-            task.execute()
-        return len(pending)
-
-    flags = _TelemetryFlags(
-        metrics=telemetry.get_registry().enabled,
-        profile=telemetry.get_profiler().enabled,
-    )
-    registry = telemetry.get_registry()
-    profiler = telemetry.get_profiler()
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [
-            pool.submit(_run_task, task, flags, cache.cache_dir, cache.enabled)
-            for task in pending
-        ]
-        # Consume in submission order — merged telemetry and cache
-        # contents end up independent of worker scheduling.
-        for task, future in zip(pending, futures):
-            outcome = future.result()
-            cache.seed(task.cache_key(), outcome.result)
-            if outcome.metrics is not None:
-                registry.merge_snapshot(outcome.metrics)
-            if outcome.profile is not None:
-                profiler.merge_snapshot(outcome.profile)
+    fault_spec = resolve_fault_spec(pending[0].settings)
+    if fault_spec:
+        configure_faults(fault_spec)
+    try:
+        jobs = max(1, min(jobs, len(pending)))
+        if jobs == 1:
+            # In-process fallback: one task, or an explicit --jobs 1.
+            for task in pending:
+                _execute_one_serial(task, policy, journal)
+        else:
+            _execute_parallel(pending, jobs, policy, journal, fault_spec)
+    finally:
+        if fault_spec:
+            configure_faults(None)
     return len(pending)
 
 
@@ -150,14 +428,22 @@ def plan_experiments(
     experiment_ids: Sequence[str],
     settings: ExperimentSettings,
 ) -> List[Task]:
-    """Collect the task specs of every plannable selected experiment."""
+    """Collect the task specs of every plannable selected experiment.
+
+    Each task is stamped with the experiment id that planned it — pure
+    identity for error messages and the journal; cache keys stay
+    structural, so shared passes still deduplicate across experiments.
+    """
     from repro.experiments.registry import get_experiment
 
     tasks: List[Task] = []
     for experiment_id in experiment_ids:
         entry = get_experiment(experiment_id)
         if entry.planner is not None:
-            tasks.extend(entry.planner(settings))
+            tasks.extend(
+                replace(task, experiment_id=experiment_id)
+                for task in entry.planner(settings)
+            )
     return tasks
 
 
@@ -165,6 +451,8 @@ def prefetch_experiments(
     experiment_ids: Sequence[str],
     settings: Optional[ExperimentSettings],
     jobs: int,
+    policy: Optional[ExecutionPolicy] = None,
+    journal: Optional[RunJournal] = None,
 ) -> int:
     """Precompute the selected experiments' passes with ``jobs`` workers.
 
@@ -174,4 +462,5 @@ def prefetch_experiments(
     inline.  Returns the number of passes actually computed.
     """
     settings = settings or ExperimentSettings()
-    return execute_tasks(plan_experiments(experiment_ids, settings), jobs)
+    return execute_tasks(plan_experiments(experiment_ids, settings), jobs,
+                         policy=policy, journal=journal)

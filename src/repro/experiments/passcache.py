@@ -33,6 +33,8 @@ import os
 import pickle
 from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence
 
+from repro import telemetry
+
 if TYPE_CHECKING:  # avoid an import cycle with repro.experiments.base
     from repro.cache.hierarchy import HierarchyConfig
     from repro.core.machine import MNMDesign
@@ -164,6 +166,22 @@ def core_key(
     ))
 
 
+def key_digest(key: str) -> str:
+    """The SHA-256 hex digest a cache key files under.
+
+    Shared with the run journal (:mod:`repro.experiments.checkpoint`), so
+    a journal entry and its disk-cache file cross-reference by name.
+    """
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+
+def _fault_injector():
+    """The active chaos injector, if any (lazy import: tests/CI only)."""
+    from repro.testing.faults import get_injector
+
+    return get_injector()
+
+
 # ---------------------------------------------------------------------------
 # The two-tier cache
 # ---------------------------------------------------------------------------
@@ -252,8 +270,19 @@ class PassCache:
     # -- disk tier ---------------------------------------------------------
 
     def _path_for(self, key: str) -> str:
-        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
-        return os.path.join(self.cache_dir, f"{digest}.pkl")
+        return os.path.join(self.cache_dir, f"{key_digest(key)}.pkl")
+
+    def _degraded(self, key: str, counter: str, reason: str) -> None:
+        """Make a disk-tier degradation observable, not silent.
+
+        Corrupt or stale entries still (correctly) read as misses — but
+        an operator watching a warm cache recompute everything deserves
+        to know why.  One counter bump + one warning line per event.
+        """
+        telemetry.get_registry().counter(f"cache.pass.disk.{counter}").inc()
+        telemetry.get_logger("passcache").warning(
+            f"disk cache entry degraded to a miss ({reason})",
+            file=f"{key_digest(key)}.pkl")
 
     def _disk_load(self, key: str) -> Optional[Any]:
         if not self.cache_dir:
@@ -262,16 +291,23 @@ class PassCache:
         try:
             with open(path, "rb") as handle:
                 envelope = pickle.load(handle)
+        except FileNotFoundError:
+            return None  # an ordinary miss, not a degradation
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, MemoryError):
+                ImportError, IndexError, MemoryError) as exc:
+            self._degraded(key, "corrupt", f"unreadable: {type(exc).__name__}")
             return None
-        if not isinstance(envelope, dict):
-            return None
-        if envelope.get("magic") != CACHE_MAGIC:
+        if not isinstance(envelope, dict) or envelope.get("magic") != CACHE_MAGIC:
+            self._degraded(key, "corrupt", "bad envelope")
             return None
         if envelope.get("schema") != SCHEMA_VERSION:
-            return None  # written by another layout: miss, never misread
+            # written by another layout: miss, never misread
+            self._degraded(
+                key, "schema_mismatch",
+                f"schema {envelope.get('schema')!r} != {SCHEMA_VERSION}")
+            return None
         if envelope.get("key") != key:
+            self._degraded(key, "corrupt", "key mismatch (digest collision)")
             return None  # SHA-256 filename collision guard
         return envelope.get("payload")
 
@@ -284,9 +320,17 @@ class PassCache:
         }
         path = self._path_for(key)
         tmp_path = f"{path}.tmp.{os.getpid()}"
+        data = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+        injector = _fault_injector()
+        if injector is not None and injector.should_corrupt(key):
+            # Chaos hook: garble the bytes that land on disk — loads must
+            # then degrade to recomputation, never to wrong numbers.
+            from repro.testing.faults import corrupt_bytes
+
+            data = corrupt_bytes(data)
         try:
             with open(tmp_path, "wb") as handle:
-                pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(data)
             os.replace(tmp_path, path)
         except OSError:
             # a read-only or full cache directory degrades to memory-only

@@ -68,6 +68,10 @@ class PassTask:
     design_names: Tuple[str, ...]
     placement: str
     settings: ExperimentSettings
+    #: Which experiment planned this task — identity only (never part of
+    #: the cache key, which is purely structural), stamped by
+    #: ``plan_experiments`` so failures name their owner.
+    experiment_id: str = ""
 
     def designs(self) -> Tuple[MNMDesign, ...]:
         return tuple(
@@ -77,6 +81,14 @@ class PassTask:
     def cache_key(self) -> str:
         return pass_key(self.workload, self.hierarchy_config,
                         self.designs(), self.settings)
+
+    def describe(self) -> str:
+        """Human-readable identity for error messages and the journal."""
+        designs = ",".join(self.design_names) or "<baseline>"
+        return (f"{self.experiment_id or '?'}: reference pass "
+                f"workload={self.workload} "
+                f"hierarchy={self.hierarchy_config.name} "
+                f"designs={designs} placement={self.placement}")
 
     def execute(self):
         return reference_pass(self.workload, self.hierarchy_config,
@@ -92,6 +104,8 @@ class CoreTask:
     design_name: Optional[str]  # None = no-MNM baseline
     placement: str
     settings: ExperimentSettings
+    #: See :attr:`PassTask.experiment_id`.
+    experiment_id: str = ""
 
     def design(self) -> Optional[MNMDesign]:
         if self.design_name is None:
@@ -101,6 +115,14 @@ class CoreTask:
     def cache_key(self) -> str:
         return core_key(self.workload, self.hierarchy_config,
                         self.design(), self.settings)
+
+    def describe(self) -> str:
+        """Human-readable identity for error messages and the journal."""
+        return (f"{self.experiment_id or '?'}: core run "
+                f"workload={self.workload} "
+                f"hierarchy={self.hierarchy_config.name} "
+                f"design={self.design_name or '<baseline>'} "
+                f"placement={self.placement}")
 
     def execute(self):
         return core_run(self.workload, self.hierarchy_config,

@@ -97,6 +97,8 @@ def generate_report(
     with_charts: bool = True,
     progress: bool = False,
     jobs: int = 1,
+    policy=None,
+    journal=None,
 ) -> str:
     """Run experiments and return the markdown report.
 
@@ -105,6 +107,12 @@ def generate_report(
     experiment loop; the rendered markdown is bit-identical for every
     ``jobs`` value because each pass is a pure function of its inputs and
     results merge in a fixed order (see :mod:`repro.experiments.executor`).
+
+    ``policy`` (an :class:`~repro.experiments.resilience.ExecutionPolicy`)
+    controls retries/timeouts/degradation; ``journal`` (a
+    :class:`~repro.experiments.checkpoint.RunJournal`) records each
+    completed pass durably so an interrupted report run can resume.  A
+    journaled run prefetches even with ``jobs=1``.
     """
     settings = settings or ExperimentSettings()
     if experiments is None:
@@ -113,11 +121,12 @@ def generate_report(
             if not (skip_heavy and get_experiment(experiment_id).heavy)
         ]
     logger = get_logger("report")
-    if jobs > 1:
+    if jobs > 1 or journal is not None:
         from repro.experiments.executor import prefetch_experiments
 
         started = time.perf_counter()
-        computed = prefetch_experiments(experiments, settings, jobs)
+        computed = prefetch_experiments(experiments, settings, jobs,
+                                        policy=policy, journal=journal)
         if progress and computed:
             logger.info(
                 f"prefetched {computed} simulation passes with {jobs} jobs "

@@ -1,0 +1,175 @@
+"""Failure policy for the experiment engine: retries, timeouts, backoff.
+
+The parallel executor (:mod:`repro.experiments.executor`) fans thousands
+of simulation passes over worker processes for the bigger sweeps; at that
+scale a single transient worker death, hang or OOM must cost one retried
+task, not the whole report.  This module is the *policy* half of that
+resilience story — the executor supplies the mechanism:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  **deterministic, seedable jitter** (a hash of ``(seed, task key,
+  attempt)``, never ``random``), so two runs of the same failing
+  schedule sleep identically and tests can pin delays exactly;
+* :func:`is_retryable` — the exception taxonomy.  *Retryable* means the
+  failure is plausibly transient (a worker died, the pool broke, a
+  task timed out, the OS hiccuped) and the same task may well succeed on
+  a fresh attempt.  *Fatal* means the task itself is wrong (bad config,
+  planning error — ``ValueError``/``TypeError``/... would recur forever)
+  and retrying only burns time;
+* :class:`TaskExecutionError` — the wrapper that carries a failing
+  task's identity (experiment id, workload, hierarchy) to the surface,
+  so a dead task out of hundreds is diagnosable from the message alone;
+* :class:`ExecutionPolicy` — the bundle the CLI builds from
+  ``--retries`` / ``--task-timeout`` and hands to the executor, plus the
+  pool-level degradation knobs (after ``max_pool_failures`` consecutive
+  pool collapses the executor falls back to in-process serial execution
+  instead of crashing).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class TransientTaskError(RuntimeError):
+    """Marker base for errors that are transient by construction.
+
+    The fault-injection harness (:mod:`repro.testing.faults`) raises a
+    subclass of this so injected failures are classified retryable, the
+    same way a genuine transient worker failure would be.
+    """
+
+
+class TaskExecutionError(RuntimeError):
+    """A simulation task failed for good (fatal, or retries exhausted).
+
+    Carries the task's identity so the operator knows *which* of the
+    hundreds of planned passes died without reading a raw traceback.
+    """
+
+    def __init__(self, description: str, attempts: int,
+                 cause: BaseException) -> None:
+        self.description = description
+        self.attempts = attempts
+        self.cause = cause
+        plural = "s" if attempts != 1 else ""
+        super().__init__(
+            f"task failed after {attempts} attempt{plural}: {description} "
+            f"[{type(cause).__name__}: {cause}]")
+
+
+#: Exception types worth a fresh attempt: the worker (or its process, or
+#: the pool plumbing between us and it) failed, not the task definition.
+RETRYABLE_EXCEPTIONS = (
+    BrokenProcessPool,
+    FutureTimeoutError,
+    TimeoutError,
+    TransientTaskError,
+    ConnectionError,
+    EOFError,
+    MemoryError,
+    OSError,
+)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether a task failure is transient (retry) or fatal (abort).
+
+    ``KeyboardInterrupt``/``SystemExit`` are neither — the executor
+    re-raises them untouched so Ctrl-C still stops a run promptly.
+    """
+    if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+        return False
+    return isinstance(exc, RETRYABLE_EXCEPTIONS)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    Attributes:
+        max_attempts: total tries per task (1 = no retries).
+        backoff_base: delay before the first retry, in seconds.
+        backoff_factor: multiplier applied per subsequent retry.
+        backoff_cap: upper bound on any single delay.
+        jitter: fraction of the delay added deterministically in
+            ``[0, jitter)`` — derived from ``(seed, key, attempt)``, so
+            identical schedules sleep identically across runs/processes.
+        seed: jitter seed.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_cap: float = 5.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0:
+            raise ValueError(
+                f"backoff_base must be >= 0, got {self.backoff_base}")
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Seconds to sleep before retrying ``key`` after ``attempt``.
+
+        ``attempt`` is the 1-based attempt that just failed.  The jitter
+        term is a pure function of ``(seed, key, attempt)`` — no global
+        RNG state, no wall clock — so the whole backoff schedule is
+        reproducible.
+        """
+        base = self.backoff_base * (self.backoff_factor ** (attempt - 1))
+        digest = hashlib.sha256(
+            f"{self.seed}\x1f{key}\x1f{attempt}".encode("utf-8")).digest()
+        unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return min(base * (1.0 + self.jitter * unit), self.backoff_cap)
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Everything the executor needs to know about failure handling.
+
+    Attributes:
+        retry: per-task retry schedule.
+        task_timeout: seconds a parallel task may run before it is
+            presumed hung, its worker killed and the task retried
+            (None = wait forever, the pre-resilience behaviour).
+        max_pool_failures: consecutive pool collapses (broken pool, or a
+            teardown forced by a hung worker) tolerated before the
+            executor degrades to in-process serial execution for the
+            remaining tasks instead of crashing the run.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    task_timeout: Optional[float] = None
+    max_pool_failures: int = 3
+
+    def __post_init__(self) -> None:
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be > 0 seconds, got {self.task_timeout}")
+        if self.max_pool_failures < 1:
+            raise ValueError(
+                f"max_pool_failures must be >= 1, got {self.max_pool_failures}")
+
+
+def policy_from_cli(retries: int, task_timeout: Optional[float],
+                    seed: int = 0) -> ExecutionPolicy:
+    """Build the policy for ``--retries N --task-timeout S``.
+
+    ``retries`` counts *additional* attempts after the first, matching
+    the flag's plain-English reading (``--retries 0`` = try once).
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    return ExecutionPolicy(
+        retry=RetryPolicy(max_attempts=retries + 1, seed=seed),
+        task_timeout=task_timeout,
+    )

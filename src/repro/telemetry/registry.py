@@ -29,9 +29,17 @@ Naming convention (dotted, lowercase) used by the simulation wiring:
                                           the meter's *candidates* count
 ``cache.<name>.probes`` / ``.hits`` /     per-cache totals exported at the end
 ``.misses``                               of a run
+``cache.pass.disk.corrupt`` /             pass-cache disk entries degraded to
+``.schema_mismatch``                      misses (observable, never silent)
 ``memory.accesses``                       accesses through ``SimulatedMemory``
 ``memory.latency_cycles``                 histogram of priced access latencies
 ``core.instructions`` / ``core.cycles``   full-system run totals
+``executor.tasks.completed`` /            the parallel executor's task ledger:
+``.retried`` / ``.timeout`` /             retries after transient failures,
+``.failed`` / ``.recovered`` /            timeouts, fatal failures, successes
+``.resumed``                              after retry, journal-resumed skips
+``executor.pool.broken`` / ``.rebuilds``  worker-pool collapses and rebuilds
+``executor.serial_fallback``              degradations to serial execution
 ========================================  =====================================
 """
 

@@ -1,8 +1,15 @@
 """Tests for the command-line harness."""
 
+import json
+import os
+
 import pytest
 
-from repro.experiments.cli import main
+from repro.experiments.cli import (
+    EXIT_BAD_VALUE,
+    EXIT_UNKNOWN_EXPERIMENT,
+    main,
+)
 
 
 class TestList:
@@ -30,14 +37,77 @@ class TestRun:
         assert "twolf" in out
 
     def test_rejects_unknown_experiment(self, capsys):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as excinfo:
             main(["run", "fig99"])
+        assert excinfo.value.code == EXIT_UNKNOWN_EXPERIMENT
+        err = capsys.readouterr().err
+        assert "fig99" in err
+        assert "repro-mnm list" in err
 
     def test_output_file(self, tmp_path, capsys):
         path = tmp_path / "out.txt"
         main(["run", "table3", "--output", str(path)])
         capsys.readouterr()
         assert "HMNM4" in path.read_text()
+
+
+SMALL = ["--instructions", "4000", "--workloads", "twolf",
+         "--warmup-fraction", "0.25"]
+
+
+class TestExitCodes:
+    """Known user errors map to distinct codes with a one-line message."""
+
+    def _expect(self, argv, code, fragment, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == code
+        assert fragment in capsys.readouterr().err
+
+    def test_negative_retries(self, capsys):
+        self._expect(["run", "fig10", *SMALL, "--retries", "-1"],
+                     EXIT_BAD_VALUE, "--retries", capsys)
+
+    def test_non_positive_task_timeout(self, capsys):
+        self._expect(["run", "fig10", *SMALL, "--task-timeout", "0"],
+                     EXIT_BAD_VALUE, "--task-timeout", capsys)
+
+    def test_negative_jobs(self, capsys):
+        self._expect(["run", "fig10", *SMALL, "--jobs", "-2"],
+                     EXIT_BAD_VALUE, "--jobs", capsys)
+
+    def test_resume_conflicts_with_cache_dir(self, tmp_path, capsys):
+        self._expect(["run", "fig10", *SMALL,
+                      "--resume", str(tmp_path / "run"),
+                      "--cache-dir", str(tmp_path / "cache")],
+                     EXIT_BAD_VALUE, "--resume and --cache-dir", capsys)
+
+    def test_resume_conflicts_with_no_cache(self, tmp_path, capsys):
+        self._expect(["run", "fig10", *SMALL,
+                      "--resume", str(tmp_path / "run"), "--no-cache"],
+                     EXIT_BAD_VALUE, "--resume and --no-cache", capsys)
+
+
+class TestResume:
+    def test_journaled_run_skips_completed_passes(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        metrics = tmp_path / "metrics.json"
+        assert main(["run", "fig10", *SMALL, "--jobs", "1",
+                     "--resume", str(run_dir)]) == 0
+        journal = run_dir / "journal.jsonl"
+        assert journal.exists()
+        entries = journal.read_text().splitlines()
+        assert len(entries) >= 2  # header + at least one completed task
+        assert (run_dir / "passes").is_dir()
+        assert os.listdir(run_dir / "passes")
+
+        capsys.readouterr()
+        assert main(["run", "fig10", *SMALL, "--jobs", "1",
+                     "--resume", str(run_dir),
+                     "--metrics-out", str(metrics)]) == 0
+        counters = json.loads(metrics.read_text())["counters"]
+        assert counters["executor.tasks.resumed"] == len(entries) - 1
+        assert "executor.tasks.completed" not in counters
 
 
 class TestAll:

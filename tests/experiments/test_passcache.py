@@ -178,3 +178,61 @@ class TestDiskTier:
         assert cache.stats.misses == 1
         assert cache.stats.memory_hits == 1
         assert cache.stats.stores == 1
+
+
+class TestDiskDegradations:
+    """Disk-tier failures are observable: a counter and a warning, never
+    a silent recompute (the satellite contract of the resilience PR)."""
+
+    @pytest.fixture
+    def registry(self):
+        from repro import telemetry
+
+        registry = telemetry.enable_metrics()
+        yield registry
+        telemetry.reset()
+
+    def test_corrupt_entry_bumps_the_corrupt_counter(self, tmp_path,
+                                                     registry):
+        cache_dir = str(tmp_path / "cache")
+        cache = PassCache(cache_dir=cache_dir)
+        cache.store("key", {"value": 1})
+        with open(cache._path_for("key"), "wb") as handle:
+            handle.write(b"not a pickle")
+        assert PassCache(cache_dir=cache_dir).lookup("key") is None
+        counters = registry.snapshot()["counters"]
+        assert counters["cache.pass.disk.corrupt"] == 1
+        assert "cache.pass.disk.schema_mismatch" not in counters
+
+    def test_schema_mismatch_bumps_its_own_counter(self, tmp_path,
+                                                   registry, monkeypatch):
+        cache_dir = str(tmp_path / "cache")
+        cache = PassCache(cache_dir=cache_dir)
+        cache.store("key", {"value": 1})
+        monkeypatch.setattr(passcache, "SCHEMA_VERSION",
+                            passcache.SCHEMA_VERSION + 1)
+        assert PassCache(cache_dir=cache_dir).lookup("key") is None
+        counters = registry.snapshot()["counters"]
+        assert counters["cache.pass.disk.schema_mismatch"] == 1
+
+    def test_plain_miss_is_not_a_degradation(self, tmp_path, registry):
+        cache = PassCache(cache_dir=str(tmp_path / "cache"))
+        assert cache.lookup("never-stored") is None
+        counters = registry.snapshot()["counters"]
+        assert "cache.pass.disk.corrupt" not in counters
+
+    def test_injected_corrupt_write_reads_back_as_a_miss(self, tmp_path,
+                                                         registry):
+        """The cache-write fault site: garbled bytes land on disk, the
+        reload degrades to recomputation — never to wrong numbers."""
+        from repro.testing.faults import configure_faults
+
+        cache_dir = str(tmp_path / "cache")
+        configure_faults("corrupt")
+        try:
+            PassCache(cache_dir=cache_dir).store("key", {"value": 1})
+        finally:
+            configure_faults(None)
+        assert PassCache(cache_dir=cache_dir).lookup("key") is None
+        counters = registry.snapshot()["counters"]
+        assert counters["cache.pass.disk.corrupt"] == 1

@@ -82,22 +82,29 @@ class TestTelemetrySummary:
 
 
 class TestErrorPaths:
-    def test_trace_sample_out_of_range_is_a_clean_error(self, tmp_path):
+    def test_trace_sample_out_of_range_is_a_clean_error(self, tmp_path,
+                                                        capsys):
         import pytest
+
+        from repro.experiments.cli import EXIT_BAD_VALUE
 
         with pytest.raises(SystemExit) as excinfo:
             main(["run", "fig10", *SMALL,
                   "--trace-out", str(tmp_path / "t.jsonl"),
                   "--trace-sample", "0"])
-        assert "--trace-sample" in str(excinfo.value)
+        assert excinfo.value.code == EXIT_BAD_VALUE
+        assert "--trace-sample" in capsys.readouterr().err
 
-    def test_bad_output_directory_fails_before_the_run(self):
+    def test_bad_output_directory_fails_before_the_run(self, capsys):
         import pytest
+
+        from repro.experiments.cli import EXIT_BAD_PATH
 
         with pytest.raises(SystemExit) as excinfo:
             main(["run", "fig10", *SMALL,
                   "--metrics-out", "/nonexistent/m.json"])
-        assert "--metrics-out" in str(excinfo.value)
+        assert excinfo.value.code == EXIT_BAD_PATH
+        assert "--metrics-out" in capsys.readouterr().err
 
     def test_summary_missing_file(self, capsys):
         assert main(["telemetry", "summary", "/nonexistent/m.json"]) == 1
