@@ -1,0 +1,137 @@
+"""Benchmark the design-space search runner on the parallel executor.
+
+Runs ``repro-mnm search`` in fresh subprocesses under three
+configurations — serial cold, parallel cold, and serial resumed against
+the parallel run's journal — asserts the ranked reports are
+byte-identical (the determinism contract), and writes candidates/sec
+throughput plus the resumed run's cache-hit rate to
+``BENCH_search.json``.
+
+Standalone (subprocess timings don't fit pytest-benchmark's calibrated
+in-process model)::
+
+    python benchmarks/bench_search.py [--instructions N] [--jobs N]
+        [--samples N]
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _run_search(out_path, metrics_path, instructions, samples, jobs,
+                resume_dir=None):
+    """Time one ``search`` invocation in a fresh interpreter."""
+    command = [
+        sys.executable, "-m", "repro.experiments", "search",
+        "--space", "quick", "--sampler", "random",
+        "--samples", str(samples), "--seed", "7",
+        "--instructions", str(instructions), "--workloads", "gcc,twolf",
+        "--jobs", str(jobs),
+        "--output", out_path, "--metrics-out", metrics_path,
+    ]
+    if resume_dir:
+        command += ["--resume", resume_dir]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [os.path.join(REPO_ROOT, "src"),
+                    env.get("PYTHONPATH", "")] if p)
+    started = time.perf_counter()
+    subprocess.run(command, check=True, env=env,
+                   stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    return time.perf_counter() - started
+
+
+def _search_counters(metrics_path):
+    with open(metrics_path) as handle:
+        counters = json.load(handle)["counters"]
+    return {name: value for name, value in counters.items()
+            if name.startswith("search.")}
+
+
+def main(argv=None):
+    """Run the three scenarios, check byte-identity, write the JSON."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--instructions", type=int, default=20_000)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--samples", type=int, default=8)
+    parser.add_argument("--output", default=os.path.join(
+        REPO_ROOT, "BENCH_search.json"))
+    args = parser.parse_args(argv)
+
+    workdir = tempfile.mkdtemp(prefix="bench-search-")
+    resume_dir = os.path.join(workdir, "run")
+    reports = {}
+    timings = {}
+    counters = {}
+    try:
+        scenarios = [
+            ("serial_cold", 1, None),
+            ("parallel_cold", args.jobs, resume_dir),
+            ("serial_resumed", 1, resume_dir),
+        ]
+        for name, jobs, resume in scenarios:
+            out_path = os.path.join(workdir, name + ".txt")
+            metrics_path = os.path.join(workdir, name + ".metrics.json")
+            timings[name] = _run_search(out_path, metrics_path,
+                                        args.instructions, args.samples,
+                                        jobs, resume)
+            with open(out_path, "rb") as handle:
+                reports[name] = handle.read()
+            counters[name] = _search_counters(metrics_path)
+            print(f"{name:16s} {timings[name]:6.1f}s  {counters[name]}")
+
+        baseline = reports["serial_cold"]
+        for name, content in reports.items():
+            assert content == baseline, f"{name} report differs from serial"
+        print("all search reports byte-identical")
+
+        evaluated = counters["serial_cold"].get(
+            "search.candidates.evaluated", 0)
+        resumed = counters["serial_resumed"]
+        planned = resumed.get("search.tasks.planned", 0)
+        hits = resumed.get("search.tasks.cache_hits", 0)
+        result = {
+            "benchmark": "design-space search on the parallel executor",
+            "command": (f"repro-mnm search --space quick --sampler random "
+                        f"--samples {args.samples} "
+                        f"--instructions {args.instructions}"),
+            "cpus": os.cpu_count(),
+            "jobs": args.jobs,
+            "instructions": args.instructions,
+            "samples": args.samples,
+            "candidates_evaluated": evaluated,
+            "seconds": {k: round(v, 2) for k, v in timings.items()},
+            "candidates_per_sec": {
+                k: round(evaluated / v, 3) for k, v in timings.items()
+            },
+            "speedup_vs_serial_cold": {
+                k: round(timings["serial_cold"] / v, 2)
+                for k, v in timings.items()
+            },
+            "resumed_cache_hit_rate": (
+                round(hits / planned, 3) if planned else None),
+            "reports_byte_identical": True,
+            "notes": ("candidates_per_sec counts unique designs simulated "
+                      "per wall-clock second (interpreter startup "
+                      "included); serial_resumed re-runs against the "
+                      "parallel run's journal, so its cache-hit rate "
+                      "should be 1.0"),
+        }
+        with open(args.output, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

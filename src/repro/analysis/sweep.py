@@ -32,8 +32,19 @@ class SweepPoint:
 
     @property
     def coverage_per_kb(self) -> float:
+        """Coverage per KB of filter state.
+
+        A zero-storage design with nonzero coverage (the PERFECT oracle)
+        is infinitely efficient by this metric, so it returns
+        ``float("inf")`` explicitly rather than a misleading 0.0 — any
+        storage-efficiency ranking must place free coverage first.  A
+        design with no storage *and* no coverage (the NULL baseline)
+        stays 0.0.
+        """
         kb = self.storage_kb
-        return self.coverage / kb if kb else 0.0
+        if kb:
+            return self.coverage / kb
+        return float("inf") if self.coverage else 0.0
 
 
 def sweep_designs(
@@ -67,9 +78,13 @@ def pareto_frontier(points: Sequence[SweepPoint]) -> List[SweepPoint]:
     """Non-dominated points: no other design is both smaller and better.
 
     Returned sorted by storage; coverage is strictly increasing along the
-    frontier.
+    frontier.  Fully deterministic: candidates tied on (storage, coverage)
+    are considered in design-name order, so the same point set always
+    yields the same frontier members regardless of input order — part of
+    the byte-stable report contract the design-space search relies on.
     """
-    ordered = sorted(points, key=lambda p: (p.storage_bits, -p.coverage))
+    ordered = sorted(
+        points, key=lambda p: (p.storage_bits, -p.coverage, p.design_name))
     frontier: List[SweepPoint] = []
     best = -1.0
     for point in ordered:

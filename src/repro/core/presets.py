@@ -4,9 +4,14 @@ Naming follows the paper exactly:
 
 * ``RMNM_{blocks}_{assoc}`` — shared replacement cache (Figure 10).
 * ``SMNM_{width}x{replication}`` — sum checkers (Figure 11).
-* ``TMNM_{bits}x{replication}`` — counter tables (Figure 12).
+* ``TMNM_{bits}x{replication}`` — counter tables (Figure 12); an optional
+  ``w{counter_bits}`` suffix (``TMNM_10x2w4``) selects a non-paper counter
+  width for the design-space search.
 * ``CMNM_{registers}_{low_bits}`` — virtual-tag + table (Figure 13).
 * ``HMNM1`` .. ``HMNM4`` — the Table 3 hybrids (Figure 14).
+* ``HYB_s{w}x{r}_t{b}x{r}_c{k}x{m}_t{b}x{r}_r{n}x{a}`` — a fully
+  parameterised Table-3-shaped hybrid (:func:`hybrid_design`), the search
+  subsystem's hybrid family.
 * ``PERFECT`` — the oracle bound; ``NONE`` — the no-MNM baseline.
 
 Single-technique designs replicate the same structure for every tracked
@@ -22,7 +27,7 @@ from typing import Dict, Tuple
 from repro.core.cmnm import CMNM
 from repro.core.machine import FilterBuildContext, FilterFactory, MNMDesign
 from repro.core.smnm import SMNM
-from repro.core.tmnm import TMNM
+from repro.core.tmnm import COUNTER_BITS, TMNM
 
 
 def smnm_factory(sum_width: int, replication: int,
@@ -33,10 +38,11 @@ def smnm_factory(sum_width: int, replication: int,
     return build
 
 
-def tmnm_factory(index_bits: int, replication: int) -> FilterFactory:
+def tmnm_factory(index_bits: int, replication: int,
+                 counter_bits: int = COUNTER_BITS) -> FilterFactory:
     """Factory for one TMNM per tracked cache."""
     def build(_context: FilterBuildContext) -> TMNM:
-        return TMNM(index_bits, replication)
+        return TMNM(index_bits, replication, counter_bits=counter_bits)
     return build
 
 
@@ -79,11 +85,20 @@ def smnm_design(sum_width: int, replication: int,
     )
 
 
-def tmnm_design(index_bits: int, replication: int) -> MNMDesign:
-    """A pure Table MNM replicated across all tracked levels."""
+def tmnm_design(index_bits: int, replication: int,
+                counter_bits: int = COUNTER_BITS) -> MNMDesign:
+    """A pure Table MNM replicated across all tracked levels.
+
+    ``counter_bits`` widens (or narrows) the saturating counters from the
+    paper's 3 bits; non-default widths are spelled in the name
+    (``TMNM_10x2w4``) so the design stays round-trippable through
+    :func:`parse_design`.
+    """
+    suffix = "" if counter_bits == COUNTER_BITS else f"w{counter_bits}"
     return MNMDesign(
-        name=f"TMNM_{index_bits}x{replication}",
-        default_factories=(tmnm_factory(index_bits, replication),),
+        name=f"TMNM_{index_bits}x{replication}{suffix}",
+        default_factories=(
+            tmnm_factory(index_bits, replication, counter_bits),),
     )
 
 
@@ -157,6 +172,46 @@ def hmnm_design(variant: int) -> MNMDesign:
     )
 
 
+def hybrid_design(
+    low_smnm: Tuple[int, int],
+    low_tmnm: Tuple[int, int],
+    high_cmnm: Tuple[int, int],
+    high_tmnm: Tuple[int, int],
+    rmnm: Tuple[int, int],
+) -> MNMDesign:
+    """A fully parameterised Table-3-shaped hybrid.
+
+    Same topology as :func:`hmnm_design` — levels 2-3 pair an SMNM with a
+    TMNM, deeper levels pair a CMNM with a TMNM, one shared RMNM covers
+    every tracked level — but every component is a free knob instead of one
+    of the four fixed recipes.  The canonical name encodes all five
+    components (``HYB_s10x2_t10x1_c2x9_t10x1_r128x1``) and round-trips
+    through :func:`parse_design`, which is what lets the design-space
+    search ship hybrid candidates to executor workers as plain strings.
+    """
+    low_factories = (
+        smnm_factory(*low_smnm),
+        tmnm_factory(*low_tmnm),
+    )
+    high_factories = (
+        cmnm_factory(*high_cmnm),
+        tmnm_factory(*high_tmnm),
+    )
+    name = (
+        f"HYB_s{low_smnm[0]}x{low_smnm[1]}"
+        f"_t{low_tmnm[0]}x{low_tmnm[1]}"
+        f"_c{high_cmnm[0]}x{high_cmnm[1]}"
+        f"_t{high_tmnm[0]}x{high_tmnm[1]}"
+        f"_r{rmnm[0]}x{rmnm[1]}"
+    )
+    return MNMDesign(
+        name=name,
+        level_factories={2: low_factories, 3: low_factories},
+        default_factories=high_factories,
+        rmnm_geometry=tuple(rmnm),
+    )
+
+
 # --------------------------------------------------------------------------
 # Figure line-ups
 # --------------------------------------------------------------------------
@@ -223,9 +278,12 @@ def figure15_designs() -> Tuple[MNMDesign, ...]:
 
 _RMNM_RE = re.compile(r"^RMNM_(\d+)_(\d+)$", re.IGNORECASE)
 _SMNM_RE = re.compile(r"^SMNM_(\d+)x(\d+)(c?)$", re.IGNORECASE)
-_TMNM_RE = re.compile(r"^TMNM_(\d+)x(\d+)$", re.IGNORECASE)
+_TMNM_RE = re.compile(r"^TMNM_(\d+)x(\d+)(?:w(\d+))?$", re.IGNORECASE)
 _CMNM_RE = re.compile(r"^CMNM_(\d+)_(\d+)$", re.IGNORECASE)
 _HMNM_RE = re.compile(r"^HMNM(\d)$", re.IGNORECASE)
+_HYB_RE = re.compile(
+    r"^HYB_s(\d+)x(\d+)_t(\d+)x(\d+)_c(\d+)x(\d+)_t(\d+)x(\d+)_r(\d+)x(\d+)$",
+    re.IGNORECASE)
 
 
 def parse_design(name: str) -> MNMDesign:
@@ -250,13 +308,25 @@ def parse_design(name: str) -> MNMDesign:
         )
     match = _TMNM_RE.match(text)
     if match:
-        return tmnm_design(int(match.group(1)), int(match.group(2)))
+        counter_bits = int(match.group(3)) if match.group(3) else COUNTER_BITS
+        return tmnm_design(int(match.group(1)), int(match.group(2)),
+                           counter_bits=counter_bits)
     match = _CMNM_RE.match(text)
     if match:
         return cmnm_design(int(match.group(1)), int(match.group(2)))
     match = _HMNM_RE.match(text)
     if match:
         return hmnm_design(int(match.group(1)))
+    match = _HYB_RE.match(text)
+    if match:
+        values = [int(group) for group in match.groups()]
+        return hybrid_design(
+            low_smnm=(values[0], values[1]),
+            low_tmnm=(values[2], values[3]),
+            high_cmnm=(values[4], values[5]),
+            high_tmnm=(values[6], values[7]),
+            rmnm=(values[8], values[9]),
+        )
     raise ValueError(f"unrecognised MNM design name: {name!r}")
 
 

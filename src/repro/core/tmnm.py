@@ -120,6 +120,7 @@ class TMNM(MissFilter):
             raise ValueError(f"need {replication} offsets, got {len(offsets)}")
         self.index_bits = index_bits
         self.replication = replication
+        self.counter_bits = counter_bits
         self.tables: Tuple[CounterTable, ...] = tuple(
             CounterTable(index_bits, offset, counter_bits) for offset in offsets
         )
@@ -145,4 +146,6 @@ class TMNM(MissFilter):
 
     @property
     def name(self) -> str:
-        return f"TMNM_{self.index_bits}x{self.replication}"
+        suffix = ("" if self.counter_bits == COUNTER_BITS
+                  else f"w{self.counter_bits}")
+        return f"TMNM_{self.index_bits}x{self.replication}{suffix}"

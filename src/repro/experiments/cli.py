@@ -10,6 +10,8 @@ Examples::
     repro-mnm all --profile            # writes BENCH_telemetry.json
     repro-mnm all --resume runs/full   # journaled; re-run to resume
     repro-mnm run fig15 --retries 3 --task-timeout 600
+    repro-mnm search --space paper --sampler random --samples 32 \\
+        --budget-bits 80000 --seed 7 --top-k 5
     repro-mnm telemetry summary metrics.json
     repro-mnm telemetry summary trace.jsonl
 
@@ -51,6 +53,9 @@ from repro.experiments.resilience import (
     TaskExecutionError,
     policy_from_cli,
 )
+from repro.search.objectives import METRICS as OBJECTIVE_METRICS
+from repro.search.samplers import SAMPLER_NAMES
+from repro.search.space import space_names as search_space_names
 
 #: The exit-code table (documented in the module docstring and README).
 EXIT_OK = 0
@@ -107,6 +112,35 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--report-out", type=str, default="report.md",
                         help="markdown output path (default report.md)")
     _add_settings_args(report)
+
+    search = sub.add_parser(
+        "search",
+        help="design-space search: find the best MNM under a budget")
+    search.add_argument("--space", type=str, default="paper",
+                        help=f"search-space preset, one of: "
+                             f"{', '.join(search_space_names())} "
+                             f"(default paper)")
+    search.add_argument("--sampler", type=str, default="random",
+                        help=f"proposal strategy, one of: "
+                             f"{', '.join(SAMPLER_NAMES)} (default random)")
+    search.add_argument("--samples", type=int, default=32,
+                        help="candidate budget for the sampler (default 32)")
+    search.add_argument("--budget-bits", type=int, default=None,
+                        help="hard constraint: filter storage must not "
+                             "exceed this many bits")
+    search.add_argument("--min-coverage", type=float, default=None,
+                        help="hard constraint: suite coverage must be at "
+                             "least this fraction in [0, 1]")
+    search.add_argument("--objective", type=str, default="coverage",
+                        help=f"ranking metric, one of: "
+                             f"{', '.join(OBJECTIVE_METRICS)} "
+                             f"(default coverage)")
+    search.add_argument("--top-k", type=int, default=10,
+                        help="ranked designs to report (default 10)")
+    search.add_argument("--no-baselines", action="store_true",
+                        help="do not seed the candidate set with the "
+                             "paper's fixed configurations")
+    _add_settings_args(search)
 
     tele = sub.add_parser(
         "telemetry", help="inspect telemetry artifacts")
@@ -318,12 +352,62 @@ def _resolve_jobs(args: argparse.Namespace) -> int:
     return jobs
 
 
+def _search_command(args: argparse.Namespace,
+                    settings: ExperimentSettings,
+                    jobs: int,
+                    policy: ExecutionPolicy,
+                    journal: Optional[RunJournal]) -> int:
+    """``repro-mnm search``: budget-constrained design-space search."""
+    from repro.search import Objective, make_sampler, run_search, space_preset
+
+    if args.samples < 1:
+        raise _fail(EXIT_BAD_VALUE,
+                    f"--samples must be >= 1, got {args.samples}")
+    if args.top_k < 1:
+        raise _fail(EXIT_BAD_VALUE, f"--top-k must be >= 1, got {args.top_k}")
+    try:
+        space = space_preset(args.space)
+    except ValueError as exc:
+        raise _fail(EXIT_BAD_VALUE, str(exc))
+    try:
+        sampler = make_sampler(args.sampler, seed=args.seed,
+                               num_samples=args.samples)
+    except ValueError as exc:
+        raise _fail(EXIT_BAD_VALUE, str(exc))
+    try:
+        objective = Objective(metric=args.objective,
+                              budget_bits=args.budget_bits,
+                              min_coverage=args.min_coverage)
+    except ValueError as exc:
+        raise _fail(EXIT_BAD_VALUE, str(exc))
+
+    report = run_search(
+        space, sampler, objective,
+        settings=settings,
+        jobs=jobs,
+        policy=policy,
+        journal=journal,
+        top_k=args.top_k,
+        include_baselines=not args.no_baselines,
+    )
+    _emit(report.render(), args.output)
+    if args.chart:
+        _emit("\n" + report.render_chart(), args.output)
+    if args.json_path:
+        with open(args.json_path, "a") as handle:
+            json.dump(report.to_dict(), handle)
+            handle.write("\n")
+    return 0
+
+
 def _run_command(args: argparse.Namespace,
                  settings: ExperimentSettings,
                  journal: Optional[RunJournal] = None) -> int:
-    """Execute the report/run/all commands (telemetry already enabled)."""
+    """Execute the report/run/all/search commands (telemetry enabled)."""
     jobs = _resolve_jobs(args)
     policy = _build_policy(args)
+    if args.command == "search":
+        return _search_command(args, settings, jobs, policy, journal)
     if args.command == "report":
         from repro.experiments.report import generate_report
 

@@ -22,7 +22,7 @@ serially in the parent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.cache.hierarchy import HierarchyConfig
 from repro.cache.presets import hierarchy_preset, paper_hierarchy_5level
@@ -131,6 +131,36 @@ class CoreTask:
 
 Task = Union[PassTask, CoreTask]
 Planner = Callable[[ExperimentSettings], List[Task]]
+
+
+def plan_design_passes(
+    design_names: Sequence[str],
+    hierarchy_config: HierarchyConfig,
+    settings: ExperimentSettings,
+    chunk_size: int = 4,
+    placement: str = "parallel",
+    experiment_id: str = "search",
+) -> List[Task]:
+    """Arbitrary design names → executor pass tasks, chunked for fan-out.
+
+    The design-space search evaluates candidate batches whose size has
+    nothing to do with the figure line-ups, so this planner splits the
+    names into ``chunk_size`` groups (each group shares one simulation
+    pass — ``run_reference_pass`` amortises the hierarchy walk over many
+    designs) and emits one :class:`PassTask` per (chunk, workload).
+    Chunking is positional, so the same names in the same order always
+    produce the same tasks and therefore the same cache keys.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    tasks: List[Task] = []
+    for start in range(0, len(design_names), chunk_size):
+        chunk = tuple(design_names[start:start + chunk_size])
+        for workload in settings.workload_list:
+            tasks.append(PassTask(workload, hierarchy_config, chunk,
+                                  placement, settings,
+                                  experiment_id=experiment_id))
+    return tasks
 
 
 # ---------------------------------------------------------------------------

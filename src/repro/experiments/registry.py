@@ -104,6 +104,20 @@ _register(ExperimentEntry(
     _run_depth, extension=True, planner=planning.plan_depth_extension))
 
 
+def _run_search(settings):
+    from repro.experiments.extensions import run_search_extension
+
+    return run_search_extension(settings)
+
+
+# heavy: a random-search round simulates dozens of candidate designs —
+# far more work than any single figure (``--skip-heavy`` skips it; the
+# full autotuner is ``repro-mnm search``).
+_register(ExperimentEntry(
+    "search", "Design-space search for the best MNM by coverage",
+    _run_search, heavy=True, extension=True))
+
+
 def get_experiment(experiment_id: str) -> ExperimentEntry:
     """Look an experiment up by id (e.g. ``fig10`` or ``table2``)."""
     try:

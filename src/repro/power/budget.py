@@ -58,6 +58,18 @@ def _logic_gates(machine: MostlyNoMachine) -> int:
     return total
 
 
+def design_storage_bits(
+    hierarchy_config: HierarchyConfig, design: MNMDesign
+) -> int:
+    """Filter state of one design on one hierarchy, in bits.
+
+    A pure function of the two configurations — no trace is simulated —
+    which is what lets the design-space search prune over-budget
+    candidates before spending any simulation time on them.
+    """
+    return MostlyNoMachine(CacheHierarchy(hierarchy_config), design).storage_bits
+
+
 def design_budget(
     hierarchy_config: HierarchyConfig, design: MNMDesign
 ) -> DesignBudget:

@@ -1,0 +1,132 @@
+"""Scoring and hard constraints for design-space search candidates.
+
+An :class:`Evaluation` aggregates one candidate's measurements across the
+workload suite (coverage counts sum over workloads; modeled energy and
+access-time reductions — both computed by the reference pass through
+:mod:`repro.power` — average over workloads).  An :class:`Objective` turns
+an evaluation into a scalar score (higher is better) under two hard
+constraints:
+
+* ``budget_bits`` — "the best design under B bits": candidates whose
+  filter state exceeds the budget are infeasible.  Storage is a pure
+  function of the design and hierarchy, so the runner prunes over-budget
+  candidates *before* spending any simulation on them.
+* ``min_coverage`` — "at least X% coverage": checked after evaluation.
+
+Infeasible candidates score ``-inf`` so samplers still receive a total
+order, and ties between feasible candidates break on smaller storage then
+name — part of the byte-stable report contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.search.space import DesignPoint
+
+#: Scoring metrics an objective can rank by.
+METRICS = ("coverage", "coverage-per-kb", "energy", "access-time")
+
+#: Score of an infeasible candidate.
+INFEASIBLE = float("-inf")
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One candidate's suite-aggregated measurements at one fidelity."""
+
+    point: DesignPoint
+    storage_bits: int
+    identified: int
+    candidates: int
+    violations: int
+    energy_reduction: float
+    access_time_reduction: float
+    fidelity: float = 1.0
+
+    @property
+    def coverage(self) -> float:
+        """Suite-wide coverage: identified misses over identifiable ones."""
+        return self.identified / self.candidates if self.candidates else 0.0
+
+    @property
+    def storage_kb(self) -> float:
+        return self.storage_bits / 8 / 1024
+
+    @property
+    def coverage_per_kb(self) -> float:
+        """Coverage per KB of filter state.
+
+        Zero-storage designs with nonzero coverage are infinitely
+        efficient by this metric (same contract as
+        :attr:`repro.analysis.sweep.SweepPoint.coverage_per_kb`).
+        """
+        kb = self.storage_kb
+        if kb:
+            return self.coverage / kb
+        return float("inf") if self.coverage else 0.0
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A scoring metric plus hard feasibility constraints."""
+
+    metric: str = "coverage"
+    budget_bits: Optional[int] = None
+    min_coverage: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.metric not in METRICS:
+            raise ValueError(
+                f"unknown metric {self.metric!r}; "
+                f"choose from {', '.join(METRICS)}")
+        if self.budget_bits is not None and self.budget_bits < 1:
+            raise ValueError(
+                f"budget_bits must be >= 1, got {self.budget_bits}")
+        if (self.min_coverage is not None
+                and not 0.0 <= self.min_coverage <= 1.0):
+            raise ValueError(
+                f"min_coverage must be in [0, 1], got {self.min_coverage}")
+
+    # -- constraints -------------------------------------------------------
+
+    def within_budget(self, storage_bits: int) -> bool:
+        """The static (pre-simulation) constraint on filter state."""
+        return self.budget_bits is None or storage_bits <= self.budget_bits
+
+    def feasible(self, evaluation: Evaluation) -> bool:
+        """Both hard constraints, post-evaluation."""
+        if not self.within_budget(evaluation.storage_bits):
+            return False
+        if (self.min_coverage is not None
+                and evaluation.coverage < self.min_coverage):
+            return False
+        return True
+
+    # -- scoring -----------------------------------------------------------
+
+    def score(self, evaluation: Evaluation) -> float:
+        """Scalar score, higher better; ``-inf`` when infeasible."""
+        if not self.feasible(evaluation):
+            return INFEASIBLE
+        if self.metric == "coverage":
+            return evaluation.coverage
+        if self.metric == "coverage-per-kb":
+            return evaluation.coverage_per_kb
+        if self.metric == "energy":
+            return evaluation.energy_reduction
+        return evaluation.access_time_reduction  # "access-time"
+
+    def sort_key(self, evaluation: Evaluation) -> Tuple[float, int, str]:
+        """Deterministic ranking key: score desc, storage asc, name asc."""
+        return (-self.score(evaluation), evaluation.storage_bits,
+                evaluation.point.name)
+
+    def describe(self) -> str:
+        parts = [self.metric]
+        if self.budget_bits is not None:
+            parts.append(f"budget<={self.budget_bits}bits")
+        if self.min_coverage is not None:
+            parts.append(f"coverage>={self.min_coverage:.2f}")
+        return ", ".join(parts)

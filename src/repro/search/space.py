@@ -1,0 +1,351 @@
+"""Declarative, picklable design spaces over every MNM knob.
+
+A :class:`SearchSpace` is a union of :class:`FamilySpace` grids — one per
+technique family (TMNM index bits + counter width, SMNM sum width /
+replication / counting, CMNM registers + low bits, RMNM entries +
+associativity, and Table-3-shaped hybrid compositions).  Every point in a
+space materialises to a canonical **design name** that round-trips through
+:func:`repro.core.presets.parse_design`; that is the whole trick that lets
+the search runner ship candidates to executor workers as plain strings and
+share the content-addressed pass cache with the rest of the harness.
+
+Spaces are frozen dataclasses of strings and integer tuples, so they
+pickle, hash and compare structurally; enumeration order is the
+lexicographic mixed-radix order of each family's dimensions, which makes
+``point(i)`` a pure function of the space — the determinism the samplers
+and the resume path lean on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.core.machine import MNMDesign
+from repro.core.presets import parse_design
+
+#: The RMNM geometry ladder of Table 3 — hybrid points pick a rung instead
+#: of combining blocks and associativity freely, which keeps every hybrid's
+#: shared cache one of the paper's sane sizings.
+RMNM_LADDER: Tuple[Tuple[int, int], ...] = (
+    (128, 1), (512, 2), (2048, 4), (4096, 8),
+)
+
+#: Technique families a :class:`FamilySpace` may declare.
+FAMILIES = ("tmnm", "smnm", "cmnm", "rmnm", "hybrid")
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One materialised candidate: a family, its knob values, and the name.
+
+    ``name`` is canonical (``parse_design(name)`` rebuilds the identical
+    design in any process) and doubles as the point's stable identity;
+    ``fingerprint`` is a short digest of it for compact keys and logs.
+    ``index`` is the point's position in its owning space (-1 for points
+    injected from outside the space, e.g. the paper baselines).
+    """
+
+    family: str
+    name: str
+    params: Tuple[Tuple[str, int], ...] = ()
+    index: int = -1
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable 12-hex-digit digest of the canonical name."""
+        return hashlib.sha256(self.name.encode("utf-8")).hexdigest()[:12]
+
+    def design(self) -> MNMDesign:
+        """Build the point's :class:`MNMDesign` (identical in any process)."""
+        return parse_design(self.name)
+
+
+# ---------------------------------------------------------------------------
+# Family naming: dimension values -> canonical design name
+# ---------------------------------------------------------------------------
+
+def _tmnm_name(params: Dict[str, int]) -> str:
+    suffix = "" if params["counter_bits"] == 3 else f"w{params['counter_bits']}"
+    return f"TMNM_{params['index_bits']}x{params['replication']}{suffix}"
+
+
+def _smnm_name(params: Dict[str, int]) -> str:
+    suffix = "c" if params.get("counting") else ""
+    return f"SMNM_{params['sum_width']}x{params['replication']}{suffix}"
+
+
+def _cmnm_name(params: Dict[str, int]) -> str:
+    return f"CMNM_{params['registers']}_{params['low_bits']}"
+
+
+def _rmnm_name(params: Dict[str, int]) -> str:
+    return f"RMNM_{params['entries']}_{params['associativity']}"
+
+
+def _hybrid_name(params: Dict[str, int]) -> str:
+    blocks, assoc = RMNM_LADDER[params["rmnm_step"]]
+    return (
+        f"HYB_s{params['smnm_width']}x{params['smnm_replication']}"
+        f"_t{params['low_tmnm_bits']}x{params['low_tmnm_replication']}"
+        f"_c{params['cmnm_registers']}x{params['cmnm_low_bits']}"
+        f"_t{params['high_tmnm_bits']}x{params['high_tmnm_replication']}"
+        f"_r{blocks}x{assoc}"
+    )
+
+
+_NAMERS = {
+    "tmnm": _tmnm_name,
+    "smnm": _smnm_name,
+    "cmnm": _cmnm_name,
+    "rmnm": _rmnm_name,
+    "hybrid": _hybrid_name,
+}
+
+
+@dataclass(frozen=True)
+class FamilySpace:
+    """One technique family's parameter grid.
+
+    ``dimensions`` is an ordered tuple of ``(knob_name, candidate_values)``;
+    the family's points are the cartesian product in lexicographic order
+    with the **first** dimension most significant.  Holding only strings
+    and int tuples keeps the space picklable and structurally comparable.
+    """
+
+    family: str
+    dimensions: Tuple[Tuple[str, Tuple[int, ...]], ...]
+
+    def __post_init__(self) -> None:
+        if self.family not in _NAMERS:
+            raise ValueError(
+                f"unknown family {self.family!r}; choose from {FAMILIES}")
+        if not self.dimensions:
+            raise ValueError(f"family {self.family!r} declares no dimensions")
+        for knob, values in self.dimensions:
+            if not values:
+                raise ValueError(
+                    f"dimension {knob!r} of family {self.family!r} is empty")
+
+    @property
+    def size(self) -> int:
+        total = 1
+        for _knob, values in self.dimensions:
+            total *= len(values)
+        return total
+
+    def coords(self, index: int) -> Tuple[int, ...]:
+        """Mixed-radix coordinates of one point (first dimension first)."""
+        if not 0 <= index < self.size:
+            raise IndexError(
+                f"point {index} out of range for family {self.family!r} "
+                f"of size {self.size}")
+        coords: List[int] = []
+        for _knob, values in reversed(self.dimensions):
+            index, digit = divmod(index, len(values))
+            coords.append(digit)
+        return tuple(reversed(coords))
+
+    def params_at(self, coords: Tuple[int, ...]) -> Dict[str, int]:
+        return {
+            knob: values[digit]
+            for (knob, values), digit in zip(self.dimensions, coords)
+        }
+
+    def point(self, index: int) -> DesignPoint:
+        coords = self.coords(index)
+        params = self.params_at(coords)
+        return DesignPoint(
+            family=self.family,
+            name=_NAMERS[self.family](params),
+            params=tuple(sorted(params.items())),
+            index=index,
+        )
+
+    def neighbor_coords(self, coords: Tuple[int, ...]) -> List[Tuple[int, ...]]:
+        """Coordinates one step away along exactly one dimension."""
+        neighbors: List[Tuple[int, ...]] = []
+        for position, (_knob, values) in enumerate(self.dimensions):
+            for step in (-1, 1):
+                digit = coords[position] + step
+                if 0 <= digit < len(values):
+                    neighbors.append(
+                        coords[:position] + (digit,) + coords[position + 1:])
+        return neighbors
+
+    def index_of(self, coords: Tuple[int, ...]) -> int:
+        index = 0
+        for (_knob, values), digit in zip(self.dimensions, coords):
+            index = index * len(values) + digit
+        return index
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """A named union of family grids with one global point index.
+
+    Points ``0 .. size-1`` run through the families in declaration order;
+    within a family they follow the family's lexicographic grid order.
+    ``neighbors`` never crosses a family boundary (a TMNM has no meaningful
+    "adjacent" CMNM), which is exactly the locality the hill-climb sampler
+    wants.
+    """
+
+    name: str
+    families: Tuple[FamilySpace, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.families:
+            raise ValueError(f"search space {self.name!r} has no families")
+        seen = set()
+        for family in self.families:
+            if family.family in seen:
+                raise ValueError(
+                    f"search space {self.name!r} declares family "
+                    f"{family.family!r} twice")
+            seen.add(family.family)
+
+    @property
+    def size(self) -> int:
+        return sum(family.size for family in self.families)
+
+    def _locate(self, index: int) -> Tuple[FamilySpace, int, int]:
+        """(family, local index, family base offset) of one global index."""
+        if index < 0:
+            raise IndexError(f"point index must be >= 0, got {index}")
+        base = 0
+        for family in self.families:
+            if index < base + family.size:
+                return family, index - base, base
+            base += family.size
+        raise IndexError(
+            f"point {index} out of range for space {self.name!r} "
+            f"of size {self.size}")
+
+    def point(self, index: int) -> DesignPoint:
+        family, local, base = self._locate(index)
+        point = family.point(local)
+        return DesignPoint(family=point.family, name=point.name,
+                           params=point.params, index=base + local)
+
+    def points(self) -> Iterator[DesignPoint]:
+        """Every point, in global index order."""
+        for index in range(self.size):
+            yield self.point(index)
+
+    def neighbors(self, index: int) -> Tuple[int, ...]:
+        """Global indices one knob-step away from ``index`` (same family)."""
+        family, local, base = self._locate(index)
+        coords = family.coords(local)
+        return tuple(sorted(
+            base + family.index_of(neighbor)
+            for neighbor in family.neighbor_coords(coords)
+        ))
+
+
+# ---------------------------------------------------------------------------
+# Preset spaces
+# ---------------------------------------------------------------------------
+
+def tmnm_space() -> FamilySpace:
+    """TMNM grid: index bits, replication and counter width around Figure 12."""
+    return FamilySpace("tmnm", (
+        ("index_bits", (8, 9, 10, 11, 12, 13)),
+        ("replication", (1, 2, 3)),
+        ("counter_bits", (2, 3, 4)),
+    ))
+
+
+def smnm_space() -> FamilySpace:
+    """SMNM grid: sum width / replication / counting around Figure 11."""
+    return FamilySpace("smnm", (
+        ("sum_width", (8, 10, 13, 15, 20)),
+        ("replication", (1, 2, 3)),
+        ("counting", (0, 1)),
+    ))
+
+
+def cmnm_space() -> FamilySpace:
+    """CMNM grid: finder registers and table low bits around Figure 13."""
+    return FamilySpace("cmnm", (
+        ("registers", (2, 4, 8, 16)),
+        ("low_bits", (8, 9, 10, 12)),
+    ))
+
+
+def rmnm_space() -> FamilySpace:
+    """RMNM grid: replacement-cache entries and associativity (Figure 10)."""
+    return FamilySpace("rmnm", (
+        ("entries", (128, 256, 512, 1024, 2048, 4096)),
+        ("associativity", (1, 2, 4, 8)),
+    ))
+
+
+def hybrid_space() -> FamilySpace:
+    """Table-3-shaped hybrids with every component a free knob."""
+    return FamilySpace("hybrid", (
+        ("smnm_width", (10, 13, 15, 20)),
+        ("smnm_replication", (2, 3)),
+        ("low_tmnm_bits", (10, 11)),
+        ("low_tmnm_replication", (1, 3)),
+        ("cmnm_registers", (2, 4, 8)),
+        ("cmnm_low_bits", (9, 10, 12)),
+        ("high_tmnm_bits", (10, 11, 12)),
+        ("high_tmnm_replication", (1, 2, 3)),
+        ("rmnm_step", (0, 1, 2, 3)),
+    ))
+
+
+def quick_space() -> SearchSpace:
+    """A deliberately tiny space for smoke tests and CI (seconds, not hours)."""
+    return SearchSpace("quick", (
+        FamilySpace("tmnm", (
+            ("index_bits", (8, 10)),
+            ("replication", (1, 2)),
+            ("counter_bits", (3,)),
+        )),
+        FamilySpace("cmnm", (
+            ("registers", (2, 4)),
+            ("low_bits", (9, 10)),
+        )),
+        FamilySpace("rmnm", (
+            ("entries", (128, 512)),
+            ("associativity", (1, 2)),
+        )),
+    ))
+
+
+def paper_space() -> SearchSpace:
+    """The full union space; contains every Figure 10-14 configuration."""
+    return SearchSpace("paper", (
+        tmnm_space(), smnm_space(), cmnm_space(), rmnm_space(),
+        hybrid_space(),
+    ))
+
+
+_SPACE_PRESETS = {
+    "paper": paper_space,
+    "quick": quick_space,
+    "tmnm": lambda: SearchSpace("tmnm", (tmnm_space(),)),
+    "smnm": lambda: SearchSpace("smnm", (smnm_space(),)),
+    "cmnm": lambda: SearchSpace("cmnm", (cmnm_space(),)),
+    "rmnm": lambda: SearchSpace("rmnm", (rmnm_space(),)),
+    "hybrid": lambda: SearchSpace("hybrid", (hybrid_space(),)),
+}
+
+
+def space_names() -> Tuple[str, ...]:
+    """Every named preset space, in stable order."""
+    return tuple(_SPACE_PRESETS)
+
+
+def space_preset(name: str) -> SearchSpace:
+    """Build a preset space by name (``paper``, ``quick``, per-family ids)."""
+    try:
+        factory = _SPACE_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown search space {name!r}; "
+            f"choose from {', '.join(_SPACE_PRESETS)}") from None
+    return factory()

@@ -45,6 +45,40 @@ class TestParetoFrontier:
     def test_empty(self):
         assert pareto_frontier([]) == []
 
+    def test_tie_break_is_deterministic_by_name(self):
+        # Two designs with identical (storage, coverage): the frontier
+        # must keep the lexicographically-first name no matter the input
+        # order.
+        tied = [point("zeta", 100, 0.5), point("alpha", 100, 0.5)]
+        for ordering in (tied, list(reversed(tied))):
+            frontier = pareto_frontier(ordering)
+            assert [p.design_name for p in frontier] == ["alpha"]
+
+    def test_input_order_never_changes_frontier(self):
+        import itertools
+
+        points = [point("a", 100, 0.5), point("b", 100, 0.5),
+                  point("c", 200, 0.5), point("d", 200, 0.7)]
+        expected = pareto_frontier(points)
+        for permutation in itertools.permutations(points):
+            assert pareto_frontier(list(permutation)) == expected
+
+
+class TestCoveragePerKb:
+    def test_zero_storage_positive_coverage_is_inf(self):
+        # The PERFECT oracle: free coverage must rank as infinitely
+        # efficient, not as 0.0 (which used to sort it dead last).
+        oracle = point("PERFECT", 0, 1.0)
+        assert oracle.coverage_per_kb == float("inf")
+
+    def test_zero_storage_zero_coverage_is_zero(self):
+        null = point("NULL", 0, 0.0)
+        assert null.coverage_per_kb == 0.0
+
+    def test_positive_storage_unchanged(self):
+        p = point("a", 8 * 1024, 0.5)  # exactly 1 KB
+        assert p.coverage_per_kb == pytest.approx(0.5)
+
 
 class TestDominated:
     def test_smaller_and_better_dominates(self):

@@ -1,0 +1,89 @@
+"""Tests for search objectives: scoring, constraints, deterministic order."""
+
+import pytest
+
+from repro.search.objectives import INFEASIBLE, Evaluation, Objective
+from repro.search.space import DesignPoint
+
+
+def evaluation(name="TMNM_10x2", bits=8 * 1024, identified=50,
+               candidates=100, violations=0, energy=0.3, access=0.2,
+               fidelity=1.0):
+    return Evaluation(
+        point=DesignPoint(family="tmnm", name=name),
+        storage_bits=bits,
+        identified=identified,
+        candidates=candidates,
+        violations=violations,
+        energy_reduction=energy,
+        access_time_reduction=access,
+        fidelity=fidelity,
+    )
+
+
+class TestEvaluation:
+    def test_coverage(self):
+        assert evaluation(identified=25, candidates=100).coverage == 0.25
+        assert evaluation(identified=0, candidates=0).coverage == 0.0
+
+    def test_coverage_per_kb_zero_storage(self):
+        assert evaluation(bits=0).coverage_per_kb == float("inf")
+        assert evaluation(bits=0, identified=0).coverage_per_kb == 0.0
+
+    def test_storage_kb(self):
+        assert evaluation(bits=8 * 1024).storage_kb == 1.0
+
+
+class TestConstraints:
+    def test_budget_is_inclusive(self):
+        objective = Objective(budget_bits=1000)
+        assert objective.within_budget(1000)
+        assert not objective.within_budget(1001)
+
+    def test_no_budget_accepts_everything(self):
+        assert Objective().within_budget(10**9)
+
+    def test_min_coverage(self):
+        objective = Objective(min_coverage=0.5)
+        assert objective.feasible(evaluation(identified=50))
+        assert not objective.feasible(evaluation(identified=49))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="metric"):
+            Objective(metric="latency")
+        with pytest.raises(ValueError, match="budget_bits"):
+            Objective(budget_bits=0)
+        with pytest.raises(ValueError, match="min_coverage"):
+            Objective(min_coverage=1.5)
+
+
+class TestScoring:
+    def test_metric_selection(self):
+        e = evaluation()
+        assert Objective(metric="coverage").score(e) == e.coverage
+        assert Objective(metric="coverage-per-kb").score(e) == \
+            e.coverage_per_kb
+        assert Objective(metric="energy").score(e) == e.energy_reduction
+        assert Objective(metric="access-time").score(e) == \
+            e.access_time_reduction
+
+    def test_infeasible_scores_minus_inf(self):
+        objective = Objective(budget_bits=100)
+        assert objective.score(evaluation(bits=200)) == INFEASIBLE
+
+    def test_sort_key_breaks_ties_on_storage_then_name(self):
+        objective = Objective()
+        same_cov_small = evaluation(name="b_small", bits=100)
+        same_cov_large = evaluation(name="a_large", bits=200)
+        tied_twin = evaluation(name="a_twin", bits=100)
+        ranked = sorted([same_cov_large, same_cov_small, tied_twin],
+                        key=objective.sort_key)
+        assert [e.point.name for e in ranked] == \
+            ["a_twin", "b_small", "a_large"]
+
+    def test_describe_mentions_constraints(self):
+        text = Objective(metric="coverage", budget_bits=5000,
+                         min_coverage=0.25).describe()
+        assert "coverage" in text
+        assert "5000" in text
+        assert "0.25" in text

@@ -1,0 +1,143 @@
+"""Tests for the deterministic seeded samplers.
+
+Samplers are driven synthetically here (scores come from a function of
+the design name, no simulation), which pins the ask/tell protocol and the
+determinism contract without any heavy passes.
+"""
+
+import pytest
+
+from repro.search.samplers import (
+    GridSampler,
+    HillClimbSampler,
+    Proposal,
+    RandomSampler,
+    SAMPLER_NAMES,
+    SuccessiveHalvingSampler,
+    make_sampler,
+)
+from repro.search.space import quick_space, space_preset
+
+
+def drive(sampler, space, score_fn):
+    """Run the ask/tell protocol to completion; returns proposals seen."""
+    stream = sampler.proposals(space)
+    proposals = []
+    scores = None
+    while True:
+        try:
+            proposal = stream.send(scores) if scores is not None \
+                else next(stream)
+        except StopIteration:
+            return proposals
+        proposals.append(proposal)
+        scores = {point.name: score_fn(point) for point in proposal.points}
+
+
+def index_score(point):
+    """A deterministic synthetic objective: prefer higher space indices."""
+    return float(point.index)
+
+
+class TestProposal:
+    def test_fidelity_validated(self):
+        with pytest.raises(ValueError, match="fidelity"):
+            Proposal((), fidelity=0.0)
+        with pytest.raises(ValueError, match="fidelity"):
+            Proposal((), fidelity=1.5)
+
+
+class TestGridSampler:
+    def test_proposes_every_point_in_index_order(self):
+        space = quick_space()
+        proposals = drive(GridSampler(), space, index_score)
+        assert len(proposals) == 1
+        assert [p.index for p in proposals[0].points] == list(range(space.size))
+
+    def test_limit_truncates(self):
+        proposals = drive(GridSampler(limit=5), quick_space(), index_score)
+        assert len(proposals[0].points) == 5
+
+
+class TestRandomSampler:
+    def test_same_seed_same_proposals(self):
+        space = space_preset("paper")
+        first = drive(RandomSampler(16, seed=11), space, index_score)
+        second = drive(RandomSampler(16, seed=11), space, index_score)
+        assert first == second
+
+    def test_different_seed_different_proposals(self):
+        space = space_preset("paper")
+        a = drive(RandomSampler(16, seed=1), space, index_score)
+        b = drive(RandomSampler(16, seed=2), space, index_score)
+        assert a != b
+
+    def test_without_replacement(self):
+        proposals = drive(RandomSampler(8, seed=3), quick_space(),
+                          index_score)
+        names = [point.name for point in proposals[0].points]
+        assert len(names) == len(set(names))
+
+    def test_degrades_to_full_space(self):
+        space = quick_space()
+        proposals = drive(RandomSampler(10_000, seed=0), space, index_score)
+        assert len(proposals[0].points) == space.size
+
+
+class TestHillClimbSampler:
+    def test_climbs_to_local_optimum_of_index_objective(self):
+        # index_score is maximised at the last point of each family; the
+        # climb from any restart must end with the incumbent's neighbours
+        # exhausted or non-improving, never crossing a family.
+        space = quick_space()
+        sampler = HillClimbSampler(num_restarts=4, max_rounds=20, seed=5)
+        proposals = drive(sampler, space, index_score)
+        assert len(proposals) >= 2  # restarts plus at least one climb round
+        seen = [p for proposal in proposals for p in proposal.points]
+        names = [p.name for p in seen]
+        assert len(names) == len(set(names))  # never re-proposes a point
+
+    def test_deterministic(self):
+        space = quick_space()
+        a = drive(HillClimbSampler(num_restarts=3, seed=9), space,
+                  index_score)
+        b = drive(HillClimbSampler(num_restarts=3, seed=9), space,
+                  index_score)
+        assert a == b
+
+
+class TestSuccessiveHalvingSampler:
+    def test_fidelity_schedule_ends_at_full_trace(self):
+        sampler = SuccessiveHalvingSampler(num_samples=9, eta=3, num_rungs=3,
+                                           seed=2)
+        proposals = drive(sampler, quick_space(), index_score)
+        fidelities = [proposal.fidelity for proposal in proposals]
+        assert fidelities == sorted(fidelities)
+        assert fidelities[-1] == 1.0
+        assert fidelities[0] == pytest.approx(1.0 / 9.0)
+
+    def test_cohort_shrinks_by_eta(self):
+        sampler = SuccessiveHalvingSampler(num_samples=9, eta=3, num_rungs=3,
+                                           seed=2)
+        proposals = drive(sampler, quick_space(), index_score)
+        sizes = [len(proposal.points) for proposal in proposals]
+        assert sizes == [9, 3, 1]
+
+    def test_survivors_are_the_best_scored(self):
+        sampler = SuccessiveHalvingSampler(num_samples=9, eta=3, num_rungs=2,
+                                           seed=2)
+        proposals = drive(sampler, quick_space(), index_score)
+        rung0, rung1 = proposals
+        best = sorted(rung0.points, key=lambda p: (-index_score(p), p.name))
+        assert set(rung1.points) == set(best[:3])
+
+
+class TestMakeSampler:
+    def test_every_name_builds(self):
+        for name in SAMPLER_NAMES:
+            sampler = make_sampler(name, seed=1, num_samples=8)
+            assert sampler.describe()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown sampler"):
+            make_sampler("annealing")

@@ -1,0 +1,135 @@
+"""Tests for declarative search spaces."""
+
+import pickle
+
+import pytest
+
+from repro.core.presets import parse_design
+from repro.search.space import (
+    FamilySpace,
+    SearchSpace,
+    paper_space,
+    quick_space,
+    space_names,
+    space_preset,
+)
+
+
+class TestFamilySpace:
+    def test_size_is_grid_product(self):
+        family = FamilySpace("tmnm", (
+            ("index_bits", (8, 10)),
+            ("replication", (1, 2, 3)),
+            ("counter_bits", (3,)),
+        ))
+        assert family.size == 6
+
+    def test_coords_round_trip(self):
+        family = FamilySpace("cmnm", (
+            ("registers", (2, 4, 8)),
+            ("low_bits", (8, 9, 10, 12)),
+        ))
+        for index in range(family.size):
+            assert family.index_of(family.coords(index)) == index
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            FamilySpace("bloom", (("bits", (1,)),))
+
+    def test_empty_dimension_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            FamilySpace("tmnm", (("index_bits", ()),))
+
+    def test_neighbors_differ_in_exactly_one_knob(self):
+        family = FamilySpace("rmnm", (
+            ("entries", (128, 256, 512)),
+            ("associativity", (1, 2, 4)),
+        ))
+        coords = family.coords(4)  # the centre of the 3x3 grid
+        for neighbor in family.neighbor_coords(coords):
+            diffs = sum(1 for a, b in zip(coords, neighbor) if a != b)
+            assert diffs == 1
+
+
+class TestSearchSpace:
+    def test_global_index_spans_families(self):
+        space = quick_space()
+        assert space.size == sum(f.size for f in space.families)
+        names = [point.name for point in space.points()]
+        assert len(names) == space.size
+        assert len(set(names)) == space.size  # no duplicates
+
+    def test_point_index_is_self_describing(self):
+        space = quick_space()
+        for index in range(space.size):
+            assert space.point(index).index == index
+
+    def test_out_of_range_rejected(self):
+        space = quick_space()
+        with pytest.raises(IndexError):
+            space.point(space.size)
+        with pytest.raises(IndexError):
+            space.point(-1)
+
+    def test_neighbors_stay_in_family(self):
+        space = quick_space()
+        for index in range(space.size):
+            family = space.point(index).family
+            for neighbor in space.neighbors(index):
+                assert space.point(neighbor).family == family
+
+    def test_duplicate_family_rejected(self):
+        from repro.search.space import tmnm_space
+
+        with pytest.raises(ValueError, match="twice"):
+            SearchSpace("dup", (tmnm_space(), tmnm_space()))
+
+    def test_space_is_picklable(self):
+        space = paper_space()
+        clone = pickle.loads(pickle.dumps(space))
+        assert clone == space
+        assert clone.point(17) == space.point(17)
+
+
+class TestMaterialisation:
+    def test_every_quick_point_round_trips_through_parse_design(self):
+        for point in quick_space().points():
+            design = point.design()
+            assert design.name == point.name
+            assert parse_design(point.name).name == point.name
+
+    def test_paper_space_samples_round_trip(self):
+        space = paper_space()
+        # every family start plus a stride through the hybrids
+        indices = sorted({0, 10, 60, 80, 100, 130, 150, space.size - 1})
+        for index in indices:
+            point = space.point(index)
+            assert point.design().name == point.name
+
+    def test_fingerprint_is_stable_and_distinct(self):
+        space = quick_space()
+        a, b = space.point(0), space.point(1)
+        assert a.fingerprint == space.point(0).fingerprint
+        assert a.fingerprint != b.fingerprint
+        assert len(a.fingerprint) == 12
+
+    def test_paper_space_contains_figure_configurations(self):
+        names = {point.name for point in paper_space().points()}
+        for expected in ("TMNM_10x2", "CMNM_8_10", "RMNM_2048_4",
+                         "SMNM_13x2"):
+            assert expected in names
+
+
+class TestPresets:
+    def test_space_names_lists_all_presets(self):
+        assert "paper" in space_names()
+        assert "quick" in space_names()
+
+    def test_every_preset_builds(self):
+        for name in space_names():
+            space = space_preset(name)
+            assert space.size > 0
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown search space"):
+            space_preset("galactic")

@@ -1,0 +1,37 @@
+"""Property test: no point in the search space breaks one-sidedness.
+
+The MNM's contract is that a "definite miss" answer is never wrong.  The
+paper's configurations are tested elsewhere; the search subsystem opens
+the door to *arbitrary* knob combinations, so this property test samples
+random points from the full paper space, simulates each on a small
+adversarial hierarchy, and asserts the soundness meter never records a
+violation — for any sampled design.
+"""
+
+from hypothesis import HealthCheck, given, settings as hsettings
+from hypothesis import strategies as st
+
+from repro.experiments.base import ExperimentSettings, reference_pass
+from repro.search.space import paper_space
+from tests.conftest import small_hierarchy_config
+
+SPACE = paper_space()
+HIERARCHY = small_hierarchy_config(3)
+SETTINGS = ExperimentSettings(num_instructions=4000, warmup_fraction=0.25,
+                              workloads=("twolf",))
+
+
+@hsettings(max_examples=20, deadline=None,
+           suppress_health_check=[HealthCheck.too_slow])
+@given(index=st.integers(min_value=0, max_value=SPACE.size - 1))
+def test_sampled_search_point_never_produces_a_false_miss(index):
+    point = SPACE.point(index)
+    design = point.design()
+    assert design.name == point.name  # canonical-name round trip
+
+    result = reference_pass("twolf", HIERARCHY, (design,), SETTINGS)
+    meter = result.designs[point.name].coverage
+    assert meter.violations == 0, (
+        f"{point.name} produced {meter.violations} false miss "
+        f"determinations")
+    assert 0.0 <= meter.coverage <= 1.0
