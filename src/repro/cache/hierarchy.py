@@ -66,7 +66,14 @@ class TierConfig:
     def configs(self) -> Tuple[CacheConfig, ...]:
         if self.unified is not None:
             return (self.unified,)
-        assert self.instruction is not None and self.data is not None
+        if self.instruction is None or self.data is None:
+            # Unreachable through __init__ (__post_init__ validates), but
+            # must hold even when validation was bypassed — and must keep
+            # firing under ``python -O``, which strips asserts (R005).
+            raise RuntimeError(
+                "split tier is missing its instruction/data cache; "
+                "TierConfig validation was bypassed"
+            )
         return (self.instruction, self.data)
 
     @classmethod

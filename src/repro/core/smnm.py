@@ -88,6 +88,7 @@ def _chunk_tables(sum_width: int) -> List[List[int]]:
     return tables
 
 
+# repro: allow[R006] internal SMNM building block, not a wireable filter; audited through SMNM's own soundness tests
 class SumChecker:
     """One sum checker: a slice position plus the seen-sums state."""
 

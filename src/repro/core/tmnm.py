@@ -34,6 +34,7 @@ COUNTER_BITS = 3
 COUNTER_MAX = (1 << COUNTER_BITS) - 1
 
 
+# repro: allow[R006] internal TMNM building block, not a wireable filter; audited through TMNM's own soundness tests
 class CounterTable:
     """One table of sticky-saturating counters over an address-bit slice."""
 

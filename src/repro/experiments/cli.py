@@ -14,6 +14,8 @@ Examples::
         --budget-bits 80000 --seed 7 --top-k 5
     repro-mnm telemetry summary metrics.json
     repro-mnm telemetry summary trace.jsonl
+    repro-mnm check src/
+    repro-mnm check --format json --rules R001,R005 src/repro
 
 Exit codes — known user errors map to distinct non-zero codes with a
 one-line message instead of a raw traceback:
@@ -21,11 +23,14 @@ one-line message instead of a raw traceback:
 ====  =======================================================
 0     success
 2     usage error (argparse: unknown flag, missing argument)
-3     bad path (``--cache-dir``/``--resume``/output directory)
+3     bad path (``--cache-dir``/``--resume``/output directory,
+      a ``check`` path)
 4     invalid value (``--retries``, ``--task-timeout``,
-      ``--trace-sample``, ``--jobs``, conflicting flags)
+      ``--trace-sample``, ``--jobs``, ``--rules``,
+      conflicting flags)
 5     unknown experiment id
 6     a simulation task failed after exhausting its retries
+7     ``repro-mnm check`` reported static-analysis findings
 130   interrupted (Ctrl-C) — journaled runs resume with ``--resume``
 ====  =======================================================
 """
@@ -64,6 +69,7 @@ EXIT_BAD_PATH = 3
 EXIT_BAD_VALUE = 4
 EXIT_UNKNOWN_EXPERIMENT = 5
 EXIT_TASK_FAILED = 6
+EXIT_STATIC_CHECK = 7
 EXIT_INTERRUPTED = 130
 
 
@@ -141,6 +147,22 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="do not seed the candidate set with the "
                              "paper's fixed configurations")
     _add_settings_args(search)
+
+    check = sub.add_parser(
+        "check",
+        help="static invariant checker: AST rules R001-R006 over the "
+             "source tree")
+    check.add_argument("paths", nargs="*", metavar="PATH",
+                       help="files/directories to check (default: the "
+                            "installed repro package)")
+    check.add_argument("--format", choices=("text", "json"),
+                       default="text",
+                       help="report format (default text)")
+    check.add_argument("--rules", type=str, default="",
+                       help="comma-separated rule subset, e.g. R001,R005 "
+                            "(default: all rules)")
+    check.add_argument("--list-rules", action="store_true",
+                       help="print the rule table and exit")
 
     tele = sub.add_parser(
         "telemetry", help="inspect telemetry artifacts")
@@ -481,6 +503,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         designs = [parse_design(name) for name in names]
         print(budget_table(paper_hierarchy_5level(), designs))
         return 0
+
+    if args.command == "check":
+        from repro.staticcheck.cli import run_check
+
+        return run_check(args.paths, fmt=args.format,
+                         rules_csv=args.rules,
+                         list_rules=args.list_rules)
 
     if args.command == "telemetry":
         try:

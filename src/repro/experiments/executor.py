@@ -199,6 +199,7 @@ def _execute_one_serial(
                 injector.on_task_start(key, attempt)
             started = time.perf_counter()
             task.execute()
+        # repro: allow[R004] is_retryable() triages every failure; fatal ones re-raise as TaskExecutionError
         except Exception as exc:
             if not is_retryable(exc) or attempt >= policy.retry.max_attempts:
                 registry.counter("executor.tasks.failed").inc()
@@ -308,6 +309,7 @@ def _execute_parallel(
                     pool_broken = True
                     next_round.append((index, task))
                     continue
+                # repro: allow[R004] is_retryable() triages worker failures; fatal ones re-raise as TaskExecutionError
                 except Exception as exc:
                     # The task itself raised in the worker.
                     if (not is_retryable(exc)

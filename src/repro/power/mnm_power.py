@@ -71,7 +71,13 @@ def machine_query_energy_nj(machine: MostlyNoMachine) -> float:
 def _rmnm_lookup_nj(machine: MostlyNoMachine) -> float:
     """One RMNM-cache lookup: a narrow set read plus tag compares."""
     rmnm = machine.rmnm
-    assert rmnm is not None
+    if rmnm is None:
+        # Callers gate on ``machine.rmnm is not None``; pricing a machine
+        # without the shared cache is a bug worth a loud error even under
+        # ``python -O``, which would strip an assert (R005).
+        raise ValueError(
+            f"machine {machine.name!r} has no shared RMNM cache to price"
+        )
     set_bits = rmnm.storage_bits // max(rmnm.num_sets, 1)
     return small_array_energy_nj(rmnm.storage_bits) + small_array_energy_nj(
         set_bits

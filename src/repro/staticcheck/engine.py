@@ -1,0 +1,346 @@
+"""Rule engine: discovery, suppressions, findings, reporters.
+
+The engine is rule-agnostic.  It turns paths into parsed
+:class:`ModuleInfo` records (source, AST, dotted module name,
+suppression comments), dispatches each module to every rule, applies
+the suppression policy to the raw findings, and renders the survivors
+in a byte-stable order — so two runs over the same tree always produce
+identical output, which is what lets CI diff it.
+
+Suppression syntax (scanned with :mod:`tokenize`, so strings that merely
+*look* like comments never match)::
+
+    risky_call()  # repro: allow[R001] one-line rationale
+    # repro: allow[R004,R005] applies to the next line too
+
+A suppression covers its own line and the line directly below it, and
+names one or more rule ids (comma-separated).  Findings flagged
+``requires_rationale`` stay alive unless the matching suppression
+carries a non-empty rationale; findings flagged ``suppressible=False``
+(e.g. a bare ``except:``) cannot be silenced at all.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Marker comment grammar: ``# repro: allow[R001]`` or
+#: ``# repro: allow[R001,R002] rationale text``.
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s*-]+)\]\s*[-:—]*\s*(.*)"
+)
+
+#: Rule id the engine itself uses for files it cannot parse.
+PARSE_ERROR_ID = "E001"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file position.
+
+    Sorting is total and content-only (path, line, column, rule id,
+    message), so reports are byte-stable across runs and ``--jobs``-like
+    reorderings can never change the output.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    suppressible: bool = True
+    requires_rationale: bool = False
+
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        return (self.path, self.line, self.col, self.rule_id, self.message)
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        if self.hint:
+            text += f" [hint: {self.hint}]"
+        return text
+
+    def to_dict(self) -> dict:
+        payload = {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.hint:
+            payload["hint"] = self.hint
+        return payload
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# repro: allow[...]`` marker."""
+
+    rule_ids: Tuple[str, ...]
+    rationale: str
+    line: int
+
+    def covers(self, rule_id: str) -> bool:
+        return "*" in self.rule_ids or rule_id in self.rule_ids
+
+
+@dataclass
+class ModuleInfo:
+    """Everything a rule may want to know about one source file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: Dotted module name when the file lives under a ``repro`` package
+    #: (e.g. ``repro.core.base``); None for files outside it.
+    module: Optional[str] = None
+    #: line number -> suppressions effective on that line.
+    suppressions: Dict[int, List[Suppression]] = field(default_factory=dict)
+
+    @property
+    def component(self) -> Optional[str]:
+        """Top-level package component: ``repro.core.base`` -> ``core``.
+
+        The package root itself (``repro`` / ``repro.__init__``) maps to
+        ``""``; modules without a resolvable name map to None.
+        """
+        if self.module is None:
+            return None
+        parts = self.module.split(".")
+        if parts[0] != "repro":
+            return None
+        return parts[1] if len(parts) > 1 else ""
+
+    @property
+    def is_entry_point(self) -> bool:
+        """Presentation/wiring modules (``cli.py``, ``__main__.py``).
+
+        Entry points sit above every library layer and render for
+        humans, so the layering and determinism rules exempt them.
+        """
+        return os.path.basename(self.path) in ("cli.py", "__main__.py")
+
+
+def _parse_suppressions(source: str) -> Dict[int, List[Suppression]]:
+    """Scan comments for allow-markers; map effective line -> markers."""
+    table: Dict[int, List[Suppression]] = {}
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenizeError, SyntaxError, IndentationError):
+        return table
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESSION_RE.search(token.string)
+        if not match:
+            continue
+        ids = tuple(
+            part.strip().upper()
+            for part in match.group(1).split(",")
+            if part.strip()
+        )
+        if not ids:
+            continue
+        marker = Suppression(
+            rule_ids=ids,
+            rationale=match.group(2).strip(),
+            line=token.start[0],
+        )
+        # A marker silences its own line and the line directly below,
+        # so it works both trailing and as a standalone comment above.
+        for line in (marker.line, marker.line + 1):
+            table.setdefault(line, []).append(marker)
+    return table
+
+
+def module_name_for(path: str) -> Optional[str]:
+    """Dotted module name of a file under a ``repro`` package root."""
+    parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
+    if "repro" not in parts:
+        return None
+    root = len(parts) - 1 - parts[::-1].index("repro")
+    dotted = parts[root:]
+    last = dotted[-1]
+    if last.endswith(".py"):
+        last = last[: -len(".py")]
+    dotted[-1] = last
+    if last == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+def load_module(path: str, module: Optional[str] = None) -> ModuleInfo:
+    """Read and parse one file into a :class:`ModuleInfo`.
+
+    Raises ``SyntaxError`` if the file does not parse; callers that want
+    a finding instead use :func:`check_paths`, which converts the error
+    into a :data:`PARSE_ERROR_ID` record.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    tree = ast.parse(source, filename=path)
+    return ModuleInfo(
+        path=display_path(path),
+        source=source,
+        tree=tree,
+        module=module if module is not None else module_name_for(path),
+        suppressions=_parse_suppressions(source),
+    )
+
+
+def display_path(path: str) -> str:
+    """Stable, readable path for reports: cwd-relative when possible."""
+    absolute = os.path.abspath(path)
+    cwd = os.getcwd()
+    if absolute == cwd or absolute.startswith(cwd + os.sep):
+        shown = os.path.relpath(absolute, cwd)
+    else:
+        shown = absolute
+    return shown.replace(os.sep, "/")
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Hidden directories and ``__pycache__`` are skipped.  Raises
+    ``FileNotFoundError`` for a path that does not exist, so the CLI can
+    map it to its bad-path exit code before any rule runs.
+    """
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if not d.startswith(".") and d != "__pycache__"
+                )
+                found.extend(
+                    os.path.join(dirpath, name)
+                    for name in sorted(filenames)
+                    if name.endswith(".py")
+                )
+        else:
+            raise FileNotFoundError(path)
+    unique = sorted(set(found), key=lambda p: display_path(p))
+    return unique
+
+
+def _apply_suppressions(module: ModuleInfo,
+                        findings: Iterable[Finding]) -> List[Finding]:
+    """Drop findings covered by allow-markers; enforce rationale rules."""
+    survivors: List[Finding] = []
+    for finding in findings:
+        markers = [
+            marker
+            for marker in module.suppressions.get(finding.line, [])
+            if marker.covers(finding.rule_id)
+        ]
+        if not markers:
+            survivors.append(finding)
+            continue
+        if not finding.suppressible:
+            survivors.append(replace(
+                finding,
+                message=finding.message + " (not suppressible)",
+            ))
+            continue
+        if finding.requires_rationale and not any(
+            marker.rationale for marker in markers
+        ):
+            survivors.append(replace(
+                finding,
+                message=(finding.message
+                         + " — the allow[] marker needs a one-line "
+                           "rationale"),
+                hint="write '# repro: allow[{0}] <why this is safe>'".format(
+                    finding.rule_id),
+            ))
+            continue
+        # Covered, with rationale where one is demanded: silenced.
+    return survivors
+
+
+def check_modules(modules: Sequence[ModuleInfo], rules) -> List[Finding]:
+    """Run every rule over every module; suppressed findings removed."""
+    findings: List[Finding] = []
+    for module in modules:
+        raw: List[Finding] = []
+        for rule in rules:
+            raw.extend(rule.check(module))
+        findings.extend(_apply_suppressions(module, raw))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def check_paths(paths: Sequence[str], rules=None) -> List[Finding]:
+    """Check files/directories; returns sorted, suppression-filtered findings."""
+    from repro.staticcheck.rules import default_rules
+
+    if rules is None:
+        rules = default_rules()
+    modules: List[ModuleInfo] = []
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            modules.append(load_module(path))
+        except SyntaxError as exc:
+            findings.append(Finding(
+                rule_id=PARSE_ERROR_ID,
+                path=display_path(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                message=f"file does not parse: {exc.msg}",
+                suppressible=False,
+            ))
+    findings.extend(check_modules(modules, rules))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def check_source(source: str, *, path: str = "<fixture>.py",
+                 module: Optional[str] = None, rules=None) -> List[Finding]:
+    """Check one in-memory snippet (the fixture-test entry point)."""
+    from repro.staticcheck.rules import default_rules
+
+    if rules is None:
+        rules = default_rules()
+    info = ModuleInfo(
+        path=path,
+        source=source,
+        tree=ast.parse(source, filename=path),
+        module=module,
+        suppressions=_parse_suppressions(source),
+    )
+    return check_modules([info], rules)
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report: one sorted line per finding."""
+    if not findings:
+        return "repro-mnm check: no findings"
+    lines = [finding.render() for finding in findings]
+    plural = "s" if len(findings) != 1 else ""
+    lines.append(f"repro-mnm check: {len(findings)} finding{plural}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding],
+                checked_files: Optional[int] = None) -> str:
+    """Machine-readable report (stable key order, sorted findings)."""
+    payload = {
+        "schema": "repro-staticcheck/v1",
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    if checked_files is not None:
+        payload["checked_files"] = checked_files
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,55 @@
+"""Rule registry: R001–R006, instantiable by id."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.staticcheck.rules.asserts import AssertRule
+from repro.staticcheck.rules.base import Rule
+from repro.staticcheck.rules.determinism import DeterminismRule
+from repro.staticcheck.rules.exceptions import ExceptionHygieneRule
+from repro.staticcheck.rules.layering import LayeringRule
+from repro.staticcheck.rules.mnm_soundness import MNMSoundnessRule
+from repro.staticcheck.rules.picklability import PicklabilityRule
+
+#: Registration order == report order for equal positions.
+_RULE_CLASSES: Tuple[type, ...] = (
+    DeterminismRule,
+    LayeringRule,
+    PicklabilityRule,
+    ExceptionHygieneRule,
+    AssertRule,
+    MNMSoundnessRule,
+)
+
+ALL_RULE_IDS: Tuple[str, ...] = tuple(
+    cls.rule_id for cls in _RULE_CLASSES
+)
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every registered rule."""
+    return [cls() for cls in _RULE_CLASSES]
+
+
+def rules_for(rule_ids: Optional[Iterable[str]]) -> List[Rule]:
+    """Instances for a subset of rule ids (None = all).
+
+    Raises ``ValueError`` naming the unknown ids, so the CLI can map it
+    to its invalid-value exit code.
+    """
+    if rule_ids is None:
+        return default_rules()
+    wanted: Sequence[str] = [rule_id.strip().upper()
+                             for rule_id in rule_ids if rule_id.strip()]
+    unknown = sorted(set(wanted) - set(ALL_RULE_IDS))
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(unknown)} "
+            f"(known: {', '.join(ALL_RULE_IDS)})")
+    return [cls() for cls in _RULE_CLASSES if cls.rule_id in wanted]
+
+
+def rule_table() -> List[Tuple[str, str]]:
+    """(id, title) pairs for ``repro-mnm check --list-rules``."""
+    return [(cls.rule_id, cls.title) for cls in _RULE_CLASSES]

@@ -1,0 +1,175 @@
+"""R001 — seeded-only randomness, no wall clock, no ambient environment.
+
+The repo's byte-identical-report contract (serial == parallel ==
+resumed, for every ``--jobs`` value) only holds if no simulation path
+consults a source of nondeterminism.  Three families are banned in
+library code:
+
+* **module-level randomness** — ``random.random()``, ``random.choice``,
+  ``random.seed`` … share hidden global state; an unseeded
+  ``random.Random()`` or ``random.SystemRandom()`` is just as bad.
+  ``random.Random(seed)`` stays legal: a private, explicitly seeded
+  stream is exactly how the workload generator and samplers work.
+* **wall clock as data** — ``time.time()`` / ``time.time_ns()`` /
+  ``datetime.now()`` / ``utcnow()`` / ``today()``.  ``perf_counter``
+  and ``monotonic`` remain legal; they price durations, never values
+  that reach a report.
+* **ambient environment** — ``os.environ`` reads and ``os.getenv``
+  make behaviour depend on the invoking shell.
+
+Exemptions: modules under ``testing/`` (the fault injector reads
+``REPRO_FAULTS`` by design) and entry points (``cli.py`` /
+``__main__.py``), which translate the user's environment *into*
+explicit settings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Tuple
+
+from repro.staticcheck.engine import Finding, ModuleInfo
+from repro.staticcheck.rules.base import Rule, dotted_name, walk_runtime
+
+#: Attributes of the ``random`` module that are always nondeterministic.
+_SEEDED_FACTORIES = ("Random",)
+
+#: Banned wall-clock call chains (terminal two components).
+_CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+#: ``from <module> import <name>`` pairs that alias a banned callable.
+_BANNED_FROM_IMPORTS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "datetime"),
+    ("datetime", "date"),
+    ("os", "environ"),
+    ("os", "getenv"),
+}
+
+
+class DeterminismRule(Rule):
+    """R001 — ban unseeded randomness, wall-clock reads and ``os.environ``
+    in library code (see module doc for the full exemption list)."""
+
+    rule_id = "R001"
+    title = "seeded-only randomness, no wall clock, no os.environ"
+    hint = ("thread an explicit seed / setting through instead; see "
+            "docs/ARCHITECTURE.md 'Static analysis & invariants'")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.component == "testing" or module.is_entry_point:
+            return
+        aliases = self._from_import_aliases(module.tree)
+        for node in walk_runtime(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, aliases)
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                yield from self._check_environ(module, node, aliases)
+
+    @staticmethod
+    def _from_import_aliases(
+        tree: ast.Module,
+    ) -> Dict[str, Tuple[str, str]]:
+        """Local name -> (module, original name) for banned imports."""
+        aliases: Dict[str, Tuple[str, str]] = {}
+        for node in walk_runtime(tree):
+            if not isinstance(node, ast.ImportFrom) or node.level:
+                continue
+            for alias in node.names:
+                key = (node.module, alias.name)
+                if key in _BANNED_FROM_IMPORTS or node.module == "random":
+                    aliases[alias.asname or alias.name] = (
+                        node.module, alias.name)
+        return aliases
+
+    def _check_call(self, module: ModuleInfo, node: ast.Call,
+                    aliases: Dict[str, Tuple[str, str]]
+                    ) -> Iterator[Finding]:
+        chain = dotted_name(node.func)
+        if chain is None:
+            return
+        parts = chain.split(".")
+        root, leaf = parts[0], parts[-1]
+        origin = aliases.get(root)
+
+        # --- randomness ------------------------------------------------
+        if root == "random" and len(parts) == 2:
+            if leaf in _SEEDED_FACTORIES:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module, node,
+                        "random.Random() without a seed is "
+                        "nondeterministic; pass an explicit seed")
+            else:
+                yield self.finding(
+                    module, node,
+                    f"module-level random.{leaf}() uses hidden global "
+                    "RNG state; use a seeded random.Random(seed)")
+            return
+        if origin is not None and origin[0] == "random":
+            name = origin[1]
+            if name in _SEEDED_FACTORIES:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module, node,
+                        f"{root}() (random.{name}) without a seed is "
+                        "nondeterministic; pass an explicit seed")
+            else:
+                yield self.finding(
+                    module, node,
+                    f"{root}() (random.{name}) uses hidden global RNG "
+                    "state; use a seeded random.Random(seed)")
+            return
+
+        # --- wall clock ------------------------------------------------
+        if len(parts) >= 2 and (parts[-2], leaf) in _CLOCK_CALLS:
+            yield self.finding(
+                module, node,
+                f"{chain}() reads the wall clock; results must be pure "
+                "functions of their inputs (time.perf_counter is fine "
+                "for durations)")
+            return
+        if origin is not None and len(parts) == 1:
+            if origin in (("time", "time"), ("time", "time_ns")):
+                yield self.finding(
+                    module, node,
+                    f"{root}() (time.{origin[1]}) reads the wall clock; "
+                    "results must be pure functions of their inputs")
+                return
+        if origin in (("datetime", "datetime"), ("datetime", "date")):
+            if len(parts) == 2 and leaf in ("now", "utcnow", "today"):
+                yield self.finding(
+                    module, node,
+                    f"{chain}() reads the wall clock; results must be "
+                    "pure functions of their inputs")
+                return
+
+        # --- environment -----------------------------------------------
+        if (root == "os" and leaf == "getenv") or origin == ("os", "getenv"):
+            yield self.finding(
+                module, node,
+                "os.getenv() reads the ambient environment; thread the "
+                "value through settings/CLI flags instead")
+
+    def _check_environ(self, module: ModuleInfo, node: ast.AST,
+                       aliases: Dict[str, Tuple[str, str]]
+                       ) -> Iterator[Finding]:
+        chain = dotted_name(node)
+        if chain == "os.environ" or (
+            chain is not None
+            and "." not in chain
+            and aliases.get(chain) == ("os", "environ")
+        ):
+            yield self.finding(
+                module, node,
+                "os.environ access makes behaviour depend on the "
+                "invoking shell; thread the value through settings/CLI "
+                "flags instead")

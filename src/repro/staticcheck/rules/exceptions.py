@@ -1,0 +1,103 @@
+"""R004 — exception hygiene: no silent catch-alls, typed failures.
+
+The resilience machinery only works if exceptions keep their meaning:
+:func:`repro.experiments.resilience.is_retryable` *classifies* errors,
+so a handler that swallows everything — or a raise site that throws
+generic ``Exception`` — destroys the retryable-vs-fatal distinction the
+whole executor is built on.  Concretely:
+
+* ``except:`` (bare) is banned outright and **cannot be suppressed** —
+  it eats ``KeyboardInterrupt``/``SystemExit`` and breaks Ctrl-C
+  resumability;
+* ``except Exception`` / ``except BaseException`` is allowed only when
+  the handler visibly re-raises (a bare ``raise`` in its body — the
+  cleanup-and-propagate pattern), or when annotated with
+  ``# repro: allow[R004] <rationale>`` — the rationale is mandatory;
+* ``raise Exception(...)`` / ``raise BaseException(...)`` is banned
+  everywhere: an untyped error can never be classified;
+* inside ``experiments/``, ``raise RuntimeError(...)`` must instead use
+  the resilience taxonomy (``TransientTaskError`` for transient,
+  ``TaskExecutionError`` for final) or a precise builtin, so the
+  executor's triage sees intent, not a shrug.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.engine import Finding, ModuleInfo
+from repro.staticcheck.rules.base import Rule, terminal_name
+
+_BROAD = ("Exception", "BaseException")
+
+
+class ExceptionHygieneRule(Rule):
+    """R004 — bare/blanket excepts and untyped raises (see module doc)."""
+
+    rule_id = "R004"
+    title = "no bare/blanket excepts, no untyped raises"
+    hint = ("catch the precise types, re-raise after cleanup, or "
+            "annotate with '# repro: allow[R004] <rationale>'")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        in_experiments = module.component == "experiments"
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(module, node)
+            elif isinstance(node, ast.Raise):
+                yield from self._check_raise(module, node, in_experiments)
+
+    def _check_handler(self, module: ModuleInfo,
+                       handler: ast.ExceptHandler) -> Iterator[Finding]:
+        if handler.type is None:
+            yield self.finding(
+                module, handler,
+                "bare 'except:' swallows KeyboardInterrupt/SystemExit "
+                "and breaks Ctrl-C resumability",
+                hint="catch the precise exception types",
+                suppressible=False)
+            return
+        caught = _caught_names(handler.type)
+        broad = next((name for name in caught if name in _BROAD), None)
+        if broad is None:
+            return
+        if _reraises(handler):
+            return  # cleanup-and-propagate: the error keeps flowing.
+        yield self.finding(
+            module, handler,
+            f"broad 'except {broad}' without a re-raise hides the "
+            "retryable-vs-fatal distinction",
+            requires_rationale=True)
+
+    def _check_raise(self, module: ModuleInfo, node: ast.Raise,
+                     in_experiments: bool) -> Iterator[Finding]:
+        if node.exc is None:
+            return  # bare re-raise
+        target = node.exc.func if isinstance(node.exc, ast.Call) else node.exc
+        name = terminal_name(target)
+        if name in _BROAD:
+            yield self.finding(
+                module, node,
+                f"raising generic {name} defeats exception "
+                "classification; raise a precise type")
+        elif in_experiments and name == "RuntimeError":
+            yield self.finding(
+                module, node,
+                "raise sites in experiments/ must use the resilience "
+                "taxonomy (TransientTaskError / TaskExecutionError) or "
+                "a precise builtin, not generic RuntimeError")
+
+
+def _caught_names(node: ast.AST):
+    if isinstance(node, ast.Tuple):
+        return [terminal_name(element) for element in node.elts]
+    return [terminal_name(node)]
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains a top-level bare ``raise``."""
+    return any(
+        isinstance(statement, ast.Raise) and statement.exc is None
+        for statement in handler.body
+    )

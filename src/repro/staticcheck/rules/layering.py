@@ -1,0 +1,149 @@
+"""R002 — the import DAG between the repo's layers.
+
+The architecture is a strict stack (docs/ARCHITECTURE.md)::
+
+    telemetry                     (importable everywhere, imports nothing)
+    addresses                     (bit-twiddling foundation)
+    core / cache / cpu / workloads        (mechanism: filters, caches, traces)
+    simulate / analysis / power           (measurement over mechanism)
+    experiments / search / testing / staticcheck   (orchestration)
+
+A module may import from its own group or any group below it, never
+from a group above — e.g. ``workloads`` must not reach into
+``analysis``, and ``telemetry`` must not import anything else from
+:mod:`repro` at all.  What the DAG buys: the mechanism layers stay
+embeddable without dragging in the experiment harness, and a worker
+process importing a task spec can never pull the whole CLI with it.
+
+Exempt: entry points (``cli.py`` / ``__main__.py``) and the package
+root ``repro/__init__.py`` — both are wiring that by design touch every
+layer.  ``if TYPE_CHECKING:`` imports are ignored (they do not exist at
+runtime; that is the sanctioned way to annotate downward-facing types).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator, List, Optional, Tuple
+
+from repro.staticcheck.engine import Finding, ModuleInfo
+from repro.staticcheck.rules.base import Rule, walk_runtime
+
+#: Component -> layer rank.  Same rank = same group (imports allowed).
+LAYERS = {
+    "telemetry": 0,
+    "addresses": 1,
+    "core": 2,
+    "cache": 2,
+    "cpu": 2,
+    "workloads": 2,
+    "simulate": 3,
+    "analysis": 3,
+    "power": 3,
+    "experiments": 4,
+    "search": 4,
+    "testing": 4,
+    "staticcheck": 4,
+}
+
+
+class LayeringRule(Rule):
+    """R002 — reject imports that point upward in the layer DAG."""
+
+    rule_id = "R002"
+    title = "imports must follow the layer DAG"
+    hint = ("move the shared piece down a layer, or invert the "
+            "dependency; the DAG is documented in docs/ARCHITECTURE.md")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        component = module.component
+        if component is None or component == "" or module.is_entry_point:
+            return
+        rank = LAYERS.get(component)
+        if rank is None:
+            yield self.finding(
+                module, module.tree,
+                f"component {component!r} has no layer assignment",
+                hint="add it to LAYERS in "
+                     "src/repro/staticcheck/rules/layering.py")
+            return
+        for node, target in self._repro_imports(module):
+            target_rank = LAYERS.get(target)
+            if target_rank is None:
+                if target:  # unknown component: flag, don't guess a rank
+                    yield self.finding(
+                        module, node,
+                        f"import of unclassified component "
+                        f"repro.{target}",
+                        hint="add it to LAYERS in "
+                             "src/repro/staticcheck/rules/layering.py")
+                continue
+            if target_rank > rank:
+                yield self.finding(
+                    module, node,
+                    f"{component!r} (layer {rank}) imports "
+                    f"repro.{target} (layer {target_rank}) — an upward "
+                    "edge in the layer DAG")
+
+    @staticmethod
+    def _repro_imports(
+        module: ModuleInfo,
+    ) -> List[Tuple[ast.AST, str]]:
+        """(node, top-level component) for every runtime repro import."""
+        edges: List[Tuple[ast.AST, str]] = []
+        is_package = os.path.basename(module.path) == "__init__.py"
+        for node in walk_runtime(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    component = _component_of(alias.name)
+                    if component is not None:
+                        edges.append((node, component))
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    # Relative import: resolve against this module.
+                    base = _resolve_relative(module.module, is_package,
+                                             node.level, node.module)
+                    if base is None:
+                        continue
+                    component = _component_of(base)
+                    if component is not None:
+                        edges.append((node, component))
+                    continue
+                if node.module is None:
+                    continue
+                if node.module == "repro":
+                    # ``from repro import simulate`` names components
+                    # directly.
+                    for alias in node.names:
+                        edges.append((node, alias.name))
+                    continue
+                component = _component_of(node.module)
+                if component is not None:
+                    edges.append((node, component))
+        return edges
+
+
+def _component_of(dotted: str) -> Optional[str]:
+    parts = dotted.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return None
+    return parts[1]
+
+
+def _resolve_relative(module: Optional[str], is_package: bool, level: int,
+                      target: Optional[str]) -> Optional[str]:
+    """Absolute dotted path of a relative import, if computable."""
+    if module is None:
+        return None
+    # Level 1 resolves against the containing package: the module's own
+    # dotted name for ``__init__.py``, its parent for a plain module.
+    package = module.split(".")
+    if not is_package:
+        package = package[:-1]
+    if len(package) < level - 1:
+        return None
+    base = package[: len(package) - (level - 1)]
+    if target:
+        base = base + target.split(".")
+    return ".".join(base) if base else None

@@ -1,0 +1,155 @@
+"""R006 — the MNM soundness surface stays auditable.
+
+The paper's contract is one-sided: a MISS answer must be a proof of
+absence.  The repo enforces that dynamically (property tests, the
+decision-log replay in :mod:`repro.core.audit`) — but only for code
+that goes through the audited surface.  This rule pins the surface
+shut:
+
+* a subclass of :class:`~repro.core.machine.MostlyNoMachine` that
+  overrides ``query`` must route through the audited base
+  (``super().query(...)`` / ``MostlyNoMachine.query(...)``) — a
+  reimplementation could emit a miss bit no filter proved;
+* a direct, concrete :class:`~repro.core.base.MissFilter` subclass must
+  implement the full query contract in-class (``is_definite_miss``,
+  ``on_place``, ``on_replace``, ``storage_bits``) — a filter that
+  forgets its bookkeeping hooks silently decays into unsoundness as
+  blocks move under it;
+* a base-less class that quacks like a filter (defines both
+  ``is_definite_miss`` and ``on_place``) is flagged: wired in by duck
+  typing it would dodge every soundness test keyed on the ABC.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.staticcheck.engine import Finding, ModuleInfo
+from repro.staticcheck.rules.base import (
+    Rule,
+    decorator_names,
+    dotted_name,
+    terminal_name,
+)
+
+#: The MissFilter query contract (abstract methods + storage property).
+CONTRACT = ("is_definite_miss", "on_place", "on_replace", "storage_bits")
+
+_ABSTRACT_DECORATORS = {"abstractmethod", "abstractproperty"}
+
+
+class MNMSoundnessRule(Rule):
+    """R006 — keep every miss answer on the audited surface (see module
+    doc: query overrides, incomplete filters, duck-typed filters)."""
+
+    rule_id = "R006"
+    title = "miss answers must route through the audited surface"
+    hint = ("see src/repro/core/base.py — the one-sided guarantee is "
+            "only tested for code on the audited surface")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = [terminal_name(base) for base in node.bases]
+            if "MostlyNoMachine" in bases:
+                yield from self._check_machine_subclass(module, node)
+            if "MissFilter" in bases:
+                yield from self._check_filter_subclass(module, node)
+            elif self._is_baseless(node):
+                yield from self._check_duck_filter(module, node)
+
+    # --------------------------------------------------- machine subclasses
+
+    def _check_machine_subclass(self, module: ModuleInfo,
+                                cls: ast.ClassDef) -> Iterator[Finding]:
+        query = _method(cls, "query")
+        if query is None:
+            return  # inherits the audited implementation — fine.
+        for node in ast.walk(query):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_name(node.func)
+            if chain in ("MostlyNoMachine.query",):
+                return
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "query"
+                    and isinstance(node.func.value, ast.Call)
+                    and terminal_name(node.func.value.func) == "super"):
+                return
+        yield self.finding(
+            module, query,
+            f"{cls.name}.query reimplements the MNM query without "
+            "routing through super().query — its miss bits bypass the "
+            "audited proof path")
+
+    # ---------------------------------------------------- filter subclasses
+
+    def _check_filter_subclass(self, module: ModuleInfo,
+                               cls: ast.ClassDef) -> Iterator[Finding]:
+        if _is_abstract(cls):
+            return
+        defined = _defined_names(cls)
+        missing = [name for name in CONTRACT if name not in defined]
+        if missing:
+            yield self.finding(
+                module, cls,
+                f"MissFilter subclass {cls.name} does not implement "
+                f"{', '.join(missing)} — the query contract is "
+                "incomplete, so its answers cannot stay provable as "
+                "cache state moves")
+
+    # -------------------------------------------------- duck-typed filters
+
+    @staticmethod
+    def _is_baseless(cls: ast.ClassDef) -> bool:
+        names = [terminal_name(base) for base in cls.bases]
+        return not names or names == ["object"]
+
+    def _check_duck_filter(self, module: ModuleInfo,
+                           cls: ast.ClassDef) -> Iterator[Finding]:
+        defined = _defined_names(cls)
+        if "is_definite_miss" in defined and "on_place" in defined:
+            yield self.finding(
+                module, cls,
+                f"{cls.name} implements the filter interface without "
+                "subclassing MissFilter — duck-typed filters dodge the "
+                "soundness property tests keyed on the ABC")
+
+
+def _method(cls: ast.ClassDef, name: str):
+    for statement in cls.body:
+        if (isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and statement.name == name):
+            return statement
+    return None
+
+
+def _defined_names(cls: ast.ClassDef) -> Set[str]:
+    names: Set[str] = set()
+    for statement in cls.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(statement.name)
+        elif isinstance(statement, ast.AnnAssign):
+            if isinstance(statement.target, ast.Name):
+                names.add(statement.target.id)
+        elif isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _is_abstract(cls: ast.ClassDef) -> bool:
+    base_names: List[str] = [terminal_name(base) for base in cls.bases]
+    if "ABC" in base_names:
+        return True
+    keywords = [terminal_name(kw.value) for kw in cls.keywords]
+    if "ABCMeta" in keywords:
+        return True
+    return any(
+        set(decorator_names(statement)) & _ABSTRACT_DECORATORS
+        for statement in cls.body
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )

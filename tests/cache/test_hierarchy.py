@@ -38,6 +38,19 @@ class TestTierConfig:
         with pytest.raises(ValueError):
             TierConfig.make_unified(data_like)
 
+    def test_configs_raises_when_validation_bypassed(self):
+        """The split-tier invariant must fire as an explicit raise — not an
+        assert — so it survives ``python -O`` (rule R005)."""
+        inst = CacheConfig(name="i", level=1, size_bytes=256, associativity=1,
+                           block_size=16, hit_latency=1,
+                           side=CacheSide.INSTRUCTION)
+        broken = object.__new__(TierConfig)
+        object.__setattr__(broken, "instruction", inst)
+        object.__setattr__(broken, "data", None)
+        object.__setattr__(broken, "unified", None)
+        with pytest.raises(RuntimeError, match="validation was bypassed"):
+            broken.configs
+
     def test_level_must_match_position(self):
         unified = CacheConfig(name="u", level=3, size_bytes=256,
                               associativity=1, block_size=16, hit_latency=1)

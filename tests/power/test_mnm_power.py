@@ -12,9 +12,11 @@ from repro.core.presets import (
     parse_design,
     perfect_design,
     rmnm_design,
+    smnm_design,
 )
 from repro.power.cacti import cache_read_energy_nj
 from repro.power.mnm_power import (
+    _rmnm_lookup_nj,
     component_lookup_nj,
     machine_query_energy_nj,
     machine_update_energy_nj,
@@ -76,3 +78,13 @@ class TestComponentPricing:
         per_level = sum(component_lookup_nj(machine.filter_for(n))
                         for n in machine.tracked_cache_names())
         assert machine_query_energy_nj(machine) > per_level  # + RMNM
+
+
+class TestRMNMPricingGuard:
+    def test_pricing_machine_without_rmnm_raises(self):
+        """The no-RMNM guard must fire as an explicit raise — not an
+        assert — so it survives ``python -O`` (rule R005)."""
+        machine = make_machine(smnm_design(12, 3))
+        assert machine.rmnm is None
+        with pytest.raises(ValueError, match="no shared RMNM"):
+            _rmnm_lookup_nj(machine)
