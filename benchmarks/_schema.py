@@ -1,0 +1,59 @@
+"""Shared envelope for every ``BENCH_*.json`` this repo emits.
+
+All three benchmark producers — ``bench_parallel_report.py``,
+``bench_search.py`` and the CLI's ``--profile`` output
+(``BENCH_telemetry.json``) — wrap their measurements in the same
+envelope so ``repro-mnm obs regress`` can gate any of them without
+per-producer parsing::
+
+    {
+      "schema": "repro-bench/v1",
+      "created_by": "<producer name, matched against a baseline's name>",
+      "metrics": {"<dotted.metric.name>": <number>, ...},
+      ...producer-specific context keys...
+    }
+
+``metrics`` is deliberately flat — metric names are the join key
+between a candidate document and its committed baseline.  Producers
+keep their richer context (scenario tables, notes, settings) as extra
+top-level keys; the gate ignores everything outside ``metrics``.
+
+Self-contained on purpose: ``benchmarks/`` runs as standalone scripts
+(no installed package) and :mod:`repro.experiments.cli` cannot import
+``benchmarks``, so both sides duplicate nothing but this tiny shape.
+"""
+
+import json
+
+#: Envelope version; bump when the shape above changes.
+BENCH_SCHEMA = "repro-bench/v1"
+
+
+def flatten_metrics(tree, prefix=""):
+    """Nested dicts of numbers -> one flat ``{dotted.name: value}`` dict."""
+    flat = {}
+    for key, value in tree.items():
+        name = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            flat.update(flatten_metrics(value, name))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            flat[name] = value
+    return flat
+
+
+def bench_envelope(created_by, metrics, **context):
+    """Assemble one ``repro-bench/v1`` document."""
+    document = {
+        "schema": BENCH_SCHEMA,
+        "created_by": created_by,
+        "metrics": flatten_metrics(metrics),
+    }
+    document.update(context)
+    return document
+
+
+def write_bench(path, document):
+    """Write an envelope as stable, diff-friendly JSON."""
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")

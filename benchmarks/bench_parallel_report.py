@@ -13,13 +13,17 @@ in-process model)::
 """
 
 import argparse
-import json
 import os
 import shutil
 import subprocess
 import sys
 import tempfile
 import time
+
+try:
+    from benchmarks._schema import bench_envelope, write_bench
+except ImportError:  # run as a standalone script from benchmarks/
+    from _schema import bench_envelope, write_bench
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -77,26 +81,27 @@ def main(argv=None):
         print("all reports byte-identical")
 
         serial = timings["serial_cold"]
-        result = {
-            "benchmark": "parallel report executor + disk pass cache",
-            "command": (f"repro-mnm report --skip-heavy "
-                        f"--instructions {args.instructions}"),
-            "cpus": os.cpu_count(),
-            "jobs": args.jobs,
-            "instructions": args.instructions,
-            "seconds": {k: round(v, 2) for k, v in timings.items()},
-            "speedup_vs_serial_cold": {
-                k: round(serial / v, 2) for k, v in timings.items()
+        result = bench_envelope(
+            "bench_parallel_report",
+            metrics={
+                "seconds": {k: round(v, 2) for k, v in timings.items()},
+                "speedup_vs_serial_cold": {
+                    k: round(serial / v, 2) for k, v in timings.items()
+                },
             },
-            "reports_byte_identical": True,
-            "notes": ("parallel_cold speedup scales with available cores "
-                      "(cpus above is what this host exposed); "
-                      "disk_cache_warm measures a re-run against a "
-                      "populated --cache-dir"),
-        }
-        with open(args.output, "w") as handle:
-            json.dump(result, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+            benchmark="parallel report executor + disk pass cache",
+            command=(f"repro-mnm report --skip-heavy "
+                     f"--instructions {args.instructions}"),
+            cpus=os.cpu_count(),
+            jobs=args.jobs,
+            instructions=args.instructions,
+            reports_byte_identical=True,
+            notes=("parallel_cold speedup scales with available cores "
+                   "(cpus above is what this host exposed); "
+                   "disk_cache_warm measures a re-run against a "
+                   "populated --cache-dir"),
+        )
+        write_bench(args.output, result)
         print(f"wrote {args.output}")
     finally:
         shutil.rmtree(workdir, ignore_errors=True)

@@ -23,6 +23,11 @@ import sys
 import tempfile
 import time
 
+try:
+    from benchmarks._schema import bench_envelope, write_bench
+except ImportError:  # run as a standalone script from benchmarks/
+    from _schema import bench_envelope, write_bench
+
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
@@ -98,15 +103,7 @@ def main(argv=None):
         resumed = counters["serial_resumed"]
         planned = resumed.get("search.tasks.planned", 0)
         hits = resumed.get("search.tasks.cache_hits", 0)
-        result = {
-            "benchmark": "design-space search on the parallel executor",
-            "command": (f"repro-mnm search --space quick --sampler random "
-                        f"--samples {args.samples} "
-                        f"--instructions {args.instructions}"),
-            "cpus": os.cpu_count(),
-            "jobs": args.jobs,
-            "instructions": args.instructions,
-            "samples": args.samples,
+        metrics = {
             "candidates_evaluated": evaluated,
             "seconds": {k: round(v, 2) for k, v in timings.items()},
             "candidates_per_sec": {
@@ -116,18 +113,28 @@ def main(argv=None):
                 k: round(timings["serial_cold"] / v, 2)
                 for k, v in timings.items()
             },
-            "resumed_cache_hit_rate": (
-                round(hits / planned, 3) if planned else None),
-            "reports_byte_identical": True,
-            "notes": ("candidates_per_sec counts unique designs simulated "
-                      "per wall-clock second (interpreter startup "
-                      "included); serial_resumed re-runs against the "
-                      "parallel run's journal, so its cache-hit rate "
-                      "should be 1.0"),
         }
-        with open(args.output, "w") as handle:
-            json.dump(result, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        if planned:
+            metrics["resumed_cache_hit_rate"] = round(hits / planned, 3)
+        result = bench_envelope(
+            "bench_search",
+            metrics=metrics,
+            benchmark="design-space search on the parallel executor",
+            command=(f"repro-mnm search --space quick --sampler random "
+                     f"--samples {args.samples} "
+                     f"--instructions {args.instructions}"),
+            cpus=os.cpu_count(),
+            jobs=args.jobs,
+            instructions=args.instructions,
+            samples=args.samples,
+            reports_byte_identical=True,
+            notes=("candidates_per_sec counts unique designs simulated "
+                   "per wall-clock second (interpreter startup "
+                   "included); serial_resumed re-runs against the "
+                   "parallel run's journal, so its cache-hit rate "
+                   "should be 1.0"),
+        )
+        write_bench(args.output, result)
         print(f"wrote {args.output}")
     finally:
         shutil.rmtree(workdir, ignore_errors=True)

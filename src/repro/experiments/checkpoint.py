@@ -94,28 +94,35 @@ class RunJournal:
         Unparseable trailing lines — a torn final write — are skipped.
         """
         self._completed.clear()
-        try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                lines = handle.read().splitlines()
-        except FileNotFoundError:
-            return 0
-        if not lines or not self._valid_header(lines[0]):
-            telemetry.get_logger("checkpoint").warning(
-                "ignoring journal with unknown header/schema",
-                path=self.path)
+        spans = telemetry.get_spans()
+        with spans.span("checkpoint.load", path=self.path):
             try:
-                os.replace(self.path, self.path + ".stale")
-            except OSError:
-                pass
-            return 0
-        for line in lines[1:]:
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn trailing write: at most one, costs a recompute
-            digest = entry.get("key_sha") if isinstance(entry, dict) else None
-            if digest:
-                self._completed[digest] = entry
+                with open(self.path, "r", encoding="utf-8") as handle:
+                    lines = handle.read().splitlines()
+            except FileNotFoundError:
+                return 0
+            if not lines or not self._valid_header(lines[0]):
+                telemetry.get_logger("checkpoint").warning(
+                    "ignoring journal with unknown header/schema",
+                    path=self.path)
+                spans.event("checkpoint.stale_journal", path=self.path)
+                try:
+                    os.replace(self.path, self.path + ".stale")
+                except OSError:
+                    pass
+                return 0
+            for line in lines[1:]:
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # torn trailing write: at most one, costs a recompute
+                    continue
+                digest = (entry.get("key_sha")
+                          if isinstance(entry, dict) else None)
+                if digest:
+                    self._completed[digest] = entry
+        if self._completed:
+            spans.event("checkpoint.resumed", completed=len(self._completed))
         return len(self._completed)
 
     @staticmethod

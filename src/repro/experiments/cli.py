@@ -9,6 +9,10 @@ Examples::
     repro-mnm run fig10 --metrics-out metrics.json --trace-out trace.jsonl
     repro-mnm all --profile            # writes BENCH_telemetry.json
     repro-mnm all --resume runs/full   # journaled; re-run to resume
+    repro-mnm report --jobs 4 --run-dir runs/nightly   # + manifest.json
+    repro-mnm obs show runs/nightly
+    repro-mnm obs diff runs/last runs/nightly
+    repro-mnm obs regress runs/nightly --baseline ci/baselines/
     repro-mnm run fig15 --retries 3 --task-timeout 600
     repro-mnm search --space paper --sampler random --samples 32 \\
         --budget-bits 80000 --seed 7 --top-k 5
@@ -31,6 +35,7 @@ one-line message instead of a raw traceback:
 5     unknown experiment id
 6     a simulation task failed after exhausting its retries
 7     ``repro-mnm check`` reported static-analysis findings
+8     ``repro-mnm obs regress`` found a performance regression
 130   interrupted (Ctrl-C) — journaled runs resume with ``--resume``
 ====  =======================================================
 """
@@ -70,6 +75,7 @@ EXIT_BAD_VALUE = 4
 EXIT_UNKNOWN_EXPERIMENT = 5
 EXIT_TASK_FAILED = 6
 EXIT_STATIC_CHECK = 7
+EXIT_PERF_REGRESSION = 8
 EXIT_INTERRUPTED = 130
 
 
@@ -172,6 +178,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="pretty-print a metrics snapshot (JSON) or aggregate a "
              "decision trace (JSONL) back to its bypass counters")
     tele_summary.add_argument("path", help="metrics/trace/profile file")
+
+    from repro.obs.cli import add_obs_parser
+
+    add_obs_parser(sub)
     return parser
 
 
@@ -231,6 +241,11 @@ def _add_settings_args(parser: argparse.ArgumentParser) -> None:
                              "use; re-running after an interruption skips "
                              "every already-completed pass (implies a disk "
                              "pass cache in <dir>/passes)")
+    parser.add_argument("--run-dir", type=str, default="",
+                        help="observed run directory: everything --resume "
+                             "does, plus structured spans and a "
+                             "manifest.json written beside the journal "
+                             "(see 'repro-mnm obs')")
 
 
 def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
@@ -297,7 +312,10 @@ def _bench_payload(settings: ExperimentSettings, command: str) -> dict:
 
     Records per-experiment wall-clock and the simulation throughputs
     (references/sec for reference passes, instructions/sec for core
-    runs) — the numbers future performance PRs diff against.
+    runs) — the numbers future performance PRs diff against.  Emitted in
+    the shared ``repro-bench/v1`` envelope (``schema`` / ``created_by``
+    / flat ``metrics`` — see ``benchmarks/_schema.py``), so ``repro-mnm
+    obs regress`` gates it exactly like any other ``BENCH_*.json``.
     """
     profiler = telemetry.get_profiler()
     phases = profiler.snapshot()
@@ -313,8 +331,14 @@ def _bench_payload(settings: ExperimentSettings, command: str) -> dict:
     core_stats = profiler.stats_for("core_trace")
     if core_stats is not None and core_stats.units:
         throughput["instructions_per_sec"] = core_stats.per_sec
+    metrics = {f"experiments.{name}": seconds
+               for name, seconds in experiments.items()}
+    metrics.update({f"throughput.{name}": value
+                    for name, value in throughput.items()})
     return {
-        "schema": "repro-telemetry-bench/v1",
+        "schema": "repro-bench/v1",
+        "created_by": "profile",
+        "metrics": metrics,
         "command": command,
         "settings": {
             "instructions": settings.num_instructions,
@@ -355,6 +379,33 @@ def _write_telemetry_outputs(args: argparse.Namespace,
                          f"{stats['unit_name']}/s)")
             logger.info(line)
         logger.info(f"profile written to {args.profile_out}")
+
+
+def _write_run_manifest(args: argparse.Namespace,
+                        settings: ExperimentSettings,
+                        status: str,
+                        journal: Optional[RunJournal]) -> None:
+    """Persist the run manifest into ``--run-dir`` (best effort)."""
+    from repro.obs.manifest import build_manifest, write_manifest
+
+    manifest = build_manifest(
+        command=args.command,
+        settings=settings,
+        status=status,
+        spans_snapshot=telemetry.get_spans().snapshot(),
+        metrics_snapshot=telemetry.get_registry().snapshot(),
+        journal_completed=len(journal) if journal is not None else None,
+        jobs=args.jobs,
+    )
+    try:
+        path = write_manifest(args.run_dir, manifest)
+    except OSError as exc:
+        # The run itself succeeded/failed on its own terms; a manifest
+        # write error must not replace that exit code.
+        print(f"repro-mnm: warning: cannot write run manifest: "
+              f"{exc.strerror or exc}", file=sys.stderr)
+        return
+    telemetry.get_logger("obs").info(f"run manifest written to {path}")
 
 
 def _resolve_jobs(args: argparse.Namespace) -> int:
@@ -511,6 +562,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                          rules_csv=args.rules,
                          list_rules=args.list_rules)
 
+    if args.command == "obs":
+        from repro.obs.cli import run_obs
+
+        return run_obs(args)
+
     if args.command == "telemetry":
         try:
             print(telemetry.summarize_path(args.path))
@@ -536,26 +592,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     settings = _settings_from_args(args)
     journal: Optional[RunJournal] = None
     cache_dir = args.cache_dir or None
-    if args.resume:
+    journal_dir = args.resume or args.run_dir
+    if args.resume and args.run_dir:
+        raise _fail(EXIT_BAD_VALUE,
+                    "--resume and --run-dir conflict: a run directory "
+                    "already journals and resumes (re-run with the same "
+                    "--run-dir to continue)")
+    if journal_dir:
+        flag = "--resume" if args.resume else "--run-dir"
         if args.cache_dir:
             raise _fail(EXIT_BAD_VALUE,
-                        "--resume and --cache-dir conflict: a resume "
+                        f"{flag} and --cache-dir conflict: a run "
                         "directory owns its pass cache in <dir>/passes")
         if args.no_cache:
             raise _fail(EXIT_BAD_VALUE,
-                        "--resume and --no-cache conflict: resuming "
-                        "requires the disk pass cache")
+                        f"{flag} and --no-cache conflict: journaled runs "
+                        "require the disk pass cache")
         try:
-            journal = RunJournal.open(args.resume)
+            journal = RunJournal.open(journal_dir)
         except OSError as exc:
             raise _fail(EXIT_BAD_PATH,
-                        f"cannot open --resume directory {args.resume}: "
+                        f"cannot open {flag} directory {journal_dir}: "
                         f"{exc.strerror or exc}")
-        cache_dir = RunJournal.passes_dir(args.resume)
+        cache_dir = RunJournal.passes_dir(journal_dir)
         if len(journal):
             telemetry.get_logger("cli").info(
-                f"resuming from {args.resume}",
+                f"resuming from {journal_dir}",
                 completed_tasks=len(journal))
+    if args.run_dir:
+        # An observed run records spans and merged counters so the
+        # manifest can attribute time and work to tasks/workers.
+        telemetry.enable_spans()
+        telemetry.enable_metrics()
     try:
         configure_pass_cache(cache_dir=cache_dir, enabled=not args.no_cache)
     except OSError as exc:
@@ -564,20 +632,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"cannot create {flag} cache directory {cache_dir}: "
                     f"{exc.strerror or exc}")
     _enable_telemetry(args)
+    status = "failed"
     try:
         code = _run_command(args, settings, journal)
         _write_telemetry_outputs(args, settings)
+        status = "ok"
         return code
     except KeyboardInterrupt:
-        hint = (f"; re-run with --resume {args.resume} to continue"
-                if args.resume else
-                "; use --resume <dir> to make runs restartable")
+        status = "interrupted"
+        if args.run_dir:
+            hint = f"; re-run with --run-dir {args.run_dir} to continue"
+        elif args.resume:
+            hint = f"; re-run with --resume {args.resume} to continue"
+        else:
+            hint = "; use --resume <dir> to make runs restartable"
         print(f"repro-mnm: interrupted{hint}", file=sys.stderr)
         return EXIT_INTERRUPTED
     except TaskExecutionError as exc:
         print(f"repro-mnm: error: {exc}", file=sys.stderr)
         return EXIT_TASK_FAILED
     finally:
+        if args.run_dir:
+            # Written even for interrupted/failed runs: open spans show
+            # exactly where the run stopped.
+            _write_run_manifest(args, settings, status, journal)
         if journal is not None:
             journal.close()
         telemetry.reset()

@@ -53,6 +53,15 @@ The engine's own health is observable through ``executor.*`` counters:
 (skipped via the journal), plus ``executor.pool.broken`` /
 ``.rebuilds`` and ``executor.serial_fallback``.
 
+When the parent has a live span recorder (``--run-dir``), workers record
+their own ``task.*`` spans, the snapshots travel back with the results,
+and the parent folds them in — with ``task``/``attempt``/``worker``
+attribution stamped on — in submission order; retries, timeouts, pool
+rebuilds and serial degradation additionally surface as span *events*,
+so the run manifest shows not just totals but which task stalled and
+how many tries it took.  Span timings are wall-clock and, like the
+``executor.*`` counters, excluded from the byte-identity contract.
+
 Decision tracing (``--trace-out``) is the one telemetry piece that is
 not parallel-safe — records from concurrent workers would interleave
 nondeterministically — so the CLI forces ``--jobs 1`` when it is on.
@@ -96,6 +105,7 @@ class _TelemetryFlags:
 
     metrics: bool
     profile: bool
+    spans: bool = False
 
 
 @dataclass
@@ -106,6 +116,29 @@ class _TaskOutcome:
     metrics: Optional[dict]
     profile: Optional[Dict[str, dict]]
     elapsed: float = 0.0
+    spans: Optional[dict] = None
+
+
+def _task_identity(task: Task) -> Tuple[str, str, str]:
+    """``(task_id, kind, experiment)`` for span/ledger attribution.
+
+    Duck-typed on purpose: the executor's task contract is
+    ``cache_key``/``describe``/``execute``, and test doubles exercising
+    retry/timeout paths implement exactly that.  Attribution falls back
+    to a digest of the cache key rather than demanding the richer
+    :class:`~repro.experiments.planning.PassTask` surface.
+    """
+    getter = getattr(task, "task_id", None)
+    if getter is not None:
+        task_id = getter()
+    else:
+        from repro.experiments.passcache import key_digest
+        from repro.experiments.planning import TASK_ID_CHARS
+
+        task_id = key_digest(task.cache_key())[:TASK_ID_CHARS]
+    return (task_id,
+            getattr(task, "kind", "task"),
+            getattr(task, "experiment_id", "?"))
 
 
 def _run_task(
@@ -119,8 +152,9 @@ def _run_task(
     """Worker entry point: execute one task with local telemetry.
 
     Runs in the pool process.  The worker gets its own registry/profiler
-    so the returned snapshots contain exactly this task's recordings, and
-    its own pass cache configured like the parent's — with a shared
+    (and span recorder when the parent is building a run manifest) so the
+    returned snapshots contain exactly this task's recordings, and its
+    own pass cache configured like the parent's — with a shared
     ``--cache-dir`` the worker itself persists the result to disk.  The
     fault spec and attempt number are forwarded explicitly so chaos
     injection works under any multiprocessing start method and converges
@@ -130,17 +164,23 @@ def _run_task(
     injector = configure_faults(fault_spec) if fault_spec else None
     registry = telemetry.enable_metrics() if flags.metrics else None
     profiler = telemetry.enable_profiling() if flags.profile else None
+    spans = telemetry.enable_spans() if flags.spans else None
     try:
         if injector is not None:
             injector.set_attempt(attempt)
             injector.on_task_start(task.cache_key(), attempt)
         started = time.perf_counter()
-        result = task.execute()
+        task_id, kind, experiment = _task_identity(task)
+        with telemetry.get_spans().span(
+                f"task.{kind}", task=task_id, attempt=attempt,
+                experiment=experiment):
+            result = task.execute()
         return _TaskOutcome(
             result=result,
             metrics=registry.snapshot() if registry is not None else None,
             profile=profiler.snapshot() if profiler is not None else None,
             elapsed=time.perf_counter() - started,
+            spans=spans.snapshot() if spans is not None else None,
         )
     finally:
         telemetry.reset()
@@ -188,7 +228,9 @@ def _execute_one_serial(
     is always resumable.
     """
     registry = telemetry.get_registry()
+    spans = telemetry.get_spans()
     key = task.cache_key()
+    task_id, kind, experiment = _task_identity(task)
     attempt = start_attempt
     while True:
         injector = get_injector()
@@ -198,22 +240,28 @@ def _execute_one_serial(
             if injector is not None:
                 injector.on_task_start(key, attempt)
             started = time.perf_counter()
-            task.execute()
+            with spans.span(f"task.{kind}", task=task_id,
+                            attempt=attempt, experiment=experiment):
+                task.execute()
         # repro: allow[R004] is_retryable() triages every failure; fatal ones re-raise as TaskExecutionError
         except Exception as exc:
             if not is_retryable(exc) or attempt >= policy.retry.max_attempts:
                 registry.counter("executor.tasks.failed").inc()
+                spans.event("executor.failed", task=task_id, attempt=attempt)
                 raise TaskExecutionError(task.describe(), attempt, exc) from exc
             registry.counter("executor.tasks.retried").inc()
+            spans.event("executor.retry", task=task_id, attempt=attempt)
             _sleep(policy.retry.delay(key, attempt))
             attempt += 1
             continue
         if attempt > 1:
             registry.counter("executor.tasks.recovered").inc()
         registry.counter("executor.tasks.completed").inc()
+        elapsed = time.perf_counter() - started
+        spans.record_task(task_id, task.describe(), attempt,
+                          elapsed=elapsed, worker="serial")
         if journal is not None:
-            journal.record(key, task.describe(),
-                           elapsed=time.perf_counter() - started)
+            journal.record(key, task.describe(), elapsed=elapsed)
         return
 
 
@@ -237,11 +285,13 @@ def _execute_parallel(
     """
     registry = telemetry.get_registry()
     profiler = telemetry.get_profiler()
+    spans = telemetry.get_spans()
     cache = get_pass_cache()
     logger = telemetry.get_logger("executor")
     flags = _TelemetryFlags(
         metrics=registry.enabled,
         profile=profiler.enabled,
+        spans=spans.enabled,
     )
     attempts: Dict[int, int] = {index: 1 for index in range(len(pending))}
     incomplete: List[Tuple[int, Task]] = list(enumerate(pending))
@@ -250,6 +300,9 @@ def _execute_parallel(
     while incomplete:
         if pool_failures >= policy.max_pool_failures:
             registry.counter("executor.serial_fallback").inc()
+            spans.event("executor.serial_fallback",
+                        pool_failures=pool_failures,
+                        remaining=len(incomplete))
             logger.warning(
                 "degrading to in-process serial execution after "
                 f"{pool_failures} consecutive pool failures",
@@ -282,6 +335,7 @@ def _execute_parallel(
             # contents end up independent of worker scheduling.
             for index, task, future in submitted:
                 key = task.cache_key()
+                task_id = _task_identity(task)[0]
                 if pool_broken or timed_out:
                     # The pool is compromised: harvest only results that
                     # already finished, never start a fresh wait.
@@ -292,6 +346,8 @@ def _execute_parallel(
                     outcome = future.result(timeout=policy.task_timeout)
                 except FutureTimeoutError:
                     registry.counter("executor.tasks.timeout").inc()
+                    spans.event("executor.timeout", task=task_id,
+                                attempt=attempts[index])
                     if attempts[index] >= policy.retry.max_attempts:
                         registry.counter("executor.tasks.failed").inc()
                         timed_out = True
@@ -306,6 +362,8 @@ def _execute_parallel(
                     continue
                 except BrokenProcessPool:
                     registry.counter("executor.pool.broken").inc()
+                    spans.event("executor.pool_broken", task=task_id,
+                                attempt=attempts[index])
                     pool_broken = True
                     next_round.append((index, task))
                     continue
@@ -315,10 +373,14 @@ def _execute_parallel(
                     if (not is_retryable(exc)
                             or attempts[index] >= policy.retry.max_attempts):
                         registry.counter("executor.tasks.failed").inc()
+                        spans.event("executor.failed", task=task_id,
+                                    attempt=attempts[index])
                         aborted = True
                         raise TaskExecutionError(
                             task.describe(), attempts[index], exc) from exc
                     registry.counter("executor.tasks.retried").inc()
+                    spans.event("executor.retry", task=task_id,
+                                attempt=attempts[index])
                     retry_delay = max(
                         retry_delay,
                         policy.retry.delay(key, attempts[index]))
@@ -330,9 +392,19 @@ def _execute_parallel(
                     journal.record(key, task.describe(),
                                    elapsed=outcome.elapsed)
                 if outcome.metrics is not None:
+                    # Merged in submission order; the span ledger (below)
+                    # keeps the per-task attribution the aggregate merge
+                    # would otherwise lose.
                     registry.merge_snapshot(outcome.metrics)
                 if outcome.profile is not None:
                     profiler.merge_snapshot(outcome.profile)
+                if outcome.spans is not None:
+                    spans.merge_remote(outcome.spans, task=task_id,
+                                       attempt=attempts[index],
+                                       worker="pool")
+                spans.record_task(task_id, task.describe(),
+                                  attempts[index], elapsed=outcome.elapsed,
+                                  worker="pool")
                 if attempts[index] > 1:
                     registry.counter("executor.tasks.recovered").inc()
                 registry.counter("executor.tasks.completed").inc()
@@ -350,6 +422,9 @@ def _execute_parallel(
         if pool_broken or timed_out:
             pool_failures += 1
             registry.counter("executor.pool.rebuilds").inc()
+            spans.event("executor.pool_rebuild",
+                        cause="broken pool" if pool_broken else "task timeout",
+                        resubmitted=len(next_round))
             # Charge one attempt to everything going another round: the
             # culprit cannot be told apart from tasks queued behind it,
             # and a fresh pool re-runs them all from scratch anyway.
@@ -389,6 +464,7 @@ def execute_tasks(
         return 0
     policy = policy or ExecutionPolicy()
     registry = telemetry.get_registry()
+    spans = telemetry.get_spans()
     pending: List[Task] = []
     seen = set()
     for task in tasks:
@@ -400,6 +476,10 @@ def execute_tasks(
             if journal is not None:
                 if journal.is_complete(key):
                     registry.counter("executor.tasks.resumed").inc()
+                    # Attempt 0: never executed this run, replayed from
+                    # the journal + pass cache.
+                    spans.record_task(_task_identity(task)[0],
+                                      task.describe(), 0, worker="resumed")
                 else:
                     # Present via a shared cache but not yet journaled:
                     # record it so the manifest stays complete.
@@ -414,12 +494,13 @@ def execute_tasks(
         configure_faults(fault_spec)
     try:
         jobs = max(1, min(jobs, len(pending)))
-        if jobs == 1:
-            # In-process fallback: one task, or an explicit --jobs 1.
-            for task in pending:
-                _execute_one_serial(task, policy, journal)
-        else:
-            _execute_parallel(pending, jobs, policy, journal, fault_spec)
+        with spans.span("executor.execute", tasks=len(pending), jobs=jobs):
+            if jobs == 1:
+                # In-process fallback: one task, or an explicit --jobs 1.
+                for task in pending:
+                    _execute_one_serial(task, policy, journal)
+            else:
+                _execute_parallel(pending, jobs, policy, journal, fault_spec)
     finally:
         if fault_spec:
             configure_faults(None)

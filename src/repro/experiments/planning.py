@@ -44,7 +44,12 @@ from repro.experiments.base import (
     core_run,
     reference_pass,
 )
-from repro.experiments.passcache import core_key, pass_key
+from repro.experiments.passcache import core_key, key_digest, pass_key
+
+#: Characters of the cache-key digest used as a task's short id.  Twelve
+#: hex chars (48 bits) keep manifests readable while making a collision
+#: within one run's few hundred tasks vanishingly unlikely.
+TASK_ID_CHARS = 12
 
 #: Hierarchy depths swept by Figures 2/3 and the depth extension
 #: (mirrors ``repro.experiments.figures.DEPTH_PRESETS``; duplicated here
@@ -78,9 +83,16 @@ class PassTask:
             _build_design(name, self.placement) for name in self.design_names
         )
 
+    #: Span/manifest label for this task family.
+    kind = "reference_pass"
+
     def cache_key(self) -> str:
         return pass_key(self.workload, self.hierarchy_config,
                         self.designs(), self.settings)
+
+    def task_id(self) -> str:
+        """Short stable id (cache-key digest prefix) for spans/manifests."""
+        return key_digest(self.cache_key())[:TASK_ID_CHARS]
 
     def describe(self) -> str:
         """Human-readable identity for error messages and the journal."""
@@ -112,9 +124,16 @@ class CoreTask:
             return None
         return _build_design(self.design_name, self.placement)
 
+    #: Span/manifest label for this task family.
+    kind = "core_run"
+
     def cache_key(self) -> str:
         return core_key(self.workload, self.hierarchy_config,
                         self.design(), self.settings)
+
+    def task_id(self) -> str:
+        """Short stable id (cache-key digest prefix) for spans/manifests."""
+        return key_digest(self.cache_key())[:TASK_ID_CHARS]
 
     def describe(self) -> str:
         """Human-readable identity for error messages and the journal."""

@@ -141,10 +141,15 @@ def run_experiment(
 
     When profiling is enabled (``repro-mnm ... --profile``), the run is
     timed into an ``experiment.<id>`` phase — the per-experiment
-    wall-clock that ``BENCH_telemetry.json`` reports.
+    wall-clock that ``BENCH_telemetry.json`` reports.  A live span
+    recorder (``--run-dir``) additionally gets an ``experiment.<id>``
+    span, so the run manifest's timeline attributes wall-clock and
+    counter movement to the experiment that caused it.
     """
-    from repro.telemetry import get_profiler
+    from repro.telemetry import get_profiler, get_spans
 
     entry = get_experiment(experiment_id)
-    with get_profiler().phase(f"experiment.{experiment_id}"):
-        return entry.runner(settings)
+    with get_spans().span(f"experiment.{experiment_id}",
+                          experiment=experiment_id):
+        with get_profiler().phase(f"experiment.{experiment_id}"):
+            return entry.runner(settings)

@@ -17,7 +17,7 @@ from repro.experiments.registry import (
     get_experiment,
     run_experiment,
 )
-from repro.telemetry import get_logger
+from repro.telemetry import get_logger, get_spans
 
 #: Which column each experiment charts (None = last column).
 _CHART_COLUMNS = {
@@ -121,21 +121,31 @@ def generate_report(
             if not (skip_heavy and get_experiment(experiment_id).heavy)
         ]
     logger = get_logger("report")
+    spans = get_spans()
     if jobs > 1 or journal is not None:
         from repro.experiments.executor import prefetch_experiments
 
         started = time.perf_counter()
-        computed = prefetch_experiments(experiments, settings, jobs,
-                                        policy=policy, journal=journal)
-        if progress and computed:
-            logger.info(
-                f"prefetched {computed} simulation passes with {jobs} jobs "
-                f"({time.perf_counter() - started:.1f}s)")
+        with spans.span("report.prefetch", jobs=jobs):
+            computed = prefetch_experiments(experiments, settings, jobs,
+                                            policy=policy, journal=journal)
+            if progress and computed:
+                # Progress lines carry the active span's name so
+                # ``repro-mnm obs show`` can align them to the timeline.
+                logger.info(
+                    f"prefetched {computed} simulation passes with {jobs} "
+                    f"jobs ({time.perf_counter() - started:.1f}s)",
+                    span=spans.current_name() or "report.prefetch")
     results = []
     for experiment_id in experiments:
         started = time.perf_counter()
-        results.append(run_experiment(experiment_id, settings))
-        if progress:
-            logger.info(f"{experiment_id} done "
-                        f"({time.perf_counter() - started:.1f}s)")
-    return render_markdown_report(results, settings, with_charts=with_charts)
+        with spans.span(f"report.{experiment_id}", experiment=experiment_id):
+            results.append(run_experiment(experiment_id, settings))
+            if progress:
+                logger.info(
+                    f"{experiment_id} done "
+                    f"({time.perf_counter() - started:.1f}s)",
+                    span=spans.current_name() or f"report.{experiment_id}")
+    with spans.span("report.render"):
+        return render_markdown_report(results, settings,
+                                      with_charts=with_charts)

@@ -1,0 +1,178 @@
+"""The ``repro-mnm obs`` subcommands: show, diff, regress.
+
+Kept importable without the experiment stack (same discipline as
+:mod:`repro.staticcheck.cli`): reading manifests back must work even on
+a machine that cannot run simulations.  Exit codes mirror the main
+CLI's documented table (:mod:`repro.experiments.cli`):
+
+====  ====================================================
+0     success
+3     a manifest / candidate / baseline path is unreadable
+4     invalid value (bad schema, no matching baseline,
+      bad ``--max-ratio``)
+8     ``obs regress`` found a performance regression
+====  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict
+
+from repro.obs.diff import diff_manifests, render_diff
+from repro.obs.manifest import load_manifest
+from repro.obs.regress import (
+    DEFAULT_MAX_RATIO,
+    candidate_name,
+    check_regressions,
+    extract_metrics,
+    load_baseline,
+    render_findings,
+)
+from repro.obs.show import render_manifest
+
+#: Mirrors repro.experiments.cli's exit-code table (kept literal here so
+#: manifest inspection never has to import the experiment stack).
+EXIT_OK = 0
+EXIT_BAD_PATH = 3
+EXIT_BAD_VALUE = 4
+EXIT_PERF_REGRESSION = 8
+
+
+def _load_document(path: str, err) -> Dict[str, Any]:
+    """A manifest (file or run dir) or any other JSON measurement doc."""
+    try:
+        return load_manifest(path)
+    except ValueError:
+        pass  # not a manifest — fall through to plain JSON
+    except OSError as exc:
+        print(f"repro-mnm: error: cannot read {path}: "
+              f"{exc.strerror or exc}", file=err)
+        raise SystemExit(EXIT_BAD_PATH)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        print(f"repro-mnm: error: cannot read {path}: "
+              f"{exc.strerror or exc}", file=err)
+        raise SystemExit(EXIT_BAD_PATH)
+    except ValueError:
+        print(f"repro-mnm: error: {path} is not valid JSON", file=err)
+        raise SystemExit(EXIT_BAD_VALUE)
+    if not isinstance(document, dict):
+        print(f"repro-mnm: error: {path} is not a measurement "
+              "document (expected a JSON object)", file=err)
+        raise SystemExit(EXIT_BAD_VALUE)
+    return document
+
+
+def _load_manifest_or_fail(path: str, err) -> Dict[str, Any]:
+    try:
+        return load_manifest(path)
+    except OSError as exc:
+        print(f"repro-mnm: error: cannot read {path}: "
+              f"{exc.strerror or exc}", file=err)
+        raise SystemExit(EXIT_BAD_PATH)
+    except ValueError as exc:
+        print(f"repro-mnm: error: {exc}", file=err)
+        raise SystemExit(EXIT_BAD_VALUE)
+
+
+def run_obs(args, out=None, err=None) -> int:
+    """Execute one ``obs`` invocation; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    try:
+        if args.obs_command == "show":
+            manifest = _load_manifest_or_fail(args.manifest, err)
+            print(render_manifest(manifest, top=args.top), file=out)
+            return EXIT_OK
+
+        if args.obs_command == "diff":
+            old = _load_manifest_or_fail(args.old, err)
+            new = _load_manifest_or_fail(args.new, err)
+            print(render_diff(diff_manifests(old, new)), file=out)
+            return EXIT_OK
+
+        # obs regress
+        if args.max_ratio <= 0:
+            print(f"repro-mnm: error: --max-ratio must be > 0, "
+                  f"got {args.max_ratio}", file=err)
+            return EXIT_BAD_VALUE
+        document = _load_document(args.candidate, err)
+        try:
+            baseline = load_baseline(args.baseline,
+                                     name=candidate_name(document))
+        except OSError as exc:
+            print(f"repro-mnm: error: cannot read baseline "
+                  f"{args.baseline}: {exc.strerror or exc}", file=err)
+            return EXIT_BAD_PATH
+        except (LookupError, ValueError) as exc:
+            print(f"repro-mnm: error: {exc}", file=err)
+            return EXIT_BAD_VALUE
+        findings = check_regressions(extract_metrics(document), baseline,
+                                     default_max_ratio=args.max_ratio)
+        print(f"candidate: {args.candidate}", file=out)
+        print(f"baseline:  {baseline.get('name', args.baseline)}", file=out)
+        print(render_findings(findings), file=out)
+        if any(not finding["ok"] for finding in findings):
+            return EXIT_PERF_REGRESSION
+        return EXIT_OK
+    except SystemExit as exc:
+        return int(exc.code or 0)
+
+
+def add_obs_parser(sub) -> None:
+    """Attach the ``obs`` subcommand tree to the main CLI's subparsers."""
+    obs = sub.add_parser(
+        "obs", help="inspect run manifests: show / diff / regress")
+    _add_obs_subcommands(
+        obs.add_subparsers(dest="obs_command", required=True))
+
+
+def _add_obs_subcommands(obs_sub) -> None:
+    show = obs_sub.add_parser(
+        "show", help="timeline, slowest tasks and straggler report for "
+                     "one run manifest")
+    show.add_argument("manifest",
+                      help="run directory (from --run-dir) or manifest.json")
+    show.add_argument("--top", type=int, default=10,
+                      help="slowest tasks to list (default 10)")
+
+    diff = obs_sub.add_parser(
+        "diff", help="per-phase wall-clock and counter deltas between two "
+                     "run manifests")
+    diff.add_argument("old", help="baseline run directory or manifest.json")
+    diff.add_argument("new", help="candidate run directory or manifest.json")
+
+    regress = obs_sub.add_parser(
+        "regress", help="gate a manifest or BENCH_*.json against a "
+                        "committed baseline (exit 8 on regression)")
+    regress.add_argument("candidate",
+                         help="run directory, manifest.json or BENCH_*.json")
+    regress.add_argument("--baseline", required=True,
+                         help="baseline JSON file, or a directory of "
+                              "baselines matched by name")
+    regress.add_argument("--max-ratio", type=float,
+                         default=DEFAULT_MAX_RATIO,
+                         help="tolerance for baseline metrics without an "
+                              "explicit ratio (default "
+                              f"{DEFAULT_MAX_RATIO})")
+
+
+def main(argv=None) -> int:
+    """Standalone entry point (``python -m repro.obs.cli``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-mnm obs",
+        description="run-manifest observatory: show / diff / regress")
+    _add_obs_subcommands(parser.add_subparsers(dest="obs_command",
+                                               required=True))
+    args = parser.parse_args(argv)
+    return run_obs(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

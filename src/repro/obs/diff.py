@@ -1,0 +1,95 @@
+"""``obs diff``: compare two run manifests phase by phase.
+
+Wall-clock is aggregated **per phase** — all spans sharing a name are
+summed — because two runs of the same command produce the same span
+names but (with different ``--jobs`` or retry luck) not the same span
+tree.  Counters come from the merged metrics snapshot and are compared
+by name.  A fingerprint mismatch is reported, not rejected: comparing a
+small run against a large one is a legitimate question, it just deserves
+a warning line.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def _phase_seconds(manifest: Dict[str, Any]) -> Dict[str, float]:
+    phases: Dict[str, float] = {}
+    for span in manifest.get("spans", []):
+        if span.get("end") is None or span.get("remote"):
+            continue  # open spans have no duration; worker clocks differ
+        phases[span["name"]] = (phases.get(span["name"], 0.0)
+                                + span["end"] - span["start"])
+    return phases
+
+
+def _counters(manifest: Dict[str, Any]) -> Dict[str, float]:
+    metrics = manifest.get("metrics", {})
+    counters = metrics.get("counters", {}) if isinstance(metrics, dict) else {}
+    return {name: value for name, value in counters.items()
+            if isinstance(value, (int, float))}
+
+
+def _delta_rows(old: Dict[str, float], new: Dict[str, float]
+                ) -> List[Tuple[str, Optional[float], Optional[float]]]:
+    rows = []
+    for name in sorted(set(old) | set(new)):
+        rows.append((name, old.get(name), new.get(name)))
+    return rows
+
+
+def diff_manifests(old: Dict[str, Any], new: Dict[str, Any]
+                   ) -> Dict[str, Any]:
+    """Structured diff: per-phase seconds and counter values, old vs new."""
+    return {
+        "fingerprint_match":
+            old.get("fingerprint") == new.get("fingerprint"),
+        "phases": _delta_rows(_phase_seconds(old), _phase_seconds(new)),
+        "counters": _delta_rows(_counters(old), _counters(new)),
+        "tasks": (len(old.get("tasks", [])), len(new.get("tasks", []))),
+    }
+
+
+def _format_value(value: Optional[float], digits: int) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}" if digits else f"{value:g}"
+
+
+def _format_change(old: Optional[float], new: Optional[float]) -> str:
+    if old is None or new is None:
+        return "added" if old is None else "removed"
+    if old == new:
+        return "="
+    if old == 0:
+        return f"{new - old:+g}"
+    return f"{(new - old) / old * 100:+.1f}%"
+
+
+def render_diff(diff: Dict[str, Any]) -> str:
+    """The ``obs diff`` terminal report for :func:`diff_manifests`."""
+    lines: List[str] = []
+    if not diff["fingerprint_match"]:
+        lines.append("warning: config fingerprints differ — the runs "
+                     "simulated different things")
+        lines.append("")
+    old_tasks, new_tasks = diff["tasks"]
+    lines.append(f"tasks: {old_tasks} -> {new_tasks}")
+    lines.append("")
+    lines.append("per-phase wall-clock (seconds, phases summed by name):")
+    for name, old, new in diff["phases"]:
+        lines.append(
+            f"  {name:<28} {_format_value(old, 3):>10} -> "
+            f"{_format_value(new, 3):>10}  {_format_change(old, new)}")
+    if not diff["phases"]:
+        lines.append("  (no timed phases)")
+    lines.append("")
+    lines.append("counters:")
+    for name, old, new in diff["counters"]:
+        lines.append(
+            f"  {name:<28} {_format_value(old, 0):>12} -> "
+            f"{_format_value(new, 0):>12}  {_format_change(old, new)}")
+    if not diff["counters"]:
+        lines.append("  (no counters recorded)")
+    return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""``obs regress``: compare a run against a committed baseline.
+
+The candidate can be any of the three measurement documents this repo
+produces — a run manifest, a ``repro-bench/v1`` envelope, or a legacy
+``BENCH_*.json`` — :func:`extract_metrics` flattens each into the same
+``{metric_name: number}`` dict.  The baseline is a small committed JSON
+file giving, per metric, the expected value and a tolerance ratio:
+
+* ``max_ratio`` — candidate must be ``<= value * max_ratio`` (time-like
+  metrics, where bigger is worse);
+* ``min_ratio`` — candidate must be ``>= value * min_ratio`` (work-done
+  counters, where a collapse means the run silently did less).
+
+Tolerances are ratios, not deltas, so one baseline survives CI machines
+of very different speeds.  A baseline metric missing from the candidate
+is itself a regression — a gate that silently stops measuring is worse
+than one that fails.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+#: Baseline document version (see module docstring for the layout).
+BASELINE_SCHEMA = "repro-baseline/v1"
+
+#: Tolerance applied to bare-number baseline metrics (no ratio given).
+DEFAULT_MAX_RATIO = 2.0
+
+_MANIFEST_SCHEMA = "repro-run-manifest/v1"
+_BENCH_SCHEMA = "repro-bench/v1"
+
+
+def _manifest_metrics(manifest: Dict[str, Any]) -> Dict[str, float]:
+    metrics: Dict[str, float] = {}
+    ends = [span["end"] for span in manifest.get("spans", [])
+            if span.get("end") is not None and not span.get("remote")]
+    if ends:
+        metrics["wall_seconds"] = max(ends)
+    counters = manifest.get("metrics", {}).get("counters", {})
+    for name, value in counters.items():
+        if isinstance(value, (int, float)):
+            metrics[f"counters.{name}"] = value
+    tasks = manifest.get("tasks", [])
+    metrics["tasks.executed"] = float(
+        sum(1 for task in tasks if task.get("worker") != "resumed"))
+    metrics["tasks.retried"] = float(
+        sum(1 for task in tasks if task.get("attempt", 1) > 1))
+    return metrics
+
+
+def _flatten_numbers(document: Any, prefix: str,
+                     into: Dict[str, float]) -> None:
+    if isinstance(document, bool):
+        return
+    if isinstance(document, (int, float)):
+        into[prefix] = float(document)
+    elif isinstance(document, dict):
+        for key, value in document.items():
+            _flatten_numbers(value, f"{prefix}.{key}" if prefix else str(key),
+                             into)
+
+
+def extract_metrics(document: Dict[str, Any]) -> Dict[str, float]:
+    """Flatten any supported measurement document to ``{name: number}``."""
+    schema = document.get("schema")
+    if schema == _MANIFEST_SCHEMA:
+        return _manifest_metrics(document)
+    if schema == _BENCH_SCHEMA:
+        metrics = document.get("metrics", {})
+        return {name: float(value) for name, value in metrics.items()
+                if isinstance(value, (int, float))
+                and not isinstance(value, bool)}
+    # Legacy BENCH_*.json: no schema field; take every numeric scalar.
+    metrics: Dict[str, float] = {}
+    _flatten_numbers(document, "", metrics)
+    return metrics
+
+
+def candidate_name(document: Dict[str, Any]) -> Optional[str]:
+    """What a candidate document measures — used to pick a baseline file."""
+    schema = document.get("schema")
+    if schema == _MANIFEST_SCHEMA:
+        return document.get("command")
+    if schema == _BENCH_SCHEMA:
+        return document.get("created_by")
+    return None
+
+
+def load_baseline(path: str,
+                  name: Optional[str] = None) -> Dict[str, Any]:
+    """Read a baseline file, or pick one by ``name`` from a directory.
+
+    Directory resolution matches ``name`` against each baseline's own
+    ``name`` field.  Raises ``LookupError`` when nothing matches,
+    ``ValueError`` for malformed baselines, ``OSError`` for unreadable
+    paths.
+    """
+    if os.path.isdir(path):
+        candidates = sorted(entry for entry in os.listdir(path)
+                            if entry.endswith(".json"))
+        for entry in candidates:
+            baseline = load_baseline(os.path.join(path, entry))
+            if name is not None and baseline.get("name") == name:
+                return baseline
+        raise LookupError(
+            f"{path}: no baseline named {name!r} "
+            f"(found: {', '.join(candidates) or 'none'})")
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or \
+            document.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {BASELINE_SCHEMA} baseline document")
+    if not isinstance(document.get("metrics"), dict):
+        raise ValueError(f"{path}: baseline has no metrics dict")
+    return document
+
+
+def check_regressions(
+    candidate: Dict[str, float],
+    baseline: Dict[str, Any],
+    default_max_ratio: float = DEFAULT_MAX_RATIO,
+) -> List[Dict[str, Any]]:
+    """Evaluate every baseline metric against the candidate.
+
+    Returns one finding per baseline metric: ``{metric, expected,
+    actual, limit, kind, ok}``.  ``kind`` is ``"max"``, ``"min"`` or
+    ``"missing"``.  Metrics present only in the candidate are ignored —
+    the baseline defines the gate.
+    """
+    findings: List[Dict[str, Any]] = []
+    for metric, spec in sorted(baseline["metrics"].items()):
+        if isinstance(spec, dict):
+            expected = float(spec["value"])
+            max_ratio = spec.get("max_ratio")
+            min_ratio = spec.get("min_ratio")
+            if max_ratio is None and min_ratio is None:
+                max_ratio = default_max_ratio
+        else:
+            expected = float(spec)
+            max_ratio, min_ratio = default_max_ratio, None
+        actual = candidate.get(metric)
+        if actual is None:
+            findings.append({"metric": metric, "expected": expected,
+                             "actual": None, "limit": None,
+                             "kind": "missing", "ok": False})
+            continue
+        if max_ratio is not None:
+            limit = expected * float(max_ratio)
+            findings.append({"metric": metric, "expected": expected,
+                             "actual": actual, "limit": limit,
+                             "kind": "max", "ok": actual <= limit})
+        if min_ratio is not None:
+            limit = expected * float(min_ratio)
+            findings.append({"metric": metric, "expected": expected,
+                             "actual": actual, "limit": limit,
+                             "kind": "min", "ok": actual >= limit})
+    return findings
+
+
+def render_findings(findings: List[Dict[str, Any]]) -> str:
+    """The ``obs regress`` terminal report."""
+    lines: List[str] = []
+    regressed = [finding for finding in findings if not finding["ok"]]
+    for finding in findings:
+        if finding["kind"] == "missing":
+            lines.append(
+                f"  FAIL  {finding['metric']:<32} missing from candidate "
+                f"(baseline {finding['expected']:g})")
+            continue
+        verdict = "ok  " if finding["ok"] else "FAIL"
+        relation = "<=" if finding["kind"] == "max" else ">="
+        lines.append(
+            f"  {verdict}  {finding['metric']:<32} "
+            f"{finding['actual']:g} {relation} {finding['limit']:g} "
+            f"(baseline {finding['expected']:g})")
+    lines.append("")
+    if regressed:
+        lines.append(f"perf regression: {len(regressed)} of "
+                     f"{len(findings)} checks failed")
+    else:
+        lines.append(f"no regression: {len(findings)} checks passed")
+    return "\n".join(lines)

@@ -270,11 +270,18 @@ def run_search(
 
     registry = telemetry.get_registry()
     logger = telemetry.get_logger("search")
+    spans = telemetry.get_spans()
     state = _SearchState()
 
     def evaluate(proposal: Proposal) -> Dict[str, float]:
         """Score one proposal batch, simulating only what's new."""
         state.rounds += 1
+        with spans.span("search.round", round=state.rounds,
+                        fidelity=proposal.fidelity,
+                        proposed=len(proposal.points)):
+            return _evaluate_in_span(proposal)
+
+    def _evaluate_in_span(proposal: Proposal) -> Dict[str, float]:
         state.proposed += len(proposal.points)
         registry.counter("search.rounds").inc()
         registry.counter("search.candidates.proposed").inc(
@@ -318,7 +325,8 @@ def run_search(
             logger.info(
                 f"round {state.rounds}: evaluated {len(to_run)} candidates "
                 f"at fidelity {proposal.fidelity:g}",
-                tasks=len(tasks), computed=computed)
+                tasks=len(tasks), computed=computed,
+                span=spans.current_name() or "search.round")
 
             for start in range(0, len(to_run), chunk_size):
                 chunk = to_run[start:start + chunk_size]

@@ -42,6 +42,7 @@ LAYERS = {
     "analysis": 3,
     "power": 3,
     "experiments": 4,
+    "obs": 4,
     "search": 4,
     "testing": 4,
     "staticcheck": 4,

@@ -58,6 +58,11 @@ from repro.telemetry.registry import (
     MetricsRegistry,
     NullRegistry,
 )
+from repro.telemetry.spans import (
+    NULL_SPANS,
+    NullSpanRecorder,
+    SpanRecorder,
+)
 from repro.telemetry.summary import (
     aggregate_trace,
     format_snapshot,
@@ -80,24 +85,29 @@ __all__ = [
     "MetricsRegistry",
     "NullProfiler",
     "NullRegistry",
+    "NullSpanRecorder",
     "NullTracer",
     "PhaseStats",
     "Profiler",
+    "SpanRecorder",
     "TelemetryLogger",
     "access_record",
     "aggregate_trace",
     "disable",
     "enable_metrics",
     "enable_profiling",
+    "enable_spans",
     "enable_tracing",
     "format_snapshot",
     "get_logger",
     "get_profiler",
     "get_registry",
+    "get_spans",
     "get_tracer",
     "reset",
     "set_profiler",
     "set_registry",
+    "set_spans",
     "set_tracer",
     "summarize_path",
     "trace_counters",
@@ -106,6 +116,7 @@ __all__ = [
 _registry: MetricsRegistry = NULL_REGISTRY
 _tracer: Union[DecisionTracer, NullTracer] = NULL_TRACER
 _profiler: Profiler = NULL_PROFILER
+_spans: SpanRecorder = NULL_SPANS
 
 
 def get_registry() -> MetricsRegistry:
@@ -168,6 +179,23 @@ def enable_profiling() -> Profiler:
     return set_profiler(Profiler())
 
 
+def get_spans() -> SpanRecorder:
+    """The process-wide span recorder (a no-op singleton by default)."""
+    return _spans
+
+
+def set_spans(spans: SpanRecorder) -> SpanRecorder:
+    """Install a span recorder and return it."""
+    global _spans
+    _spans = spans
+    return spans
+
+
+def enable_spans() -> SpanRecorder:
+    """Install (and return) a fresh live span recorder."""
+    return set_spans(SpanRecorder())
+
+
 def disable() -> None:
     """Alias of :func:`reset` (reads better at call sites that only
     ever turned telemetry on temporarily)."""
@@ -176,8 +204,9 @@ def disable() -> None:
 
 def reset() -> None:
     """Restore the disabled defaults, closing any live tracer."""
-    global _registry, _tracer, _profiler
+    global _registry, _tracer, _profiler, _spans
     _tracer.close()
     _registry = NULL_REGISTRY
     _tracer = NULL_TRACER
     _profiler = NULL_PROFILER
+    _spans = NULL_SPANS

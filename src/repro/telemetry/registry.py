@@ -206,6 +206,11 @@ class MetricsRegistry:
             instrument = self._histograms[name] = Histogram(name, bounds)
         return instrument
 
+    def counter_values(self) -> Dict[str, int]:
+        """Current value of every counter (the span layer diffs these
+        to attribute counter movement to the span that caused it)."""
+        return {name: c.value for name, c in self._counters.items()}
+
     def snapshot(self) -> dict:
         """Plain-dict view of every instrument, ready for ``json.dump``."""
         return {
@@ -329,6 +334,10 @@ class NullRegistry(MetricsRegistry):
     ) -> Histogram:
         """The shared no-op histogram, whatever the name."""
         return self._null_histogram
+
+    def counter_values(self) -> Dict[str, int]:
+        """Always empty."""
+        return {}
 
     def snapshot(self) -> dict:
         """Always empty."""

@@ -26,9 +26,12 @@ def aggregate_trace(path: str) -> Dict[str, Any]:
 
     Returns a dict with the number of records, per-kind access counts,
     and per-design per-tier bypass totals mirroring the registry's
-    counter names.
+    counter names.  Unparseable lines — a trace truncated mid-write by a
+    crash ends in one — are counted as ``skipped`` rather than aborting
+    the whole aggregation.
     """
     records = 0
+    skipped = 0
     kinds: Dict[str, int] = {}
     suppliers: Dict[str, int] = {}
     designs: Dict[str, Dict[int, int]] = {}
@@ -37,7 +40,14 @@ def aggregate_trace(path: str) -> Dict[str, Any]:
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict):
+                skipped += 1
+                continue
             if record.get("t") != "access":
                 continue
             records += 1
@@ -52,6 +62,7 @@ def aggregate_trace(path: str) -> Dict[str, Any]:
                     per_tier[tier] = per_tier.get(tier, 0) + 1
     return {
         "records": records,
+        "skipped": skipped,
         "kinds": kinds,
         "suppliers": suppliers,
         "designs": designs,
@@ -111,7 +122,11 @@ def format_snapshot(snapshot: Dict[str, Any]) -> str:
 def format_trace_summary(path: str) -> str:
     """Aggregate a JSONL trace and render the totals as text."""
     aggregate = aggregate_trace(path)
-    lines = [f"trace: {path}", f"records: {aggregate['records']}", ""]
+    lines = [f"trace: {path}", f"records: {aggregate['records']}"]
+    if aggregate.get("skipped"):
+        lines.append(f"skipped: {aggregate['skipped']} unparseable "
+                     "line(s) — truncated or torn trace?")
+    lines.append("")
     lines.extend(_format_section(
         "accesses by kind:", sorted(aggregate["kinds"].items())))
     lines.append("")

@@ -186,6 +186,41 @@ class TestSerialRetries:
         assert counters["executor.tasks.recovered"] == len(tasks)
 
 
+class TestSpanAttribution:
+    """Retried tasks must stay distinguishable in the span ledger."""
+
+    def test_serial_retry_recorded_with_final_attempt(self):
+        spans = telemetry.enable_spans()
+        task = _FlakyTask(failures=2, exc_factory=TransientTaskError)
+        assert execute_tasks([task], jobs=1, policy=FAST) == 1
+        snapshot = spans.snapshot()
+        ledger = snapshot["tasks"]
+        assert len(ledger) == 1
+        assert ledger[0]["attempt"] == 3        # succeeded on third try
+        assert ledger[0]["worker"] == "serial"
+        retries = [e for e in snapshot["events"]
+                   if e["name"] == "executor.retry"]
+        assert [e["attrs"]["attempt"] for e in retries] == [1, 2]
+        assert all(e["attrs"]["task"] == ledger[0]["task_id"]
+                   for e in retries)
+
+    def test_injected_parallel_fault_attributed_in_ledger(self):
+        spans = telemetry.enable_spans()
+        settings = chaos(TWO_WORKLOADS, site="task", kind="raise",
+                         fail_attempts=1)
+        tasks = plan_experiments(["fig10"], settings)
+        assert execute_tasks(tasks, jobs=2, policy=FAST) == len(tasks)
+        ledger = spans.snapshot()["tasks"]
+        assert len(ledger) == len(tasks)
+        assert all(entry["attempt"] == 2 for entry in ledger)
+        assert all(entry["worker"] == "pool" for entry in ledger)
+        # Each task's worker-side span came back tagged with its id.
+        remote = {span["attrs"]["task"]
+                  for span in spans.snapshot()["spans"]
+                  if span.get("remote")}
+        assert remote == {entry["task_id"] for entry in ledger}
+
+
 class TestChaosParallel:
     """Injected worker faults vs. the pool: the report must not notice."""
 

@@ -1,0 +1,18 @@
+"""Shared fixtures for obs tests: restore telemetry/cache defaults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.experiments.base import clear_pass_cache
+
+
+@pytest.fixture(autouse=True)
+def reset_telemetry():
+    """Leave every test with the global null singletons reinstated."""
+    telemetry.reset()
+    clear_pass_cache()
+    yield
+    telemetry.reset()
+    clear_pass_cache()

@@ -1,0 +1,100 @@
+"""Run-manifest assembly, atomic persistence and schema validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.base import ExperimentSettings
+from repro.obs.manifest import (
+    MANIFEST_NAME,
+    MANIFEST_SCHEMA,
+    build_manifest,
+    config_fingerprint,
+    load_manifest,
+    write_manifest,
+)
+
+SETTINGS = ExperimentSettings(num_instructions=4000, workloads=("twolf",),
+                              warmup_fraction=0.25)
+
+EMPTY_SPANS = {"schema": "repro-spans/v1", "spans": [], "events": [],
+               "tasks": []}
+EMPTY_METRICS = {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def _manifest(**overrides):
+    kwargs = dict(command="report", settings=SETTINGS, status="ok",
+                  spans_snapshot=EMPTY_SPANS,
+                  metrics_snapshot=EMPTY_METRICS,
+                  designs=["RMNM_4096_8"], jobs=2)
+    kwargs.update(overrides)
+    return build_manifest(**kwargs)
+
+
+class TestFingerprint:
+    def test_same_inputs_same_fingerprint(self):
+        a = config_fingerprint("report", SETTINGS, ["RMNM_4096_8"])
+        b = config_fingerprint("report", SETTINGS, ["RMNM_4096_8"])
+        assert a == b
+
+    def test_design_order_does_not_matter(self):
+        a = config_fingerprint("report", SETTINGS, ["a", "b"])
+        b = config_fingerprint("report", SETTINGS, ["b", "a"])
+        assert a == b
+
+    def test_settings_change_changes_fingerprint(self):
+        other = ExperimentSettings(num_instructions=8000,
+                                   workloads=("twolf",),
+                                   warmup_fraction=0.25)
+        assert (config_fingerprint("report", SETTINGS, ["a"])
+                != config_fingerprint("report", other, ["a"]))
+
+
+class TestBuildManifest:
+    def test_shape_and_schema(self):
+        manifest = _manifest()
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["command"] == "report"
+        assert manifest["status"] == "ok"
+        assert manifest["settings"]["instructions"] == 4000
+        assert manifest["designs"] == ["RMNM_4096_8"]
+        assert manifest["jobs"] == 2
+        assert manifest["environment"]["cpus"] >= 1
+
+    def test_no_wall_clock_timestamps(self):
+        # R001: manifests are identified by fingerprint, not time of day.
+        flat = json.dumps(_manifest())
+        for key in ("timestamp", "created_at", "date"):
+            assert key not in flat
+
+    def test_designs_default_to_paper_lineup(self):
+        from repro.core.presets import all_paper_design_names
+
+        manifest = _manifest(designs=None)
+        assert manifest["designs"] == list(all_paper_design_names())
+
+
+class TestPersistence:
+    def test_write_then_load_round_trips(self, tmp_path):
+        run_dir = tmp_path / "run"
+        path = write_manifest(str(run_dir), _manifest())
+        assert path.endswith(MANIFEST_NAME)
+        loaded = load_manifest(str(run_dir))       # by directory
+        assert loaded == load_manifest(path)       # and by file
+        assert loaded["fingerprint"] == _manifest()["fingerprint"]
+
+    def test_write_leaves_no_temp_files(self, tmp_path):
+        write_manifest(str(tmp_path), _manifest())
+        assert [p.name for p in tmp_path.iterdir()] == [MANIFEST_NAME]
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        bad = tmp_path / MANIFEST_NAME
+        bad.write_text(json.dumps({"schema": "other/v1"}))
+        with pytest.raises(ValueError, match="unknown manifest schema"):
+            load_manifest(str(tmp_path))
+
+    def test_load_missing_path_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_manifest(str(tmp_path / "nope.json"))

@@ -1,0 +1,163 @@
+"""End-to-end ``--run-dir`` + ``repro-mnm obs`` CLI behaviour."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.cli import (
+    EXIT_BAD_PATH,
+    EXIT_BAD_VALUE,
+    EXIT_PERF_REGRESSION,
+    main,
+)
+from repro.obs.manifest import load_manifest
+from repro.obs.regress import BASELINE_SCHEMA
+
+SMALL = ["--instructions", "4000", "--workloads", "twolf",
+         "--warmup-fraction", "0.25"]
+
+
+@pytest.fixture(scope="module")
+def run_dir(tmp_path_factory):
+    """One observed ``run fig10`` shared by every test in this module."""
+    path = tmp_path_factory.mktemp("obs") / "run"
+    code = main(["run", "fig10", *SMALL, "--jobs", "1",
+                 "--run-dir", str(path)])
+    assert code == 0
+    return path
+
+
+class TestRunDir:
+    def test_manifest_written_beside_journal(self, run_dir):
+        assert (run_dir / "manifest.json").exists()
+        assert (run_dir / "journal.jsonl").exists()
+        manifest = load_manifest(str(run_dir))
+        assert manifest["status"] == "ok"
+        assert manifest["command"] == "run"
+
+    def test_span_tree_covers_every_executed_task(self, run_dir):
+        manifest = load_manifest(str(run_dir))
+        ledger_ids = {task["task_id"] for task in manifest["tasks"]}
+        assert ledger_ids
+        span_task_ids = {
+            span["attrs"]["task"] for span in manifest["spans"]
+            if span["name"].startswith("task.")
+        }
+        assert ledger_ids == span_task_ids
+        # Journal completion count matches the ledger.
+        assert manifest["journal"]["completed"] == len(manifest["tasks"])
+
+    def test_counters_recorded_in_manifest(self, run_dir):
+        manifest = load_manifest(str(run_dir))
+        assert manifest["metrics"]["counters"]["pass.references"] > 0
+
+    def test_rerun_marks_tasks_resumed(self, run_dir, tmp_path):
+        import shutil
+
+        # Re-run against a copy so the shared fixture manifest keeps
+        # describing the original (executing) run.
+        copy = tmp_path / "rerun"
+        shutil.copytree(run_dir, copy)
+        code = main(["run", "fig10", *SMALL, "--jobs", "1",
+                     "--run-dir", str(copy)])
+        assert code == 0
+        manifest = load_manifest(str(copy))
+        assert manifest["tasks"]
+        assert all(task["worker"] == "resumed" and task["attempt"] == 0
+                   for task in manifest["tasks"])
+
+    def test_conflicting_flags_rejected(self, tmp_path, capsys):
+        for extra in (["--resume", str(tmp_path / "r")],
+                      ["--cache-dir", str(tmp_path / "c")],
+                      ["--no-cache"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["run", "fig10", *SMALL,
+                      "--run-dir", str(tmp_path / "d"), *extra])
+            assert excinfo.value.code == EXIT_BAD_VALUE
+            capsys.readouterr()
+
+
+class TestObsShow:
+    def test_show_renders_timeline_and_tasks(self, run_dir, capsys):
+        assert main(["obs", "show", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "timeline:" in out
+        assert "task.reference_pass" in out
+        assert "slowest" in out
+
+    def test_show_missing_manifest_exits_3(self, tmp_path, capsys):
+        assert main(["obs", "show", str(tmp_path / "none")]) == EXIT_BAD_PATH
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestObsDiff:
+    def test_diff_of_run_against_itself(self, run_dir, capsys):
+        assert main(["obs", "diff", str(run_dir), str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase wall-clock" in out
+        assert "warning" not in out  # same fingerprint
+
+    def test_diff_warns_on_fingerprint_mismatch(self, run_dir, tmp_path,
+                                                capsys):
+        other = tmp_path / "other"
+        main(["run", "fig10", "--instructions", "8000",
+              "--workloads", "twolf", "--warmup-fraction", "0.25",
+              "--jobs", "1", "--run-dir", str(other)])
+        capsys.readouterr()
+        assert main(["obs", "diff", str(run_dir), str(other)]) == 0
+        assert "fingerprints differ" in capsys.readouterr().out
+
+
+class TestObsRegress:
+    def _write_baseline(self, path, metrics, name="run"):
+        path.write_text(json.dumps(
+            {"schema": BASELINE_SCHEMA, "name": name, "metrics": metrics}))
+
+    def test_passing_gate_exits_0(self, run_dir, tmp_path, capsys):
+        baseline = tmp_path / "run.json"
+        self._write_baseline(baseline, {
+            "wall_seconds": {"value": 120.0, "max_ratio": 10.0},
+            "counters.pass.references": {"value": 1, "min_ratio": 1.0},
+        })
+        assert main(["obs", "regress", str(run_dir),
+                     "--baseline", str(baseline)]) == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_injected_slowdown_exits_8(self, run_dir, tmp_path, capsys):
+        baseline = tmp_path / "run.json"
+        # A baseline claiming the run should take ~1ms: guaranteed FAIL.
+        self._write_baseline(baseline, {
+            "wall_seconds": {"value": 0.000001, "max_ratio": 1.0}})
+        assert main(["obs", "regress", str(run_dir),
+                     "--baseline", str(baseline)]) == EXIT_PERF_REGRESSION
+        assert "perf regression" in capsys.readouterr().out
+
+    def test_baseline_directory_matched_by_command(self, run_dir, tmp_path,
+                                                   capsys):
+        self._write_baseline(tmp_path / "other.json", {}, name="search")
+        self._write_baseline(tmp_path / "run.json", {
+            "tasks.executed": {"value": 1, "min_ratio": 1.0}}, name="run")
+        assert main(["obs", "regress", str(run_dir),
+                     "--baseline", str(tmp_path)]) == 0
+        capsys.readouterr()
+
+    def test_no_matching_baseline_exits_4(self, run_dir, tmp_path, capsys):
+        self._write_baseline(tmp_path / "other.json", {}, name="search")
+        assert main(["obs", "regress", str(run_dir),
+                     "--baseline", str(tmp_path)]) == EXIT_BAD_VALUE
+        assert "no baseline named" in capsys.readouterr().err
+
+    def test_gates_bench_envelope_documents(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_x.json"
+        bench.write_text(json.dumps({
+            "schema": "repro-bench/v1", "created_by": "bench_x",
+            "metrics": {"seconds.serial_cold": 50.0}}))
+        baseline = tmp_path / "bench_x.json"
+        self._write_baseline(baseline, {
+            "seconds.serial_cold": {"value": 60.0, "max_ratio": 1.5}},
+            name="bench_x")
+        assert main(["obs", "regress", str(bench),
+                     "--baseline", str(baseline)]) == 0
+        capsys.readouterr()

@@ -1,0 +1,131 @@
+"""Metric extraction and tolerance checks behind ``obs regress``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.regress import (
+    BASELINE_SCHEMA,
+    candidate_name,
+    check_regressions,
+    extract_metrics,
+    load_baseline,
+)
+
+
+def _manifest_doc():
+    return {
+        "schema": "repro-run-manifest/v1",
+        "command": "report",
+        "spans": [
+            {"id": 0, "parent": None, "name": "a", "start": 0.0, "end": 2.5},
+            {"id": 1, "parent": 0, "name": "b", "start": 0.1, "end": 3.0,
+             "remote": True},           # worker clock: not wall time
+            {"id": 2, "parent": 0, "name": "c", "start": 0.2, "end": None},
+        ],
+        "tasks": [
+            {"task_id": "aaa", "attempt": 1, "worker": "pool"},
+            {"task_id": "bbb", "attempt": 2, "worker": "serial"},
+            {"task_id": "ccc", "attempt": 0, "worker": "resumed"},
+        ],
+        "metrics": {"counters": {"pass.references": 1000}},
+    }
+
+
+class TestExtractMetrics:
+    def test_manifest_metrics(self):
+        metrics = extract_metrics(_manifest_doc())
+        assert metrics["wall_seconds"] == 2.5  # remote/open spans excluded
+        assert metrics["counters.pass.references"] == 1000
+        assert metrics["tasks.executed"] == 2  # resumed not counted
+        assert metrics["tasks.retried"] == 1
+
+    def test_bench_envelope_metrics(self):
+        metrics = extract_metrics({
+            "schema": "repro-bench/v1",
+            "created_by": "bench_parallel_report",
+            "metrics": {"seconds.serial_cold": 68.2, "flag": True},
+            "notes": "ignored",
+        })
+        assert metrics == {"seconds.serial_cold": 68.2}  # bools excluded
+
+    def test_legacy_bench_flattens_numeric_scalars(self):
+        metrics = extract_metrics({
+            "benchmark": "legacy",
+            "seconds": {"serial_cold": 68.24, "parallel_cold": 80.67},
+            "cpus": 1,
+            "reports_byte_identical": True,
+        })
+        assert metrics["seconds.serial_cold"] == 68.24
+        assert metrics["cpus"] == 1
+        assert "reports_byte_identical" not in metrics
+
+    def test_candidate_name_per_shape(self):
+        assert candidate_name(_manifest_doc()) == "report"
+        assert candidate_name({"schema": "repro-bench/v1",
+                               "created_by": "profile"}) == "profile"
+        assert candidate_name({"legacy": 1}) is None
+
+
+class TestCheckRegressions:
+    def _baseline(self, metrics):
+        return {"schema": BASELINE_SCHEMA, "name": "report",
+                "metrics": metrics}
+
+    def test_max_ratio_gate(self):
+        baseline = self._baseline(
+            {"wall_seconds": {"value": 10.0, "max_ratio": 2.0}})
+        ok = check_regressions({"wall_seconds": 19.0}, baseline)
+        bad = check_regressions({"wall_seconds": 21.0}, baseline)
+        assert ok[0]["ok"] and not bad[0]["ok"]
+        assert bad[0]["kind"] == "max"
+
+    def test_min_ratio_gate_catches_collapsed_work(self):
+        baseline = self._baseline(
+            {"counters.pass.references": {"value": 1000, "min_ratio": 0.5}})
+        assert check_regressions(
+            {"counters.pass.references": 400}, baseline)[0]["ok"] is False
+        assert check_regressions(
+            {"counters.pass.references": 600}, baseline)[0]["ok"] is True
+
+    def test_bare_number_uses_default_max_ratio(self):
+        baseline = self._baseline({"wall_seconds": 10.0})
+        findings = check_regressions({"wall_seconds": 25.0}, baseline,
+                                     default_max_ratio=2.0)
+        assert findings[0]["limit"] == 20.0
+        assert not findings[0]["ok"]
+
+    def test_missing_metric_is_a_regression(self):
+        baseline = self._baseline({"wall_seconds": 10.0})
+        findings = check_regressions({}, baseline)
+        assert findings[0]["kind"] == "missing"
+        assert not findings[0]["ok"]
+
+    def test_candidate_only_metrics_are_ignored(self):
+        baseline = self._baseline({"wall_seconds": 10.0})
+        findings = check_regressions(
+            {"wall_seconds": 10.0, "extra.metric": 99.0}, baseline)
+        assert len(findings) == 1
+
+
+class TestLoadBaseline:
+    def test_loads_file_and_validates_schema(self, tmp_path):
+        good = tmp_path / "report.json"
+        good.write_text(json.dumps({"schema": BASELINE_SCHEMA,
+                                    "name": "report", "metrics": {}}))
+        assert load_baseline(str(good))["name"] == "report"
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "report", "metrics": {}}))
+        with pytest.raises(ValueError):
+            load_baseline(str(bad))
+
+    def test_directory_resolution_matches_by_name(self, tmp_path):
+        for name in ("report", "profile"):
+            (tmp_path / f"{name}.json").write_text(json.dumps(
+                {"schema": BASELINE_SCHEMA, "name": name, "metrics": {}}))
+        assert load_baseline(str(tmp_path), name="profile")["name"] == \
+            "profile"
+        with pytest.raises(LookupError):
+            load_baseline(str(tmp_path), name="unknown")

@@ -42,9 +42,11 @@ class TestProfile:
                      "--profile", "--profile-out", str(out)])
         assert code == 0
         payload = json.loads(out.read_text())
-        assert payload["schema"] == "repro-telemetry-bench/v1"
+        assert payload["schema"] == "repro-bench/v1"
+        assert payload["created_by"] == "profile"
         assert "fig10" in payload["experiments"]
         assert payload["throughput"]["references_per_sec"] > 0
+        assert payload["metrics"]["throughput.references_per_sec"] > 0
         assert payload["settings"]["instructions"] == 4000
         assert "profile written" in capsys.readouterr().out
 
@@ -131,7 +133,9 @@ class TestSummaryHelpers:
 
     def test_summarize_path_detects_bench_payload(self, tmp_path):
         path = tmp_path / "bench.json"
-        path.write_text(json.dumps({"schema": "repro-telemetry-bench/v1",
+        path.write_text(json.dumps({"schema": "repro-bench/v1",
+                                    "created_by": "profile",
+                                    "metrics": {},
                                     "experiments": {"fig10": 1.0}}))
         text = summarize_path(str(path))
         assert "fig10" in text

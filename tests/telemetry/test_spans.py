@@ -1,0 +1,135 @@
+"""The span recorder: hierarchy, counter deltas, merging, the null path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.spans import (
+    NULL_SPANS,
+    NullSpanRecorder,
+    SPANS_SCHEMA,
+    SpanRecorder,
+)
+
+
+class TestNullRecorder:
+    def test_default_is_null_and_cheap(self):
+        spans = telemetry.get_spans()
+        assert isinstance(spans, NullSpanRecorder)
+        assert not spans.enabled
+        with spans.span("anything", attr=1):
+            spans.event("ignored")
+            spans.record_task("t", "d", 1)
+        assert spans.snapshot()["spans"] == []
+        assert spans.current_name() == ""
+
+    def test_reset_restores_null(self):
+        telemetry.enable_spans()
+        assert telemetry.get_spans().enabled
+        telemetry.reset()
+        assert telemetry.get_spans() is NULL_SPANS
+
+
+class TestSpanTree:
+    def test_nesting_records_parent_ids(self):
+        spans = SpanRecorder()
+        with spans.span("outer", jobs=2):
+            with spans.span("inner"):
+                assert spans.current_name() == "inner"
+            assert spans.current_name() == "outer"
+        snapshot = spans.snapshot()
+        assert snapshot["schema"] == SPANS_SCHEMA
+        outer, inner = snapshot["spans"]
+        assert outer["name"] == "outer"
+        assert outer["parent"] is None
+        assert outer["attrs"] == {"jobs": 2}
+        assert inner["parent"] == outer["id"]
+        assert outer["end"] >= inner["end"] >= inner["start"]
+
+    def test_open_span_survives_snapshot(self):
+        spans = SpanRecorder()
+        with spans.span("outer"):
+            snapshot = spans.snapshot()
+        assert snapshot["spans"][0]["end"] is None
+
+    def test_error_annotates_span(self):
+        spans = SpanRecorder()
+        with pytest.raises(RuntimeError):
+            with spans.span("doomed"):
+                raise RuntimeError("boom")
+        span = spans.snapshot()["spans"][0]
+        assert span["end"] is not None
+        assert span["attrs"]["error"] == "RuntimeError"
+
+    def test_counter_deltas_attributed_to_span(self):
+        registry = telemetry.enable_metrics()
+        spans = telemetry.enable_spans()
+        registry.counter("work.before").inc(5)
+        with spans.span("phase"):
+            registry.counter("work.inside").inc(3)
+        span = spans.snapshot()["spans"][0]
+        assert span["counters"] == {"work.inside": 3}
+
+
+class TestEventsAndTasks:
+    def test_event_carries_active_span_name(self):
+        spans = SpanRecorder()
+        with spans.span("executor.execute"):
+            spans.event("executor.retry", task="abc", attempt=1)
+        event = spans.snapshot()["events"][0]
+        assert event["name"] == "executor.retry"
+        assert event["span"] == "executor.execute"
+        assert event["attrs"] == {"task": "abc", "attempt": 1}
+
+    def test_task_ledger_keeps_attempt_and_worker(self):
+        spans = SpanRecorder()
+        spans.record_task("aaa", "first", 1, elapsed=0.5, worker="serial")
+        spans.record_task("bbb", "second", 3, elapsed=1.0, worker="pool")
+        spans.record_task("ccc", "third", 0, worker="resumed")
+        tasks = spans.snapshot()["tasks"]
+        assert [t["task_id"] for t in tasks] == ["aaa", "bbb", "ccc"]
+        assert tasks[1]["attempt"] == 3
+        assert tasks[1]["worker"] == "pool"
+        assert "elapsed_s" not in tasks[2]
+
+
+class TestMergeRemote:
+    def test_remote_spans_rebase_under_active_parent(self):
+        parent = SpanRecorder()
+        worker = SpanRecorder()
+        with worker.span("task.reference_pass"):
+            with worker.span("task.detail"):
+                pass
+        with parent.span("executor.execute"):
+            parent.merge_remote(worker.snapshot(), task="abc",
+                                attempt=1, worker="pool")
+        snapshot = parent.snapshot()
+        by_name = {span["name"]: span for span in snapshot["spans"]}
+        root = by_name["executor.execute"]
+        task = by_name["task.reference_pass"]
+        detail = by_name["task.detail"]
+        assert task["parent"] == root["id"]
+        assert task["remote"] is True
+        assert task["attrs"]["task"] == "abc"
+        assert task["attrs"]["worker"] == "pool"
+        assert detail["parent"] == task["id"]
+        # Only remote ROOTS get attribution stamped.
+        assert "task" not in detail.get("attrs", {})
+        # Ids stay unique after rebasing.
+        ids = [span["id"] for span in snapshot["spans"]]
+        assert len(ids) == len(set(ids))
+
+    def test_merge_is_deterministic_in_submission_order(self):
+        def merged(order):
+            parent = SpanRecorder()
+            with parent.span("executor.execute"):
+                for name in order:
+                    worker = SpanRecorder()
+                    with worker.span(f"task.{name}"):
+                        pass
+                    parent.merge_remote(worker.snapshot(), task=name)
+            return [span["name"]
+                    for span in parent.snapshot()["spans"]]
+
+        assert merged(["a", "b"]) == ["executor.execute", "task.a", "task.b"]
