@@ -1,0 +1,141 @@
+"""Benchmark the fast batched kernel against the interpreter oracle.
+
+Runs one large reference pass — the full 21-design paper line-up fanned
+out across the three placements and delay 1/2/4, i.e. a 189-design
+sweep of the kind Figures 14/16 imply — through both engines, asserts
+the results are *byte-identical* (every integer, every exact float),
+and writes the measured throughputs to ``BENCH_telemetry.json`` in the
+shared ``repro-bench/v1`` envelope so ``repro-mnm obs regress`` can
+gate the speedup against ``ci/baselines/kernel.json``.
+
+The headline metric is ``speedup``: design-references per second of the
+fast engine over the interpreter on the same inputs.  The target is
+>= 20x; being a ratio of two timings on the same machine it is largely
+host-independent, unlike the raw wall-clock numbers (which the envelope
+also records, as anchors).
+
+Standalone (one long in-process pass per engine doesn't fit
+pytest-benchmark's calibrated model)::
+
+    python benchmarks/bench_kernel.py [--instructions N] [--workload W]
+"""
+
+import argparse
+import dataclasses
+import os
+import sys
+import time
+
+try:
+    from benchmarks._schema import bench_envelope, write_bench
+except ImportError:  # run as a standalone script from benchmarks/
+    from _schema import bench_envelope, write_bench
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.cache.presets import paper_hierarchy_2level  # noqa: E402
+from repro.core.presets import all_paper_design_names, parse_design  # noqa: E402,E501
+from repro.power.energy import Placement  # noqa: E402
+from repro.simulate import run_reference_pass  # noqa: E402
+from repro.workloads import get_trace  # noqa: E402
+
+
+def sweep_designs():
+    """The 21 paper designs x 3 placements x delays {1, 2, 4}."""
+    designs = []
+    for name in all_paper_design_names():
+        base = parse_design(name)
+        for placement in Placement:
+            for delay in (1, 2, 4):
+                designs.append(dataclasses.replace(
+                    base,
+                    name=f"{base.name}@{placement.value}-d{delay}",
+                    placement=placement, delay=delay))
+    return designs
+
+
+def snapshot(result):
+    """Every reported number, floats exact, in a comparable form."""
+    designs = tuple(
+        (name,
+         dataclasses.astuple(design.energy),
+         design.access_time,
+         design.storage_bits,
+         design.coverage.accesses,
+         design.coverage.violations,
+         design.coverage.candidates,
+         design.coverage.identified,
+         tuple(design.coverage.tier_candidates(tier)
+               for tier in range(2, design.coverage.num_tiers + 1)))
+        for name, design in sorted(result.designs.items()))
+    return (result.references,
+            result.baseline_access_time,
+            result.baseline_miss_time,
+            dataclasses.astuple(result.baseline_energy),
+            tuple(sorted(result.cache_stats.items())),
+            designs)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--instructions", type=int, default=60_000)
+    parser.add_argument("--workload", default="gcc")
+    parser.add_argument("--output", default=os.path.join(
+        REPO_ROOT, "BENCH_telemetry.json"))
+    args = parser.parse_args(argv)
+
+    hierarchy = paper_hierarchy_2level()
+    designs = sweep_designs()
+    trace = get_trace(args.workload, args.instructions, seed=0)
+    fetch_block = hierarchy.tiers[0].configs[0].block_size
+    references = list(trace.memory_references(fetch_block))
+    warmup = len(references) // 4
+    counted = len(references) - warmup
+
+    timings = {}
+    results = {}
+    for engine in ("interp", "fast"):
+        started = time.perf_counter()
+        results[engine] = run_reference_pass(
+            references, hierarchy, designs, workload_name=args.workload,
+            warmup=warmup, engine=engine)
+        timings[engine] = time.perf_counter() - started
+        print(f"{engine:6s} {timings[engine]:7.2f}s  "
+              f"({len(references)} refs x {len(designs)} designs)")
+
+    assert snapshot(results["fast"]) == snapshot(results["interp"]), \
+        "fast engine diverged from the interpreter oracle"
+    print("engines byte-identical")
+
+    # Design-references per second: counted references x designs / wall.
+    work = counted * len(designs)
+    refs_per_sec = {engine: work / seconds
+                    for engine, seconds in timings.items()}
+    speedup = refs_per_sec["fast"] / refs_per_sec["interp"]
+    print(f"speedup {speedup:.1f}x  "
+          f"(fast {refs_per_sec['fast']:,.0f} refs/s, "
+          f"interp {refs_per_sec['interp']:,.0f} refs/s)")
+
+    document = bench_envelope(
+        "kernel",
+        metrics={
+            "speedup": speedup,
+            "refs_per_sec": refs_per_sec,
+            "wall_seconds": timings,
+            "references": len(references),
+            "designs": len(designs),
+        },
+        workload=args.workload,
+        instructions=args.instructions,
+        warmup_references=warmup,
+        note="speedup = fast over interp design-references/sec on "
+             "identical inputs; results byte-compared before timing is "
+             "trusted",
+    )
+    write_bench(args.output, document)
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -69,6 +69,27 @@ class CoverageMeter:
         if supplier is not None and supplier >= 2 and bits[supplier - 1]:
             self.violations += 1
 
+    def record_many(
+        self, outcome: AccessOutcome, bits: Sequence[bool], count: int
+    ) -> None:
+        """Fold ``count`` identical (outcome, bits) pairs in one step.
+
+        Exactly ``count`` repetitions of :meth:`record` — the fast engine
+        groups references into equivalence classes and folds each class
+        with one call, so integer totals stay identical to the
+        interpreter's per-reference accumulation.
+        """
+        self.accesses += count
+        missed = outcome.tiers_missed
+        for tier in range(2, missed + 1):
+            stats = self._tiers[tier - 1]
+            stats.candidates += count
+            if bits[tier - 1]:
+                stats.identified += count
+        supplier = outcome.supplier
+        if supplier is not None and supplier >= 2 and bits[supplier - 1]:
+            self.violations += count
+
     @property
     def candidates(self) -> int:
         return sum(t.candidates for t in self._tiers)

@@ -21,6 +21,11 @@ import enum
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+try:  # numpy is optional: the interpreter engine never needs it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
 
 class Placement(enum.Enum):
     """Where the MNM sits relative to the caches (Figure 1 / Section 2).
@@ -70,6 +75,22 @@ class MissFilter(ABC):
     def on_flush(self) -> None:
         """The tracked cache was flushed; drop all filter state."""
 
+    def query_many(self, granule_addrs):
+        """Batched :meth:`is_definite_miss` over a sequence of granules.
+
+        Returns one boolean answer per input granule (a numpy bool array
+        when numpy is installed, a plain list otherwise).  This default is
+        correct by construction — it loops over :meth:`is_definite_miss` —
+        and is the oracle every vectorized override must agree with
+        element-wise (pinned by ``tests/core/test_soundness.py``).  Batched
+        queries are read-only: they must never mutate filter state.
+        """
+        miss = self.is_definite_miss
+        answers = [miss(int(granule)) for granule in granule_addrs]
+        if _np is None:
+            return answers
+        return _np.asarray(answers, dtype=bool)
+
     @property
     @abstractmethod
     def storage_bits(self) -> int:
@@ -94,6 +115,11 @@ class NullFilter(MissFilter):
 
     def on_replace(self, granule_addr: int) -> None:
         pass
+
+    def query_many(self, granule_addrs):
+        if _np is None:
+            return [False] * len(granule_addrs)
+        return _np.zeros(len(granule_addrs), dtype=bool)
 
     @property
     def storage_bits(self) -> int:

@@ -45,6 +45,11 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.base import MissFilter
 from repro.core.tmnm import COUNTER_BITS, CounterTable
 
+try:  # numpy is optional: scalar paths below never touch it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
 
 @dataclass
 class _Register:
@@ -180,6 +185,31 @@ class CMNM(MissFilter):
         if not matches:
             return True
         return all(self.tables[index].count(low) == 0 for index in matches)
+
+    def query_many(self, granule_addrs):
+        """Vectorized :meth:`is_definite_miss` over an int64 granule array.
+
+        A reference is a *maybe* exactly when some matching register's
+        counter slot is nonzero; everything else — no match at all, or all
+        matching slots zero — is a definite miss.
+        """
+        if _np is None:
+            return super().query_many(granule_addrs)
+        granules = _np.asarray(granule_addrs, dtype=_np.int64)
+        high = granules >> self.low_bits
+        low = granules & ((1 << self.low_bits) - 1)
+        maybe = _np.zeros(granules.shape[0], dtype=bool)
+        for index, register in enumerate(self.finder.registers):
+            if not register.valid:
+                continue
+            # tables have bit_offset 0, so query_many(low) indexes directly.
+            nonzero = ~self.tables[index].query_many(low)
+            if register.mask_len >= self.finder.high_bits:
+                maybe |= nonzero
+            else:
+                shift = register.mask_len
+                maybe |= ((high >> shift) == (register.value >> shift)) & nonzero
+        return ~maybe
 
     def on_place(self, granule_addr: int) -> None:
         high, low = self._split(granule_addr)

@@ -16,6 +16,11 @@ from typing import Iterable, Sequence, Tuple
 
 from repro.core.base import MissFilter
 
+try:  # numpy is optional: scalar paths below never touch it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
 
 class CompositeFilter(MissFilter):
     """OR-combination of several miss filters watching the same cache."""
@@ -30,6 +35,18 @@ class CompositeFilter(MissFilter):
 
     def is_definite_miss(self, granule_addr: int) -> bool:
         return any(c.is_definite_miss(granule_addr) for c in self.components)
+
+    def query_many(self, granule_addrs):
+        """Vectorized OR of the components' batched answers."""
+        if _np is None:
+            return super().query_many(granule_addrs)
+        granules = _np.asarray(granule_addrs, dtype=_np.int64)
+        answers = _np.asarray(self.components[0].query_many(granules),
+                              dtype=bool)
+        for component in self.components[1:]:
+            answers = answers | _np.asarray(component.query_many(granules),
+                                            dtype=bool)
+        return answers
 
     def on_place(self, granule_addr: int) -> None:
         for component in self.components:

@@ -28,6 +28,11 @@ from repro.core.perfect import PerfectFilter
 from repro.core.rmnm import RMNMCache, RMNMLane
 from repro.telemetry import get_registry
 
+try:  # numpy is optional: the interpreter engine never needs it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
 #: Per-level definite-miss bits, index ``tier - 1``; bit 0 is always False.
 MissBits = Tuple[bool, ...]
 
@@ -208,6 +213,68 @@ class MostlyNoMachine:
             if True in bits:
                 counters[1].inc()
         return tuple(bits)
+
+    def query_many(self, addresses, kinds):
+        """Batched :meth:`query` over aligned address/kind sequences.
+
+        Returns an ``(n, num_tiers)`` boolean matrix (row *i* is exactly
+        ``query(addresses[i], kinds[i])``), or a list of ``MissBits``
+        tuples when numpy is unavailable.  Updates per-filter
+        :class:`~repro.core.base.FilterStats` and the ``mnm.*`` telemetry
+        counters to the same totals as the equivalent sequence of scalar
+        queries.  Like :meth:`query`, must be called before the matching
+        hierarchy accesses mutate the filters' state.
+        """
+        if _np is None:
+            return [self.query(address, kind)
+                    for address, kind in zip(addresses, kinds)]
+        addrs = _np.asarray(addresses, dtype=_np.int64)
+        n = addrs.shape[0]
+        granules = addrs >> self._granule_shift
+        bits = _np.zeros((n, self.hierarchy.num_tiers), dtype=bool)
+        kind_list = list(kinds)
+        present = set(kind_list)
+        # Group route entries by identity: unified tiers serve every kind
+        # and are queried once over the whole batch; split tiers are
+        # queried over the rows of the kinds they serve.
+        groups: Dict[int, Tuple[int, _TrackedCache, List[AccessKind]]] = {}
+        for kind in present:
+            for bit_index, entry in self._route[kind]:
+                group = groups.get(id(entry))
+                if group is None:
+                    groups[id(entry)] = (bit_index, entry, [kind])
+                else:
+                    group[2].append(kind)
+        codes = None
+        if any(len(serving) != len(present) for _, _, serving in groups.values()):
+            code_of = {kind: code for code, kind in enumerate(AccessKind)}
+            codes = _np.fromiter((code_of[kind] for kind in kind_list),
+                                 dtype=_np.int8, count=n)
+        for bit_index, entry, serving in groups.values():
+            if len(serving) == len(present):
+                rows = None
+                subset = granules
+                count = n
+            else:
+                mask = _np.zeros(n, dtype=bool)
+                for kind in serving:
+                    mask |= codes == code_of[kind]
+                rows = _np.flatnonzero(mask)
+                subset = granules[rows]
+                count = rows.shape[0]
+            answers = _np.asarray(entry.filter.query_many(subset), dtype=bool)
+            stats = entry.stats
+            stats.lookups += count
+            stats.miss_answers += int(answers.sum())
+            if rows is None:
+                bits[:, bit_index] = answers
+            else:
+                bits[rows, bit_index] = answers
+        counters = self._query_counters
+        if counters is not None:
+            counters[0].inc(n)
+            counters[1].inc(int(bits.any(axis=1).sum()))
+        return bits
 
     # ------------------------------------------------------------ inspection
 

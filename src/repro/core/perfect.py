@@ -20,6 +20,11 @@ from typing import Set
 
 from repro.core.base import MissFilter
 
+try:  # numpy is optional: scalar paths below never touch it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
 
 class PerfectFilter(MissFilter):
     """Oracle filter: exact resident-granule set for one cache."""
@@ -31,6 +36,15 @@ class PerfectFilter(MissFilter):
 
     def is_definite_miss(self, granule_addr: int) -> bool:
         return granule_addr not in self._resident
+
+    def query_many(self, granule_addrs):
+        """Batched resident-set membership test."""
+        if _np is None:
+            return super().query_many(granule_addrs)
+        granules = _np.asarray(granule_addrs, dtype=_np.int64)
+        resident = self._resident
+        return _np.fromiter((g not in resident for g in granules.tolist()),
+                            dtype=bool, count=granules.shape[0])
 
     def on_place(self, granule_addr: int) -> None:
         self._resident.add(granule_addr)

@@ -29,6 +29,11 @@ from repro.addresses import is_power_of_two
 from repro.cache.replacement import make_policy
 from repro.core.base import MissFilter
 
+try:  # numpy is optional: scalar paths below never touch it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
 
 @dataclass
 class _RMNMEntry:
@@ -74,6 +79,9 @@ class RMNMCache:
             list(range(associativity - 1, -1, -1)) for _ in range(self.num_sets)
         ]
         self._policy = make_policy(replacement, self.num_sets, associativity)
+        # Monotone state-version counter driving the batched-query memo.
+        self._version = 0
+        self._bits_memo: Optional[tuple] = None
 
     @property
     def name(self) -> str:
@@ -98,8 +106,44 @@ class RMNMCache:
         entry = self._lookup(granule_addr)
         return entry is not None and bool(entry.replaced_bits >> lane & 1)
 
+    def replaced_bits_of(self, granule_addr: int) -> int:
+        """Current replaced-bit word of one granule (0 = no entry)."""
+        entry = self._lookup(granule_addr)
+        return 0 if entry is None else entry.replaced_bits
+
+    def replaced_bits_many(self, granule_addrs):
+        """Replaced-bit vectors for a batch of granules (0 = no entry).
+
+        Memoized on ``(state version, input identity)``: every lane of a
+        batched :meth:`RMNMLane.query_many` fan-out passes the *same*
+        granule array, so the dict walk runs once per batch, not once per
+        lane.  The memo holds a reference to the key array, keeping its
+        ``id`` stable for the lifetime of the cached result.
+        """
+        memo = self._bits_memo
+        if (memo is not None and memo[0] == self._version
+                and memo[1] is granule_addrs):
+            return memo[2]
+        sets = self._sets
+        mask = self.num_sets - 1
+        values = (
+            0 if (entry := sets[g & mask].get(g)) is None
+            else entry.replaced_bits
+            for g in (granule_addrs.tolist()
+                      if _np is not None and isinstance(granule_addrs, _np.ndarray)
+                      else granule_addrs)
+        )
+        if _np is None:
+            bits = list(values)
+        else:
+            bits = _np.fromiter(values, dtype=_np.int64,
+                                count=len(granule_addrs))
+        self._bits_memo = (self._version, granule_addrs, bits)
+        return bits
+
     def record_replace(self, granule_addr: int, lane: int) -> None:
         """Record a replacement; may evict another RMNM entry (coverage loss)."""
+        self._version += 1
         set_index = self._set_index(granule_addr)
         entries = self._sets[set_index]
         ways = self._ways[set_index]
@@ -125,16 +169,19 @@ class RMNMCache:
         """A granule entered cache ``lane``: clear its replaced bit if recorded."""
         entry = self._lookup(granule_addr)
         if entry is not None:
+            self._version += 1
             entry.replaced_bits &= ~(1 << lane)
 
     def flush_lane(self, lane: int) -> None:
         """Clear one cache's lane everywhere (that cache was flushed)."""
+        self._version += 1
         for entries in self._sets:
             for entry in entries.values():
                 entry.replaced_bits &= ~(1 << lane)
 
     def flush(self) -> None:
         """Drop every entry."""
+        self._version += 1
         for set_index in range(self.num_sets):
             self._sets[set_index].clear()
             self._ways[set_index].clear()
@@ -165,6 +212,14 @@ class RMNMLane(MissFilter):
 
     def is_definite_miss(self, granule_addr: int) -> bool:
         return self.shared.is_replaced(granule_addr, self.lane)
+
+    def query_many(self, granule_addrs):
+        """Extract this lane's bit from the shared batched lookup."""
+        if _np is None:
+            return super().query_many(granule_addrs)
+        granules = _np.asarray(granule_addrs, dtype=_np.int64)
+        bits = self.shared.replaced_bits_many(granules)
+        return (bits >> self.lane) & 1 != 0
 
     def on_place(self, granule_addr: int) -> None:
         self.shared.record_place(granule_addr, self.lane)

@@ -27,9 +27,16 @@ paper's slice offsets.
 
 from __future__ import annotations
 
+from array import array
+from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.base import MissFilter
+
+try:  # numpy is optional: scalar paths below never touch it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
 
 #: Bit distance between consecutive checker slices (paper: slices start at
 #: the 1st, 7th and 13th bits of the block address).
@@ -64,6 +71,7 @@ def checker_flipflops(sum_width: int) -> int:
 _CHUNK_BITS = 10
 
 
+@lru_cache(maxsize=None)
 def _chunk_tables(sum_width: int) -> List[List[int]]:
     """Precomputed per-chunk partial sums so hashing is table lookups.
 
@@ -71,6 +79,9 @@ def _chunk_tables(sum_width: int) -> List[List[int]]:
     covers bit positions ``[10c, 10c+10)``.  The hash of a value is the sum
     of one lookup per chunk — identical to :func:`sum_hash` (tested
     property-wise) but constant-time for the widths the paper uses.
+
+    Memoised per width: checkers only ever read the tables, and building
+    them dominates SMNM construction cost in multi-design sweeps.
     """
     tables: List[List[int]] = []
     position = 0
@@ -101,11 +112,26 @@ class SumChecker:
         self.bit_offset = bit_offset
         self.counting = counting
         self._space = max_sum(sum_width) + 1
-        self._counts: List[int] = [0] * self._space
+        # array('q') instead of a list: scalar reads/writes behave the same,
+        # but numpy can view the buffer zero-copy for batched queries.
+        self._counts = array("q", bytes(8 * self._space))
         # (table, mask) pairs; the final chunk may be narrower than 10 bits.
         self._tables = [
             (table, len(table) - 1) for table in _chunk_tables(sum_width)
         ]
+        # Immutable chunk tables as int64 arrays for the vectorized hash.
+        self._tables_np = (
+            None if _np is None
+            else [(_np.asarray(table, dtype=_np.int64), mask)
+                  for table, mask in self._tables]
+        )
+        # Zero-copy int64 view over the counts buffer, built once per
+        # (re)alloc: batched queries are hot enough that per-call
+        # frombuffer shows up.
+        self._counts_view = (
+            None if _np is None
+            else _np.frombuffer(self._counts, dtype=_np.int64)
+        )
 
     def _hash(self, granule_addr: int) -> int:
         value = granule_addr >> self.bit_offset
@@ -118,6 +144,19 @@ class SumChecker:
     def is_definite_miss(self, granule_addr: int) -> bool:
         """True iff the address's sum was never seen (still) set."""
         return self._counts[self._hash(granule_addr)] == 0
+
+    def query_many(self, granule_addrs):
+        """Vectorized :meth:`is_definite_miss` over an int64 granule array."""
+        if _np is None:
+            miss = self.is_definite_miss
+            return [miss(int(granule)) for granule in granule_addrs]
+        values = _np.asarray(granule_addrs, dtype=_np.int64) >> self.bit_offset
+        totals = None
+        for table, mask in self._tables_np:
+            chunk = table[values & mask]
+            totals = chunk if totals is None else totals + chunk
+            values = values >> _CHUNK_BITS
+        return self._counts_view[totals] == 0
 
     def on_place(self, granule_addr: int) -> None:
         """Record a placed block's sum."""
@@ -137,7 +176,11 @@ class SumChecker:
 
     def reset(self) -> None:
         """Clear all seen sums (cache flush)."""
-        self._counts = [0] * self._space
+        self._counts = array("q", bytes(8 * self._space))
+        self._counts_view = (
+            None if _np is None
+            else _np.frombuffer(self._counts, dtype=_np.int64)
+        )
 
     @property
     def storage_bits(self) -> int:
@@ -180,6 +223,16 @@ class SMNM(MissFilter):
 
     def is_definite_miss(self, granule_addr: int) -> bool:
         return any(c.is_definite_miss(granule_addr) for c in self.checkers)
+
+    def query_many(self, granule_addrs):
+        """Vectorized OR over the replicated checkers' batched answers."""
+        if _np is None:
+            return super().query_many(granule_addrs)
+        granules = _np.asarray(granule_addrs, dtype=_np.int64)
+        answers = self.checkers[0].query_many(granules)
+        for checker in self.checkers[1:]:
+            answers |= checker.query_many(granules)
+        return answers
 
     def on_place(self, granule_addr: int) -> None:
         for checker in self.checkers:

@@ -22,10 +22,16 @@ is proven if *any* table's counter is zero.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from array import array
+from typing import Optional, Sequence, Tuple
 
 from repro.core.base import MissFilter
 from repro.core.smnm import CHECKER_STRIDE
+
+try:  # numpy is optional: scalar paths below never touch it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
 
 #: Counter width used by the paper ("We use a counter of 3 bits").
 COUNTER_BITS = 3
@@ -54,7 +60,14 @@ class CounterTable:
         self.bit_offset = bit_offset
         self.counter_bits = counter_bits
         self.counter_max = (1 << counter_bits) - 1
-        self._counters: List[int] = [0] * (1 << index_bits)
+        self._index_mask = (1 << index_bits) - 1
+        # array('q') instead of a list: scalar reads/writes behave the same,
+        # but numpy can view the buffer zero-copy for batched queries.
+        self._counters = array("q", bytes(8 * (1 << index_bits)))
+        # Zero-copy int64 view over the buffer, built once per (re)alloc:
+        # batched queries are hot enough that per-call frombuffer shows up.
+        self._view = (None if _np is None
+                      else _np.frombuffer(self._counters, dtype=_np.int64))
 
     def _index(self, granule_addr: int) -> int:
         return (granule_addr >> self.bit_offset) & ((1 << self.index_bits) - 1)
@@ -83,9 +96,19 @@ class CounterTable:
         if 0 < value < self.counter_max:
             self._counters[index] = value - 1
 
+    def query_many(self, granule_addrs):
+        """Vectorized :meth:`is_definite_miss` over an int64 granule array."""
+        if _np is None:
+            miss = self.is_definite_miss
+            return [miss(int(granule)) for granule in granule_addrs]
+        granules = _np.asarray(granule_addrs, dtype=_np.int64)
+        return self._view[(granules >> self.bit_offset) & self._index_mask] == 0
+
     def reset(self) -> None:
         """Zero every counter (cache flush)."""
-        self._counters = [0] * (1 << self.index_bits)
+        self._counters = array("q", bytes(8 * (1 << self.index_bits)))
+        self._view = (None if _np is None
+                      else _np.frombuffer(self._counters, dtype=_np.int64))
 
     @property
     def saturated_slots(self) -> int:
@@ -128,6 +151,16 @@ class TMNM(MissFilter):
 
     def is_definite_miss(self, granule_addr: int) -> bool:
         return any(t.is_definite_miss(granule_addr) for t in self.tables)
+
+    def query_many(self, granule_addrs):
+        """Vectorized OR over the replicated tables' batched answers."""
+        if _np is None:
+            return super().query_many(granule_addrs)
+        granules = _np.asarray(granule_addrs, dtype=_np.int64)
+        answers = self.tables[0].query_many(granules)
+        for table in self.tables[1:]:
+            answers |= table.query_many(granules)
+        return answers
 
     def on_place(self, granule_addr: int) -> None:
         for table in self.tables:

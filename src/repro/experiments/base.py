@@ -50,6 +50,10 @@ class ExperimentSettings:
             environment variable.  Deliberately **excluded** from the
             pass-cache fingerprint — injected faults must never change
             what a result is keyed as, only whether computing it fails.
+        engine: reference-pass implementation, ``"interp"`` or ``"fast"``
+            (the numpy kernel).  Also excluded from the pass-cache
+            fingerprint: the engines are byte-identical by contract, so
+            their passes are legitimately interchangeable.
     """
 
     num_instructions: int = DEFAULT_INSTRUCTIONS
@@ -57,6 +61,7 @@ class ExperimentSettings:
     seed: int = 0
     workloads: Tuple[str, ...] = ()
     fault_spec: str = ""
+    engine: str = "interp"
 
     def __post_init__(self) -> None:
         if self.num_instructions < 1000:
@@ -64,6 +69,10 @@ class ExperimentSettings:
         if not 0.0 <= self.warmup_fraction < 1.0:
             raise ValueError(
                 f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}"
+            )
+        if self.engine not in ("interp", "fast"):
+            raise ValueError(
+                f"unknown engine {self.engine!r} (expected 'interp' or 'fast')"
             )
 
     @property
@@ -192,6 +201,7 @@ def reference_pass(
         designs,
         workload_name=workload,
         warmup=warmup_refs,
+        engine=settings.engine,
     )
     cache.store(key, result)
     return result

@@ -194,6 +194,11 @@ def _add_settings_args(parser: argparse.ArgumentParser) -> None:
                         help="workload generator seed")
     parser.add_argument("--workloads", type=str, default="",
                         help="comma-separated workload subset")
+    parser.add_argument("--engine", choices=("interp", "fast"),
+                        default="interp",
+                        help="reference-pass engine: 'interp' (pure-Python "
+                             "oracle, default) or 'fast' (batched numpy "
+                             "kernel; byte-identical results)")
     parser.add_argument("--output", type=str, default="",
                         help="also append rendered results to this file")
     parser.add_argument("--chart", action="store_true",
@@ -259,6 +264,7 @@ def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
         kwargs["workloads"] = tuple(
             name.strip() for name in args.workloads.split(",") if name.strip()
         )
+    kwargs["engine"] = args.engine
     return ExperimentSettings(**kwargs)
 
 

@@ -95,7 +95,22 @@ from repro.testing.faults import (
 
 
 def default_jobs() -> int:
-    """The ``--jobs`` auto value: one worker per available CPU."""
+    """The ``--jobs`` auto value: one worker per *usable* CPU.
+
+    ``os.cpu_count()`` reports the machine's CPUs even when the process
+    is pinned to fewer (containers, ``taskset``, cgroup cpusets) — on a
+    1-CPU allocation that made ``--jobs 0`` spin up a worker pool that
+    only added IPC overhead.  The scheduler affinity mask is the real
+    parallelism budget; when the platform cannot report one (macOS,
+    Windows), fall back to ``os.cpu_count()``.  A result of 1 makes
+    :func:`execute_tasks` run tasks in-process — no pool at all.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - platform-specific failure
+            pass
     return os.cpu_count() or 1
 
 

@@ -1,0 +1,12 @@
+"""Fast batched reference-pass engine (``--engine fast``).
+
+A second implementation of :func:`repro.simulate.run_reference_pass` that
+records the cache simulation once and replays every MNM design against
+numpy arrays instead of re-interpreting per reference.  The interpreter
+remains the oracle: this engine is byte-identical by contract, pinned by
+the engine-equivalence tests and the CI ``kernel-equivalence`` job.
+"""
+
+from repro.kernel.engine import engine_available, run_reference_pass_fast
+
+__all__ = ["engine_available", "run_reference_pass_fast"]

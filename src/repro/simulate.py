@@ -402,15 +402,38 @@ def run_reference_pass(
     designs: Sequence[MNMDesign],
     workload_name: str = "",
     warmup: int = 0,
+    engine: str = "interp",
 ) -> ReferencePassResult:
     """Evaluate many MNM designs against one shared hierarchy simulation.
 
     All designs observe identical cache state (bypass never changes
     contents), so filters, meters and accountants for every design ride on
     a single simulation pass.
+
+    ``engine`` picks the implementation: ``"interp"`` is the reference
+    interpreter below; ``"fast"`` is the numpy record/replay kernel in
+    :mod:`repro.kernel`, byte-identical by contract (pinned by the
+    engine-equivalence tests and CI).  When the access tracer is enabled
+    the interpreter runs regardless of ``engine`` — only it emits
+    per-access trace records — which is safe precisely because the two
+    engines agree on every reported number.  On numpy-free installs
+    ``"fast"`` likewise falls back to the interpreter (same results,
+    just slower).
     """
+    if engine not in ("interp", "fast"):
+        raise ValueError(
+            f"unknown engine {engine!r} (expected 'interp' or 'fast')"
+        )
     registry = get_registry()
     tracer = get_tracer()
+    if engine == "fast" and not tracer.enabled:
+        from repro.kernel import engine_available, run_reference_pass_fast
+
+        if engine_available():
+            return run_reference_pass_fast(
+                references, hierarchy_config, designs,
+                workload_name=workload_name, warmup=warmup,
+            )
     profiler = get_profiler()
     pass_started = time.perf_counter() if profiler.enabled else 0.0
 
@@ -456,7 +479,22 @@ def run_reference_pass(
     trace_on = tracer.enabled
     telemetry_active = metrics is not None or trace_on
 
+    # Hot-loop bindings: the per-design method tuples and the reused
+    # ``bits_list`` buffer replace per-reference list/dict allocations
+    # (pinned by the hot-path counter-equality test).
+    design_names = tuple(entry[0].name for entry in entries)
+    query_fns = tuple(entry[1].query for entry in entries)
+    record_fns = tuple(entry[2].record for entry in entries)
+    account_fns = tuple(entry[3].account for entry in entries)
+    latency_fns = tuple(entry[4].latency for entry in entries)
+    design_range = range(len(entries))
+    hierarchy_access = hierarchy.access
+    baseline_latency = timing.latency
+    baseline_miss = timing.miss_time
+    baseline_account = baseline_accountant.account
+
     access_times = [0] * len(entries)
+    bits_list: List[Tuple[bool, ...]] = [()] * len(entries)
     count = 0
     seen = 0
     for address, kind in references:
@@ -464,23 +502,22 @@ def run_reference_pass(
         if seen <= warmup:
             # Warm caches (filters train through the event listeners);
             # queries are pointless here since nothing is recorded.
-            hierarchy.access(address, kind)
+            hierarchy_access(address, kind)
             if seen == warmup:
                 hierarchy.reset_stats()
             continue
         count += 1
-        bits_list = [entry[1].query(address, kind) for entry in entries]
-        outcome = hierarchy.access(address, kind)
-        baseline_access_time += timing.latency(outcome)
-        baseline_miss_time += timing.miss_time(outcome)
-        baseline_accountant.account(outcome)
-        for index, (design, _machine, meter, accountant, design_timing) in enumerate(
-            entries
-        ):
+        for index in design_range:
+            bits_list[index] = query_fns[index](address, kind)
+        outcome = hierarchy_access(address, kind)
+        baseline_access_time += baseline_latency(outcome)
+        baseline_miss_time += baseline_miss(outcome)
+        baseline_account(outcome)
+        for index in design_range:
             bits = bits_list[index]
-            meter.record(outcome, bits)
-            accountant.account(outcome, bits)
-            access_times[index] += design_timing.latency(outcome, bits)
+            record_fns[index](outcome, bits)
+            account_fns[index](outcome, bits)
+            access_times[index] += latency_fns[index](outcome, bits)
         if telemetry_active:
             if metrics is not None:
                 ref_counter.inc()
@@ -490,8 +527,7 @@ def run_reference_pass(
                 tracer.emit(access_record(
                     address, kind.value, outcome.supplier,
                     outcome.tiers_missed,
-                    {entry[0].name: bits_list[index]
-                     for index, entry in enumerate(entries)},
+                    dict(zip(design_names, bits_list)),
                 ))
 
     if count == 0:

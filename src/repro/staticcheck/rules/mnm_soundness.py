@@ -7,17 +7,24 @@ that goes through the audited surface.  This rule pins the surface
 shut:
 
 * a subclass of :class:`~repro.core.machine.MostlyNoMachine` that
-  overrides ``query`` must route through the audited base
-  (``super().query(...)`` / ``MostlyNoMachine.query(...)``) — a
-  reimplementation could emit a miss bit no filter proved;
+  overrides ``query`` or ``query_many`` must route through the audited
+  base (``super().query(...)`` / ``MostlyNoMachine.query(...)``, same
+  for ``query_many``) — a reimplementation could emit a miss bit no
+  filter proved;
 * a direct, concrete :class:`~repro.core.base.MissFilter` subclass must
   implement the full query contract in-class (``is_definite_miss``,
   ``on_place``, ``on_replace``, ``storage_bits``) — a filter that
   forgets its bookkeeping hooks silently decays into unsoundness as
   blocks move under it;
-* a base-less class that quacks like a filter (defines both
-  ``is_definite_miss`` and ``on_place``) is flagged: wired in by duck
-  typing it would dodge every soundness test keyed on the ABC.
+* a filter subclass that overrides ``query_many`` without defining
+  ``is_definite_miss`` in the same class is flagged: the batched path
+  is part of the soundness surface (the fast engine answers whole
+  replay segments through it), and an override whose scalar oracle
+  lives in a different class can silently drift from it;
+* a base-less class that quacks like a filter (defines ``on_place``
+  plus either ``is_definite_miss`` or ``query_many``) is flagged:
+  wired in by duck typing it would dodge every soundness test keyed
+  on the ABC.
 """
 
 from __future__ import annotations
@@ -55,34 +62,48 @@ class MNMSoundnessRule(Rule):
             bases = [terminal_name(base) for base in node.bases]
             if "MostlyNoMachine" in bases:
                 yield from self._check_machine_subclass(module, node)
+                continue
             if "MissFilter" in bases:
                 yield from self._check_filter_subclass(module, node)
-            elif self._is_baseless(node):
-                yield from self._check_duck_filter(module, node)
+                continue
+            if self._is_baseless(node):
+                duck = list(self._check_duck_filter(module, node))
+                if duck:
+                    yield from duck
+                    continue
+            yield from self._check_batched_pairing(module, node)
 
     # --------------------------------------------------- machine subclasses
 
     def _check_machine_subclass(self, module: ModuleInfo,
                                 cls: ast.ClassDef) -> Iterator[Finding]:
-        query = _method(cls, "query")
-        if query is None:
-            return  # inherits the audited implementation — fine.
-        for node in ast.walk(query):
+        # Both the scalar and the batched entry points are miss-answer
+        # surfaces; each override must route through its audited base.
+        for method_name in ("query", "query_many"):
+            method = _method(cls, method_name)
+            if method is None:
+                continue  # inherits the audited implementation — fine.
+            if not self._routes_through_base(method, method_name):
+                yield self.finding(
+                    module, method,
+                    f"{cls.name}.{method_name} reimplements the MNM query "
+                    f"without routing through super().{method_name} — its "
+                    "miss bits bypass the audited proof path")
+
+    @staticmethod
+    def _routes_through_base(method, method_name: str) -> bool:
+        for node in ast.walk(method):
             if not isinstance(node, ast.Call):
                 continue
             chain = dotted_name(node.func)
-            if chain in ("MostlyNoMachine.query",):
-                return
+            if chain == f"MostlyNoMachine.{method_name}":
+                return True
             if (isinstance(node.func, ast.Attribute)
-                    and node.func.attr == "query"
+                    and node.func.attr == method_name
                     and isinstance(node.func.value, ast.Call)
                     and terminal_name(node.func.value.func) == "super"):
-                return
-        yield self.finding(
-            module, query,
-            f"{cls.name}.query reimplements the MNM query without "
-            "routing through super().query — its miss bits bypass the "
-            "audited proof path")
+                return True
+        return False
 
     # ---------------------------------------------------- filter subclasses
 
@@ -100,6 +121,31 @@ class MNMSoundnessRule(Rule):
                 "incomplete, so its answers cannot stay provable as "
                 "cache state moves")
 
+    # --------------------------------------- batched/scalar query pairing
+
+    def _check_batched_pairing(self, module: ModuleInfo,
+                               cls: ast.ClassDef) -> Iterator[Finding]:
+        """A ``query_many`` override needs its scalar oracle in-class.
+
+        The batched path is part of the soundness surface (the fast
+        engine answers whole replay segments through it); an override
+        whose ``is_definite_miss`` lives in a *different* class — e.g. a
+        subclass of a concrete filter re-vectorizing only the batch —
+        can drift from the scalar semantics without any test noticing.
+        ``MostlyNoMachine`` itself is the audited machine-level base and
+        is excluded (its batch is defined over ``query``, not a scalar
+        filter method).
+        """
+        if cls.name == "MostlyNoMachine" or _is_abstract(cls):
+            return
+        defined = _defined_names(cls)
+        if "query_many" in defined and "is_definite_miss" not in defined:
+            yield self.finding(
+                module, cls,
+                f"{cls.name} overrides query_many without an in-class "
+                "is_definite_miss — the batched path has no scalar "
+                "oracle beside it to stay element-wise equal to")
+
     # -------------------------------------------------- duck-typed filters
 
     @staticmethod
@@ -110,7 +156,9 @@ class MNMSoundnessRule(Rule):
     def _check_duck_filter(self, module: ModuleInfo,
                            cls: ast.ClassDef) -> Iterator[Finding]:
         defined = _defined_names(cls)
-        if "is_definite_miss" in defined and "on_place" in defined:
+        if ("on_place" in defined
+                and ("is_definite_miss" in defined
+                     or "query_many" in defined)):
             yield self.finding(
                 module, cls,
                 f"{cls.name} implements the filter interface without "

@@ -92,6 +92,53 @@ def test_perfect_filter_is_exact(addresses):
     assert perfect.resident_granules == set(cache.resident_blocks())
 
 
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=0x3FF),
+                          st.booleans()),
+                max_size=300),
+       st.lists(st.integers(min_value=0, max_value=0x3FF), min_size=1,
+                max_size=100))
+def test_query_many_agrees_with_scalar_queries(events, queries):
+    """``query_many`` is element-wise ``is_definite_miss``, and read-only.
+
+    The fast engine answers whole replay segments through ``query_many``;
+    its byte-identity to the interpreter rests exactly on this contract,
+    for every filter family (RMNM lane, SMNM, counting SMNM, TMNM, CMNM,
+    perfect, composite) and on the state mid-stream, not just after
+    training.
+    """
+    for filter_ in make_filters():
+        for granule, is_place in events:
+            if is_place:
+                filter_.on_place(granule)
+            else:
+                filter_.on_replace(granule)
+        expected = [filter_.is_definite_miss(granule) for granule in queries]
+        batched = filter_.query_many(queries)
+        assert [bool(answer) for answer in batched] == expected, filter_.name
+        # Read-only: a batched query must not have disturbed the state.
+        after = [filter_.is_definite_miss(granule) for granule in queries]
+        assert after == expected, filter_.name
+
+
+@pytest.mark.parametrize("design_name", all_paper_design_names())
+def test_machine_query_many_matches_query(design_name):
+    """The machine-level batch (one row per reference) mirrors query()."""
+    rng = random.Random(hash(design_name) & 0xFFF)
+    hierarchy = CacheHierarchy(small_hierarchy_config(3))
+    machine = MostlyNoMachine(hierarchy, parse_design(design_name))
+    references = list(random_references(rng, 400, span=1 << 14))
+    for address, kind in references[:200]:
+        hierarchy.access(address, kind)
+    addresses = [address for address, _kind in references]
+    kinds = [kind for _address, kind in references]
+    expected = [machine.query(address, kind)
+                for address, kind in references]
+    batched = machine.query_many(addresses, kinds)
+    for row, bits in zip(batched, expected):
+        assert tuple(bool(b) for b in row) == tuple(bits)
+
+
 @pytest.mark.parametrize("design_name", all_paper_design_names())
 def test_machine_soundness_for_every_paper_design(design_name):
     """End-to-end: every configuration in Figures 10-14 stays one-sided on

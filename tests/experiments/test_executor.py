@@ -36,6 +36,48 @@ def test_default_jobs_positive():
     assert default_jobs() >= 1
 
 
+def test_default_jobs_respects_cpu_affinity(monkeypatch):
+    """A process pinned to one CPU must not get a multi-worker default.
+
+    ``os.cpu_count()`` sees the whole machine; the affinity mask is what
+    the scheduler will actually give us (containers, taskset, cgroups).
+    """
+    import repro.experiments.executor as executor_module
+
+    monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 8)
+    monkeypatch.setattr(executor_module.os, "sched_getaffinity",
+                        lambda pid: {0}, raising=False)
+    assert default_jobs() == 1
+
+
+def test_default_jobs_falls_back_to_cpu_count(monkeypatch):
+    """Platforms without sched_getaffinity still get one job per CPU."""
+    import repro.experiments.executor as executor_module
+
+    monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 6)
+    monkeypatch.delattr(executor_module.os, "sched_getaffinity",
+                        raising=False)
+    assert default_jobs() == 6
+
+
+def test_single_job_never_touches_the_process_pool(monkeypatch):
+    """``--jobs 0`` resolving to 1 must run in-process, not via a pool.
+
+    On a 1-CPU host the pool adds pure overhead (spawn + pickle + IPC)
+    for zero parallelism; the executor is required to fall through to
+    the serial path.  A pool constructor that explodes proves it.
+    """
+    import repro.experiments.executor as executor_module
+
+    def _no_pool(*_args, **_kwargs):
+        raise AssertionError("jobs == 1 must not create a process pool")
+
+    monkeypatch.setattr(executor_module, "ProcessPoolExecutor", _no_pool)
+    tasks = plan_experiments(["fig02"], TINY)
+    assert execute_tasks(tasks, jobs=1) == len(
+        {task.cache_key() for task in tasks})
+
+
 def test_plan_covers_pass_and_core_tasks():
     tasks = plan_experiments(EXPERIMENTS, TINY)
     kinds = {type(task).__name__ for task in tasks}

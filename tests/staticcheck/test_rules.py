@@ -631,3 +631,95 @@ class TestR006MNMSoundness:
             rule="R006",
         )
         assert findings == []
+
+    # -------------------------- batched queries (query_many) on the surface
+
+    def test_machine_query_many_override_without_super_flagged(self):
+        findings = _check(
+            """\
+            from repro.core.machine import MostlyNoMachine
+
+            class BatchedMNM(MostlyNoMachine):
+                def query_many(self, addresses, kinds):
+                    return [[True] * 3 for _ in addresses]
+            """,
+            rule="R006",
+        )
+        assert _ids(findings) == ["R006"]
+        assert "query_many" in findings[0].message
+
+    def test_machine_query_many_override_via_super_ok(self):
+        findings = _check(
+            """\
+            from repro.core.machine import MostlyNoMachine
+
+            class CountingMNM(MostlyNoMachine):
+                def query_many(self, addresses, kinds):
+                    self.batches += 1
+                    return super().query_many(addresses, kinds)
+            """,
+            rule="R006",
+        )
+        assert findings == []
+
+    def test_filter_subclass_query_many_without_scalar_flagged(self):
+        """Re-vectorizing only the batch of a concrete filter can drift
+        from the inherited scalar semantics without any test noticing."""
+        findings = _check(
+            """\
+            from repro.core.tmnm import TMNM
+
+            class TunedTMNM(TMNM):
+                def query_many(self, granule_addrs):
+                    return [False] * len(granule_addrs)
+            """,
+            rule="R006",
+        )
+        assert _ids(findings) == ["R006"]
+        assert "scalar" in findings[0].message
+
+    def test_filter_subclass_query_many_with_scalar_ok(self):
+        findings = _check(
+            """\
+            from repro.core.tmnm import TMNM
+
+            class PairedTMNM(TMNM):
+                def is_definite_miss(self, granule_addr):
+                    return super().is_definite_miss(granule_addr)
+
+                def query_many(self, granule_addrs):
+                    miss = self.is_definite_miss
+                    return [miss(granule) for granule in granule_addrs]
+            """,
+            rule="R006",
+        )
+        assert findings == []
+
+    def test_duck_filter_via_query_many_flagged(self):
+        """The batched entry point alone is enough to quack like a
+        filter — wiring it in would dodge the ABC-keyed soundness tests."""
+        findings = _check(
+            """\
+            class BatchOnlyFilter:
+                def query_many(self, granule_addrs):
+                    return [True] * len(granule_addrs)
+
+                def on_place(self, addr):
+                    pass
+            """,
+            rule="R006",
+        )
+        assert _ids(findings) == ["R006"]
+        assert "duck" in findings[0].message
+
+    def test_query_many_pairing_suppressible(self):
+        findings = _check(
+            """\
+            # repro: allow[R006] building block, audited through its owner
+            class BatchHelper:
+                def query_many(self, granule_addrs):
+                    return [False] * len(granule_addrs)
+            """,
+            rule="R006",
+        )
+        assert findings == []

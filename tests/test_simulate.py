@@ -170,3 +170,29 @@ class TestRunReferencePass:
         result = run_reference_pass(refs, CONFIG, [tmnm_design(8, 1)],
                                     "twolf")
         assert result.designs["TMNM_8x1"].storage_bits > 0
+
+    def test_hot_loop_counter_equality(self, refs):
+        """Pin the hot-loop accounting against the analytic totals.
+
+        The per-reference loop had its allocations hoisted out; this pins
+        that the restructuring kept exactly one query and one record per
+        (reference, design) — the counters are derived per reference, so
+        any skipped or doubled iteration shifts them.
+        """
+        from repro import telemetry
+
+        designs = [tmnm_design(8, 1), perfect_design()]
+        try:
+            registry = telemetry.enable_metrics()
+            result = run_reference_pass(refs, CONFIG, designs, "twolf")
+            counters = registry.snapshot()["counters"]
+        finally:
+            telemetry.reset()
+        assert counters["pass.references"] == len(refs)
+        assert counters["mnm.queries"] == len(refs) * len(designs)
+        for design_name, design_result in result.designs.items():
+            meter = design_result.coverage
+            assert meter.accesses == len(refs)
+            for tier in range(2, meter.num_tiers + 1):
+                assert (counters[f"mnm.{design_name}.bypass.l{tier}"]
+                        <= counters[f"mnm.{design_name}.candidates.l{tier}"])
