@@ -1,0 +1,263 @@
+"""The distributed backend: a controller over a shared work queue.
+
+``--backend distributed`` turns :func:`~repro.experiments.executor.
+execute_tasks` into a fleet controller: every pending task is enqueued
+into the :class:`~repro.experiments.backends.queue.WorkQueue`, N worker
+subprocesses are spawned (``repro-mnm worker --queue <dir>``; external
+workers on any host sharing the filesystem may join the same queue),
+and results are harvested **in submission order** — each envelope's
+result seeds the pass cache, its telemetry snapshots merge into the
+controller's instruments, and its completion is journaled, exactly as
+the process-pool backend does.  Same merge discipline, same bytes: a
+distributed run is byte-identical to ``--jobs 1`` no matter how many
+workers died along the way.
+
+Supervision, not orchestration: workers are crash-safe by lease expiry
+(:mod:`repro.experiments.backends.worker`), so the controller only
+
+* respawns dead worker processes while unmerged work remains, within a
+  budget of ``workers + len(tasks) × max_attempts`` (enough for every
+  task to kill one worker per allowed attempt, never unbounded);
+* re-enqueues tasks whose queue file went missing or was quarantined as
+  torn;
+* aborts with :class:`~repro.experiments.resilience.TaskExecutionError`
+  when a task fails fatally or exhausts the retry budget, mirroring the
+  pool backend's attempt accounting;
+* writes the shutdown marker and reaps its workers on every exit path,
+  so an interrupted controller (Ctrl-C / SIGTERM) leaves no orphans —
+  and, with a journal, resumes exactly where it stopped.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from time import sleep
+from typing import Any, Dict, List, Optional
+
+from repro import telemetry
+from repro.experiments.backends.base import task_identity
+from repro.experiments.backends.pool import current_telemetry_flags
+from repro.experiments.backends.queue import WorkItem, WorkQueue
+from repro.experiments.checkpoint import RunJournal
+from repro.experiments.passcache import get_pass_cache, key_digest
+from repro.experiments.planning import Task
+from repro.experiments.resilience import ExecutionPolicy, TaskExecutionError
+
+
+class DistributedBackend:
+    """Queue-backed execution across independent worker processes."""
+
+    name = "distributed"
+
+    def __init__(self, queue_dir: str, workers: int = 1,
+                 lease_ttl: float = 30.0,
+                 poll_interval: float = 0.1) -> None:
+        self.queue_dir = queue_dir
+        self.workers = max(0, workers)
+        self.lease_ttl = lease_ttl
+        self.poll_interval = poll_interval
+
+    # -- the backend contract ----------------------------------------------
+
+    def execute(
+        self,
+        pending: List[Task],
+        policy: ExecutionPolicy,
+        journal: Optional[RunJournal],
+        fault_spec: str,
+    ) -> None:
+        registry = telemetry.get_registry()
+        profiler = telemetry.get_profiler()
+        spans = telemetry.get_spans()
+        cache = get_pass_cache()
+        logger = telemetry.get_logger("distributed")
+        flags = current_telemetry_flags()
+        queue = WorkQueue.create(
+            self.queue_dir,
+            flags={"metrics": flags.metrics, "profile": flags.profile,
+                   "spans": flags.spans},
+            cache_dir=cache.cache_dir,
+            cache_enabled=cache.enabled,
+            lease_ttl=self.lease_ttl,
+        )
+        items = [WorkItem(index=index,
+                          key_digest=key_digest(task.cache_key()),
+                          task=task)
+                 for index, task in enumerate(pending)]
+        for item in items:
+            queue.enqueue(item)
+        respawn_budget = (self.workers
+                          + len(pending) * policy.retry.max_attempts)
+        procs: List[subprocess.Popen] = []
+        spans.event("queue.start", tasks=len(items), workers=self.workers,
+                    queue=self.queue_dir)
+        logger.info(
+            f"enqueued {len(items)} tasks; spawning {self.workers} "
+            f"workers on {self.queue_dir}", lease_ttl=self.lease_ttl)
+        try:
+            for _ in range(self.workers):
+                procs.append(self._spawn_worker(queue, len(procs),
+                                                fault_spec))
+            merged = 0
+            while merged < len(items):
+                item = items[merged]
+                envelope = queue.load_result(item.key_digest)
+                if envelope is not None:
+                    self._merge(envelope, item, cache, journal, registry,
+                                profiler, spans)
+                    merged += 1
+                    continue
+                self._check_errors(queue, item, policy, registry, spans)
+                if queue.load_item(item.key_digest) is None:
+                    # Task file missing or quarantined as torn: no worker
+                    # can serve it until it is re-enqueued.
+                    registry.counter("queue.tasks.reenqueued").inc()
+                    queue.enqueue(item)
+                respawn_budget = self._supervise(
+                    queue, procs, respawn_budget, fault_spec, item,
+                    registry, spans, logger)
+                sleep(self.poll_interval)
+            spans.event("queue.drained", tasks=len(items))
+        finally:
+            queue.request_shutdown()
+            self._reap(procs)
+
+    # -- result merging ----------------------------------------------------
+
+    def _merge(self, envelope: Dict[str, Any], item: WorkItem, cache,
+               journal: Optional[RunJournal], registry, profiler,
+               spans) -> None:
+        """Fold one committed envelope in (submission order is the caller)."""
+        task = item.task
+        key = task.cache_key()
+        task_id = task_identity(task)[0]
+        attempt = int(envelope.get("attempt") or 1)
+        elapsed = float(envelope.get("elapsed") or 0.0)
+        cache.seed(key, envelope.get("result"))
+        if journal is not None:
+            journal.record(key, task.describe(), elapsed=elapsed)
+        metrics = envelope.get("metrics")
+        if metrics is not None:
+            registry.merge_snapshot(metrics)
+        profile = envelope.get("profile")
+        if profile is not None:
+            profiler.merge_snapshot(profile)
+        remote_spans = envelope.get("spans")
+        if remote_spans is not None:
+            spans.merge_remote(remote_spans, task=task_id, attempt=attempt,
+                               worker=str(envelope.get("worker") or "queue"))
+        spans.record_task(task_id, task.describe(), attempt,
+                          elapsed=elapsed, worker="queue")
+        if attempt > 1:
+            registry.counter("executor.tasks.recovered").inc()
+        registry.counter("executor.tasks.completed").inc()
+
+    # -- failure adjudication ----------------------------------------------
+
+    def _check_errors(self, queue: WorkQueue, item: WorkItem,
+                      policy: ExecutionPolicy, registry, spans) -> None:
+        """Abort like the pool backend would: fatal or out of attempts."""
+        errors = queue.load_errors(item.key_digest)
+        if not errors:
+            return
+        task_id = task_identity(item.task)[0]
+        fatal = [e for e in errors if not e.get("retryable", True)]
+        worst = max(int(e.get("attempt") or 1) for e in errors)
+        if fatal:
+            record = fatal[-1]
+            registry.counter("executor.tasks.failed").inc()
+            spans.event("executor.failed", task=task_id,
+                        attempt=int(record.get("attempt") or 1))
+            raise TaskExecutionError(
+                item.task.describe(), int(record.get("attempt") or 1),
+                RuntimeError(f"{record.get('error_type')}: "
+                             f"{record.get('error')}"))
+        if worst >= policy.retry.max_attempts:
+            record = errors[-1]
+            registry.counter("executor.tasks.failed").inc()
+            spans.event("executor.failed", task=task_id, attempt=worst)
+            raise TaskExecutionError(
+                item.task.describe(), worst,
+                RuntimeError(f"{record.get('error_type')}: "
+                             f"{record.get('error')}"))
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def _spawn_worker(self, queue: WorkQueue, ordinal: int,
+                      fault_spec: str) -> subprocess.Popen:
+        command = [
+            sys.executable, "-m", "repro.experiments", "worker",
+            "--queue", self.queue_dir,
+            "--lease-ttl", str(self.lease_ttl),
+        ]
+        # repro: allow[R001] the spawned worker inherits this process's environment, with the chaos spec forwarded explicitly (spawn works under any start method)
+        env = dict(os.environ)
+        if fault_spec:
+            env["REPRO_FAULTS"] = fault_spec
+        log_path = os.path.join(queue.logs_dir(),
+                                f"worker-{os.getpid()}-{ordinal}.log")
+        log_handle = open(log_path, "ab")
+        try:
+            proc = subprocess.Popen(command, env=env,
+                                    stdin=subprocess.DEVNULL,
+                                    stdout=log_handle, stderr=log_handle)
+        finally:
+            log_handle.close()  # the child holds its own descriptor
+        return proc
+
+    def _supervise(self, queue: WorkQueue, procs: List[subprocess.Popen],
+                   respawn_budget: int, fault_spec: str, head: WorkItem,
+                   registry, spans, logger) -> int:
+        """Replace dead workers while work remains; abort when hopeless."""
+        alive = 0
+        for index, proc in enumerate(procs):
+            if proc.poll() is None:
+                alive += 1
+                continue
+            if respawn_budget <= 0:
+                continue
+            respawn_budget -= 1
+            registry.counter("queue.worker.respawned").inc()
+            spans.event("queue.worker_respawned", exit_code=proc.returncode)
+            logger.warning(
+                f"worker exited with status {proc.returncode}; respawning",
+                budget_left=respawn_budget)
+            procs[index] = self._spawn_worker(queue, index, fault_spec)
+            alive += 1
+        if self.workers > 0 and alive == 0 and respawn_budget <= 0:
+            registry.counter("executor.tasks.failed").inc()
+            raise TaskExecutionError(
+                head.task.describe(), policy_attempts(head, queue),
+                RuntimeError(
+                    "every spawned worker died and the respawn budget is "
+                    "exhausted (external workers may still attach; see "
+                    "the queue's errors/ directory)"))
+        return respawn_budget
+
+    def _reap(self, procs: List[subprocess.Popen]) -> None:
+        """Drain workers after shutdown; terminate stragglers."""
+        for proc in procs:
+            try:
+                # Workers poll the shutdown marker between tasks, so a
+                # healthy one exits within a poll interval; only a worker
+                # wedged mid-task (an injected hang) needs terminating.
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+
+
+def policy_attempts(item: WorkItem, queue: WorkQueue) -> int:
+    """Best-known attempt count for an aborting task (errors + lease)."""
+    attempts = [int(e.get("attempt") or 1)
+                for e in queue.load_errors(item.key_digest)]
+    lease = queue.read_lease(item.key_digest)
+    if lease is not None:
+        attempts.append(lease.attempt)
+    return max(attempts) if attempts else 1

@@ -1,0 +1,230 @@
+"""The queue-worker loop behind ``repro-mnm worker --queue <dir>``.
+
+A worker is deliberately dumb: scan the queue, claim a task, execute it
+with the same :func:`~repro.experiments.backends.pool.run_task` entry
+point the process pool uses, commit the outcome, repeat.  All fleet
+intelligence — respawning dead workers, aborting on fatal errors,
+merging results deterministically — lives in the controller
+(:mod:`repro.experiments.backends.distributed`); a worker crashing at
+*any* point costs at most one lease TTL of latency, never correctness.
+
+While a task executes, a daemon heartbeat thread renews the lease every
+``ttl / 3`` seconds.  A SIGKILL kills the thread with the process, the
+lease stops renewing, and after the deadline another worker takes the
+task over — crash-safety falls out of doing nothing.  If the heartbeat
+discovers the lease was taken over (this worker stalled long enough to
+be presumed dead), the worker still finishes and offers its result;
+first-writer-wins commitment discards the duplicate.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from time import sleep
+from typing import Optional
+
+from repro import telemetry
+from repro.experiments.backends.base import task_identity
+from repro.experiments.backends.pool import TelemetryFlags, run_task
+from repro.experiments.backends.queue import (
+    QUEUE_MAGIC,
+    QUEUE_SCHEMA,
+    Lease,
+    WorkQueue,
+)
+from repro.experiments.resilience import is_retryable
+from repro.testing.faults import (
+    configure_faults,
+    env_fault_spec,
+    get_injector,
+)
+
+
+@dataclass(frozen=True)
+class WorkerOptions:
+    """Knobs of one ``repro-mnm worker`` invocation."""
+
+    queue_dir: str
+    worker_id: str = ""
+    poll_interval: float = 0.2
+    lease_ttl: Optional[float] = None
+    max_tasks: Optional[int] = None
+    wait_seconds: float = 10.0
+    exit_when_drained: bool = False
+
+
+class _Heartbeat:
+    """Daemon thread renewing one lease until stopped.
+
+    The ``lease`` fault site injects renewal stalls: a selected task's
+    heartbeat silently skips every renewal, the lease expires mid-run
+    and another worker takes the task over — the fleet-scale equivalent
+    of a hung pool worker.
+    """
+
+    def __init__(self, queue: WorkQueue, lease: Lease,
+                 stalled: bool = False) -> None:
+        self._queue = queue
+        self._lease = lease
+        self._stop = threading.Event()
+        self._stalled = stalled
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _run(self) -> None:
+        interval = max(0.05, self._lease.ttl / 3.0)
+        while not self._stop.wait(interval):
+            if self._stalled:
+                continue
+            renewed = self._queue.renew(self._lease)
+            if renewed is None:
+                # Taken over: keep computing (commitment settles it),
+                # stop touching the lease file.
+                return
+            self._lease = renewed
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def default_worker_id() -> str:
+    """A queue-unique worker name: ``<host>-<pid>``."""
+    try:
+        host = os.uname().nodename
+    except (AttributeError, OSError):  # pragma: no cover - non-posix
+        host = "worker"
+    return f"{host}-{os.getpid()}"
+
+
+def run_worker(options: WorkerOptions) -> int:
+    """Serve tasks from the queue until shutdown; the exit code.
+
+    Exit conditions: the controller's shutdown marker (0), ``max_tasks``
+    served (0), ``exit_when_drained`` with nothing left to claim (0), or
+    a ``KeyboardInterrupt``/SIGTERM propagating to the CLI (130 there).
+    Task failures never exit the worker: they are recorded as error
+    files for the controller to adjudicate, and the worker moves on.
+    """
+    logger = telemetry.get_logger("worker")
+    queue = WorkQueue.open(options.queue_dir,
+                           wait_seconds=options.wait_seconds)
+    worker_id = options.worker_id or default_worker_id()
+    ttl = options.lease_ttl if options.lease_ttl else queue.lease_ttl
+    header_flags = queue.flags
+    flags = TelemetryFlags(
+        metrics=bool(header_flags.get("metrics")),
+        profile=bool(header_flags.get("profile")),
+        spans=bool(header_flags.get("spans")),
+    )
+    fault_spec = env_fault_spec()
+    if fault_spec:
+        # Installed for the queue-site hooks (claim steals, lease
+        # stalls) evaluated between tasks; run_task re-installs its own
+        # copy around each execution and _serve_one reinstates this one.
+        configure_faults(fault_spec)
+    logger.info(f"worker {worker_id} serving {options.queue_dir}",
+                ttl=ttl, max_tasks=options.max_tasks)
+    served = 0
+    while True:
+        if queue.shutdown_requested():
+            logger.info(f"worker {worker_id} draining on shutdown marker",
+                        served=served)
+            return 0
+        progressed = False
+        for digest in queue.pending_digests():
+            if queue.shutdown_requested():
+                return 0
+            if queue.has_result(digest):
+                continue
+            item = queue.load_item(digest)
+            if item is None:
+                continue  # torn task file: quarantined, controller re-enqueues
+            lease = queue.claim(digest, worker_id, ttl=ttl)
+            if lease is None:
+                continue
+            progressed = True
+            served += 1
+            _serve_one(queue, item, lease, flags, fault_spec, logger)
+            if (options.max_tasks is not None
+                    and served >= options.max_tasks):
+                logger.info(f"worker {worker_id} exiting at --max-tasks",
+                            served=served)
+                return 0
+        if not progressed:
+            if options.exit_when_drained and not queue.pending_digests():
+                logger.info(f"worker {worker_id} drained the queue",
+                            served=served)
+                return 0
+            sleep(options.poll_interval)
+
+
+def _serve_one(queue: WorkQueue, item, lease: Lease,
+               flags: TelemetryFlags, fault_spec: str, logger) -> None:
+    """Execute one claimed task and commit/record its outcome."""
+    injector = get_injector()
+    stalled = (injector is not None
+               and injector.lease_stall(lease.key_digest, lease.attempt))
+    if stalled:
+        telemetry.get_registry().counter(
+            "queue.lease.stall_injected").inc()
+    heartbeat = _Heartbeat(queue, lease, stalled=stalled)
+    heartbeat.start()
+    try:
+        outcome = _run_with_injector(item.task, lease, flags,
+                                     queue, fault_spec)
+    except KeyboardInterrupt:
+        # SIGTERM/SIGINT mid-task: release so the task reassigns at
+        # once instead of after a TTL, then let the CLI exit 130.
+        heartbeat.stop()
+        queue.release(lease)
+        raise
+    # repro: allow[R004] worker boundary: every task failure becomes an error record for the controller to triage
+    except Exception as exc:
+        heartbeat.stop()
+        retryable = is_retryable(exc)
+        queue.record_error(lease.key_digest, lease.attempt,
+                           lease.worker, type(exc).__name__, str(exc),
+                           retryable)
+        queue.release(lease)
+        logger.warning(
+            f"task {task_identity(item.task)[0]} failed on attempt "
+            f"{lease.attempt} ({type(exc).__name__}); recorded for the "
+            "controller", retryable=retryable)
+        return
+    heartbeat.stop()
+    envelope = {
+        "magic": QUEUE_MAGIC,
+        "schema": QUEUE_SCHEMA,
+        "key_digest": lease.key_digest,
+        "worker": lease.worker,
+        "attempt": lease.attempt,
+        "elapsed": outcome.elapsed,
+        "result": outcome.result,
+        "metrics": outcome.metrics,
+        "profile": outcome.profile,
+        "spans": outcome.spans,
+    }
+    queue.commit_result(lease.key_digest, envelope)
+    queue.release(lease)
+
+
+def _run_with_injector(task, lease: Lease, flags: TelemetryFlags,
+                       queue: WorkQueue, fault_spec: str):
+    """:func:`run_task`, reinstating the worker's ambient injector.
+
+    ``run_task`` installs (and on exit clears) the process-wide fault
+    injector around each execution — correct for a throwaway pool
+    worker, but a queue worker keeps serving and its queue-site hooks
+    (claim steals, lease stalls) must stay armed between tasks.
+    """
+    try:
+        return run_task(task, lease.attempt, flags, queue.cache_dir,
+                        queue.cache_enabled, fault_spec)
+    finally:
+        if fault_spec:
+            configure_faults(fault_spec)

@@ -24,8 +24,11 @@ Write discipline (the same contract the pass cache pins):
 * the header is written once, atomically, via temp file + ``os.replace``;
 * entries are appended as single ``\\n``-terminated lines, flushed and
   fsynced per entry.  A crash can truncate at most the *last* line;
-  :meth:`RunJournal.load` ignores any line that does not parse, so a
-  torn write costs one recomputed task, never a misread journal.
+  :meth:`RunJournal.load` reads the file as raw bytes and skips any
+  line that does not decode or parse — truncating an entry at *any*
+  byte offset (including inside a multibyte UTF-8 sequence) costs one
+  recomputed task plus a ``checkpoint.journal.torn`` counter bump and a
+  warning, never a misread journal or a crashed ``--resume``.
 """
 
 from __future__ import annotations
@@ -48,6 +51,13 @@ JOURNAL_NAME = "journal.jsonl"
 
 #: The pass cache's directory inside a run directory.
 PASSES_DIR = "passes"
+
+
+def _fault_injector():
+    """The active chaos injector, if any (lazy import: tests/CI only)."""
+    from repro.testing.faults import get_injector
+
+    return get_injector()
 
 
 class RunJournal:
@@ -91,14 +101,21 @@ class RunJournal:
         schema) means a journal from another layout: it is renamed aside
         (``.stale``) and treated as empty, so resuming against it
         recomputes rather than trusting entries of unknown shape.
-        Unparseable trailing lines — a torn final write — are skipped.
+
+        Torn lines — a crash mid-append, at any byte offset — are
+        skipped, counted (``checkpoint.journal.torn``) and warned about.
+        The file is read as *bytes* and decoded per line: a truncation
+        inside a multibyte UTF-8 sequence used to raise
+        ``UnicodeDecodeError`` out of ``--resume``; now it is just one
+        more torn line.
         """
         self._completed.clear()
         spans = telemetry.get_spans()
+        torn = 0
         with spans.span("checkpoint.load", path=self.path):
             try:
-                with open(self.path, "r", encoding="utf-8") as handle:
-                    lines = handle.read().splitlines()
+                with open(self.path, "rb") as handle:
+                    lines = handle.read().split(b"\n")
             except FileNotFoundError:
                 return 0
             if not lines or not self._valid_header(lines[0]):
@@ -112,24 +129,36 @@ class RunJournal:
                     pass
                 return 0
             for line in lines[1:]:
+                if not line.strip():
+                    continue
                 try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
-                    # torn trailing write: at most one, costs a recompute
+                    entry = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    torn += 1
                     continue
                 digest = (entry.get("key_sha")
                           if isinstance(entry, dict) else None)
-                if digest:
-                    self._completed[digest] = entry
+                if not digest:
+                    torn += 1
+                    continue
+                self._completed[digest] = entry
+        if torn:
+            telemetry.get_registry().counter(
+                "checkpoint.journal.torn").inc(torn)
+            spans.event("checkpoint.torn_lines", count=torn,
+                        path=self.path)
+            telemetry.get_logger("checkpoint").warning(
+                f"skipped {torn} torn journal line(s); the affected "
+                "task(s) will recompute", path=self.path)
         if self._completed:
             spans.event("checkpoint.resumed", completed=len(self._completed))
         return len(self._completed)
 
     @staticmethod
-    def _valid_header(line: str) -> bool:
+    def _valid_header(line) -> bool:
         try:
             header = json.loads(line)
-        except json.JSONDecodeError:
+        except (UnicodeDecodeError, json.JSONDecodeError):
             return False
         return (isinstance(header, dict)
                 and header.get("magic") == JOURNAL_MAGIC
@@ -182,7 +211,16 @@ class RunJournal:
         if elapsed is not None:
             entry["elapsed_s"] = round(elapsed, 3)
         self._ensure_open()
-        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        injector = _fault_injector()
+        if injector is not None and injector.should_tear(
+                "journal-write", digest):
+            # Chaos hook: "crash" mid-append — a newline-less prefix
+            # lands on disk.  This run keeps its in-memory completion
+            # (matching a real crash, where the process is gone); a
+            # resume must skip the torn line and recompute the task.
+            line = line[: max(1, len(line) // 2)]
+        self._handle.write(line)
         self._handle.flush()
         os.fsync(self._handle.fileno())
         self._completed[digest] = entry

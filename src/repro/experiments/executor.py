@@ -1,66 +1,47 @@
-"""Parallel execution engine for experiment simulation passes.
+"""Execution engine front-end: planning, dedup, resume and routing.
 
 ``generate_report`` (and ``repro-mnm run/all``) used to execute every
 (workload × hierarchy × design-set) simulation strictly serially, even
-though the passes are embarrassingly parallel.  This module fans the
-independent tasks planned by :mod:`repro.experiments.planning` out across
-a :class:`concurrent.futures.ProcessPoolExecutor` and merges the results
-back deterministically:
+though the passes are embarrassingly parallel.  This module plans the
+independent tasks (:mod:`repro.experiments.planning`), deduplicates
+them by cache key, skips whatever the pass cache / run journal already
+holds, and hands the remainder to a pluggable
+:class:`~repro.experiments.backends.base.ExecutorBackend`:
 
-* each worker computes a :class:`~repro.simulate.ReferencePassResult` /
-  :class:`~repro.simulate.WorkloadRun` through the same memoised entry
-  points the serial path uses, and returns it together with snapshots of
-  its local telemetry registry/profiler;
-* the parent seeds its in-process pass cache with the returned results
-  (so the subsequent serial experiment loop is all cache hits) and folds
-  the telemetry snapshots into its own instruments **in task-submission
-  order**, so ``--metrics-out`` counter totals are identical to a serial
-  run's.
+* :class:`~repro.experiments.backends.inprocess.InProcessBackend` for
+  ``--jobs 1`` — serial, with the retry policy applied in-process;
+* :class:`~repro.experiments.backends.pool.PoolBackend` for
+  ``--jobs N`` — a local process pool with pool-rebuild/timeout/serial-
+  degradation handling;
+* :class:`~repro.experiments.backends.distributed.DistributedBackend`
+  for ``--backend distributed`` — a filesystem work queue served by
+  crash-safe ``repro-mnm worker`` processes claiming tasks via leases.
 
 Determinism contract: the simulations are pure functions of their task
-spec, workers neither share state nor depend on scheduling, and the
-parent consumes results in a fixed order — so the same settings produce
-a bit-identical report for any ``--jobs`` value.  (Wall-clock profiler
-*timings* naturally vary between runs; the profiled unit counts do not.)
+spec, workers neither share state nor depend on scheduling, and every
+backend consumes results in a fixed (submission) order — so the same
+settings produce a bit-identical report for any ``--jobs`` value and
+any backend.  (Wall-clock profiler *timings* naturally vary between
+runs; the profiled unit counts do not.)
 
 Failure handling (see :mod:`repro.experiments.resilience` for policy):
+a task raising a *retryable* error is retried with deterministic
+backoff up to the policy's attempt budget — by the retry loop
+in-process, by pool rebuilds on the pool backend, by lease-expiry
+reassignment on the distributed backend; *fatal* errors abort the run
+wrapped in a :class:`~repro.experiments.resilience.TaskExecutionError`
+that names the task.  With a run journal
+(:mod:`repro.experiments.checkpoint`), every completed task is durably
+recorded the moment it finishes, so an interrupted run resumed with
+``--resume`` recomputes only unfinished work.
 
-* a task that raises a *retryable* error (transient worker death,
-  ``BrokenProcessPool``, a ``--task-timeout`` expiry, an injected chaos
-  fault) is retried with deterministic exponential backoff, up to the
-  policy's attempt budget; *fatal* errors (bad config, planning bugs)
-  abort immediately, wrapped in a :class:`~repro.experiments.resilience.
-  TaskExecutionError` that names the task;
-* a broken or hung pool is torn down (hung workers are terminated), the
-  pool is rebuilt, and only the still-incomplete tasks are resubmitted —
-  completed results are never recomputed;
-* after ``max_pool_failures`` *consecutive* pool collapses the engine
-  degrades to in-process serial execution for the remaining tasks, with
-  a logged warning, instead of crashing the run;
-* with a run journal (:mod:`repro.experiments.checkpoint`), every
-  completed task is durably recorded the moment it finishes, so an
-  interrupted run resumed with ``--resume`` recomputes only unfinished
-  work.
-
-Because retries re-execute a task from scratch and telemetry snapshots
-are only merged for *successful* outcomes, a run that weathered faults
-still reports the same counter totals — and the same report bytes — as a
-fault-free one.
-
-The engine's own health is observable through ``executor.*`` counters:
-``executor.tasks.completed`` / ``.retried`` / ``.timeout`` / ``.failed``
-/ ``.recovered`` (succeeded after at least one retry) / ``.resumed``
-(skipped via the journal), plus ``executor.pool.broken`` /
-``.rebuilds`` and ``executor.serial_fallback``.
-
-When the parent has a live span recorder (``--run-dir``), workers record
-their own ``task.*`` spans, the snapshots travel back with the results,
-and the parent folds them in — with ``task``/``attempt``/``worker``
-attribution stamped on — in submission order; retries, timeouts, pool
-rebuilds and serial degradation additionally surface as span *events*,
-so the run manifest shows not just totals but which task stalled and
-how many tries it took.  Span timings are wall-clock and, like the
-``executor.*`` counters, excluded from the byte-identity contract.
+The engine's own health is observable through ``executor.*`` counters
+(``executor.tasks.completed`` / ``.retried`` / ``.timeout`` /
+``.failed`` / ``.recovered`` / ``.resumed``, ``executor.pool.broken`` /
+``.rebuilds``, ``executor.serial_fallback``,
+``executor.serial.deadline_exceeded``) and, on the distributed backend,
+``queue.*`` counters — all excluded from the byte-identity contract,
+exactly like span timings.
 
 Decision tracing (``--trace-out``) is the one telemetry piece that is
 not parallel-safe — records from concurrent workers would interleave
@@ -70,28 +51,28 @@ nondeterministically — so the CLI forces ``--jobs 1`` when it is on.
 from __future__ import annotations
 
 import os
-import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import ProcessPoolExecutor  # noqa: F401  (test seam)
+from dataclasses import replace
+from typing import List, Optional, Sequence
 
 from repro import telemetry
+from repro.experiments.backends.base import ExecutorBackend, task_identity
+from repro.experiments.backends.inprocess import (
+    InProcessBackend,
+    execute_one_serial,
+)
+from repro.experiments.backends.pool import PoolBackend, run_task
 from repro.experiments.base import ExperimentSettings
 from repro.experiments.checkpoint import RunJournal
-from repro.experiments.passcache import configure_pass_cache, get_pass_cache
+from repro.experiments.passcache import get_pass_cache
 from repro.experiments.planning import Task
-from repro.experiments.resilience import (
-    ExecutionPolicy,
-    TaskExecutionError,
-    is_retryable,
-)
-from repro.testing.faults import (
-    configure_faults,
-    get_injector,
-    resolve_fault_spec,
-)
+from repro.experiments.resilience import ExecutionPolicy
+from repro.testing.faults import configure_faults, resolve_fault_spec
+
+#: Backwards-compatible aliases for the pre-backend private surface.
+_task_identity = task_identity
+_run_task = run_task
+_execute_one_serial = execute_one_serial
 
 
 def default_jobs() -> int:
@@ -114,363 +95,24 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
-@dataclass(frozen=True)
-class _TelemetryFlags:
-    """Which telemetry pieces workers should record for the parent."""
-
-    metrics: bool
-    profile: bool
-    spans: bool = False
-
-
-@dataclass
-class _TaskOutcome:
-    """What a worker hands back for one executed task."""
-
-    result: Any
-    metrics: Optional[dict]
-    profile: Optional[Dict[str, dict]]
-    elapsed: float = 0.0
-    spans: Optional[dict] = None
-
-
-def _task_identity(task: Task) -> Tuple[str, str, str]:
-    """``(task_id, kind, experiment)`` for span/ledger attribution.
-
-    Duck-typed on purpose: the executor's task contract is
-    ``cache_key``/``describe``/``execute``, and test doubles exercising
-    retry/timeout paths implement exactly that.  Attribution falls back
-    to a digest of the cache key rather than demanding the richer
-    :class:`~repro.experiments.planning.PassTask` surface.
-    """
-    getter = getattr(task, "task_id", None)
-    if getter is not None:
-        task_id = getter()
-    else:
-        from repro.experiments.passcache import key_digest
-        from repro.experiments.planning import TASK_ID_CHARS
-
-        task_id = key_digest(task.cache_key())[:TASK_ID_CHARS]
-    return (task_id,
-            getattr(task, "kind", "task"),
-            getattr(task, "experiment_id", "?"))
-
-
-def _run_task(
-    task: Task,
-    attempt: int,
-    flags: _TelemetryFlags,
-    cache_dir: Optional[str],
-    cache_enabled: bool,
-    fault_spec: str = "",
-) -> _TaskOutcome:
-    """Worker entry point: execute one task with local telemetry.
-
-    Runs in the pool process.  The worker gets its own registry/profiler
-    (and span recorder when the parent is building a run manifest) so the
-    returned snapshots contain exactly this task's recordings, and its
-    own pass cache configured like the parent's — with a shared
-    ``--cache-dir`` the worker itself persists the result to disk.  The
-    fault spec and attempt number are forwarded explicitly so chaos
-    injection works under any multiprocessing start method and converges
-    as the parent retries.
-    """
-    configure_pass_cache(cache_dir=cache_dir, enabled=cache_enabled)
-    injector = configure_faults(fault_spec) if fault_spec else None
-    registry = telemetry.enable_metrics() if flags.metrics else None
-    profiler = telemetry.enable_profiling() if flags.profile else None
-    spans = telemetry.enable_spans() if flags.spans else None
-    try:
-        if injector is not None:
-            injector.set_attempt(attempt)
-            injector.on_task_start(task.cache_key(), attempt)
-        started = time.perf_counter()
-        task_id, kind, experiment = _task_identity(task)
-        with telemetry.get_spans().span(
-                f"task.{kind}", task=task_id, attempt=attempt,
-                experiment=experiment):
-            result = task.execute()
-        return _TaskOutcome(
-            result=result,
-            metrics=registry.snapshot() if registry is not None else None,
-            profile=profiler.snapshot() if profiler is not None else None,
-            elapsed=time.perf_counter() - started,
-            spans=spans.snapshot() if spans is not None else None,
-        )
-    finally:
-        telemetry.reset()
-        if fault_spec:
-            configure_faults(None)
-
-
-def _sleep(seconds: float) -> None:
-    if seconds > 0:
-        time.sleep(seconds)
-
-
-def _terminate_pool(pool: ProcessPoolExecutor) -> None:
-    """Abandon a pool that may contain hung or dead workers.
-
-    ``shutdown(wait=True)`` would block forever on a hung worker, so the
-    teardown cancels queued work and terminates any process still alive.
-    (``_processes`` is private API, hence the defensive ``getattr`` — a
-    missing attribute degrades to plain shutdown, never to a crash.)
-    """
-    processes = list(getattr(pool, "_processes", {}).values())
-    pool.shutdown(wait=False, cancel_futures=True)
-    for process in processes:
-        try:
-            if process.is_alive():
-                process.terminate()
-        except OSError:
-            pass
-
-
-def _execute_one_serial(
-    task: Task,
-    policy: ExecutionPolicy,
-    journal: Optional[RunJournal],
-    start_attempt: int = 1,
-) -> None:
-    """Run one task in-process with the retry policy applied.
-
-    Used by the ``jobs == 1`` path and by the serial-degradation
-    fallback.  Failures carry the task's identity (experiment id,
-    workload, hierarchy) via :class:`TaskExecutionError`, so one dead
-    task out of hundreds is diagnosable from the message alone.
-    ``KeyboardInterrupt`` passes through untouched — the journal and
-    disk cache only ever contain fully-written entries, so Ctrl-C here
-    is always resumable.
-    """
-    registry = telemetry.get_registry()
-    spans = telemetry.get_spans()
-    key = task.cache_key()
-    task_id, kind, experiment = _task_identity(task)
-    attempt = start_attempt
-    while True:
-        injector = get_injector()
-        if injector is not None:
-            injector.set_attempt(attempt)
-        try:
-            if injector is not None:
-                injector.on_task_start(key, attempt)
-            started = time.perf_counter()
-            with spans.span(f"task.{kind}", task=task_id,
-                            attempt=attempt, experiment=experiment):
-                task.execute()
-        # repro: allow[R004] is_retryable() triages every failure; fatal ones re-raise as TaskExecutionError
-        except Exception as exc:
-            if not is_retryable(exc) or attempt >= policy.retry.max_attempts:
-                registry.counter("executor.tasks.failed").inc()
-                spans.event("executor.failed", task=task_id, attempt=attempt)
-                raise TaskExecutionError(task.describe(), attempt, exc) from exc
-            registry.counter("executor.tasks.retried").inc()
-            spans.event("executor.retry", task=task_id, attempt=attempt)
-            _sleep(policy.retry.delay(key, attempt))
-            attempt += 1
-            continue
-        if attempt > 1:
-            registry.counter("executor.tasks.recovered").inc()
-        registry.counter("executor.tasks.completed").inc()
-        elapsed = time.perf_counter() - started
-        spans.record_task(task_id, task.describe(), attempt,
-                          elapsed=elapsed, worker="serial")
-        if journal is not None:
-            journal.record(key, task.describe(), elapsed=elapsed)
-        return
-
-
-def _execute_parallel(
-    pending: List[Task],
-    jobs: int,
-    policy: ExecutionPolicy,
-    journal: Optional[RunJournal],
-    fault_spec: str,
-) -> None:
-    """Fan tasks over worker pools until every one has completed.
-
-    One pool per *round*: a round submits every incomplete task, then
-    consumes results in submission order (the determinism contract).  A
-    pool-level failure — a broken pool, or a teardown forced by a task
-    exceeding ``task_timeout`` — ends the round; the pool is rebuilt and
-    only the still-incomplete tasks are resubmitted.  Every task sent
-    back to the queue after a pool failure is charged one attempt, both
-    so injected faults keyed on attempt numbers converge and so a
-    genuinely hung task cannot retry forever.
-    """
-    registry = telemetry.get_registry()
-    profiler = telemetry.get_profiler()
-    spans = telemetry.get_spans()
-    cache = get_pass_cache()
-    logger = telemetry.get_logger("executor")
-    flags = _TelemetryFlags(
-        metrics=registry.enabled,
-        profile=profiler.enabled,
-        spans=spans.enabled,
-    )
-    attempts: Dict[int, int] = {index: 1 for index in range(len(pending))}
-    incomplete: List[Tuple[int, Task]] = list(enumerate(pending))
-    pool_failures = 0
-
-    while incomplete:
-        if pool_failures >= policy.max_pool_failures:
-            registry.counter("executor.serial_fallback").inc()
-            spans.event("executor.serial_fallback",
-                        pool_failures=pool_failures,
-                        remaining=len(incomplete))
-            logger.warning(
-                "degrading to in-process serial execution after "
-                f"{pool_failures} consecutive pool failures",
-                remaining=len(incomplete))
-            for index, task in incomplete:
-                _execute_one_serial(task, policy, journal,
-                                    start_attempt=attempts[index])
-            return
-
-        pool = ProcessPoolExecutor(max_workers=min(jobs, len(incomplete)))
-        submitted: List[Tuple[int, Task, Any]] = []
-        next_round: List[Tuple[int, Task]] = []
-        pool_broken = False
-        timed_out = False
-        retry_delay = 0.0
-        aborted = False
-        try:
-            for index, task in incomplete:
-                try:
-                    future = pool.submit(
-                        _run_task, task, attempts[index], flags,
-                        cache.cache_dir, cache.enabled, fault_spec)
-                except (BrokenProcessPool, RuntimeError):
-                    pool_broken = True
-                    next_round.append((index, task))
-                    continue
-                submitted.append((index, task, future))
-
-            # Consume in submission order — merged telemetry and cache
-            # contents end up independent of worker scheduling.
-            for index, task, future in submitted:
-                key = task.cache_key()
-                task_id = _task_identity(task)[0]
-                if pool_broken or timed_out:
-                    # The pool is compromised: harvest only results that
-                    # already finished, never start a fresh wait.
-                    if not future.done():
-                        next_round.append((index, task))
-                        continue
-                try:
-                    outcome = future.result(timeout=policy.task_timeout)
-                except FutureTimeoutError:
-                    registry.counter("executor.tasks.timeout").inc()
-                    spans.event("executor.timeout", task=task_id,
-                                attempt=attempts[index])
-                    if attempts[index] >= policy.retry.max_attempts:
-                        registry.counter("executor.tasks.failed").inc()
-                        timed_out = True
-                        raise TaskExecutionError(
-                            task.describe(), attempts[index],
-                            TimeoutError(
-                                f"task exceeded the {policy.task_timeout}s "
-                                "task timeout on every attempt"))
-                    registry.counter("executor.tasks.retried").inc()
-                    timed_out = True
-                    next_round.append((index, task))
-                    continue
-                except BrokenProcessPool:
-                    registry.counter("executor.pool.broken").inc()
-                    spans.event("executor.pool_broken", task=task_id,
-                                attempt=attempts[index])
-                    pool_broken = True
-                    next_round.append((index, task))
-                    continue
-                # repro: allow[R004] is_retryable() triages worker failures; fatal ones re-raise as TaskExecutionError
-                except Exception as exc:
-                    # The task itself raised in the worker.
-                    if (not is_retryable(exc)
-                            or attempts[index] >= policy.retry.max_attempts):
-                        registry.counter("executor.tasks.failed").inc()
-                        spans.event("executor.failed", task=task_id,
-                                    attempt=attempts[index])
-                        aborted = True
-                        raise TaskExecutionError(
-                            task.describe(), attempts[index], exc) from exc
-                    registry.counter("executor.tasks.retried").inc()
-                    spans.event("executor.retry", task=task_id,
-                                attempt=attempts[index])
-                    retry_delay = max(
-                        retry_delay,
-                        policy.retry.delay(key, attempts[index]))
-                    attempts[index] += 1
-                    next_round.append((index, task))
-                    continue
-                cache.seed(key, outcome.result)
-                if journal is not None:
-                    journal.record(key, task.describe(),
-                                   elapsed=outcome.elapsed)
-                if outcome.metrics is not None:
-                    # Merged in submission order; the span ledger (below)
-                    # keeps the per-task attribution the aggregate merge
-                    # would otherwise lose.
-                    registry.merge_snapshot(outcome.metrics)
-                if outcome.profile is not None:
-                    profiler.merge_snapshot(outcome.profile)
-                if outcome.spans is not None:
-                    spans.merge_remote(outcome.spans, task=task_id,
-                                       attempt=attempts[index],
-                                       worker="pool")
-                spans.record_task(task_id, task.describe(),
-                                  attempts[index], elapsed=outcome.elapsed,
-                                  worker="pool")
-                if attempts[index] > 1:
-                    registry.counter("executor.tasks.recovered").inc()
-                registry.counter("executor.tasks.completed").inc()
-        except BaseException:
-            aborted = True
-            _terminate_pool(pool)
-            raise
-        finally:
-            if not aborted:
-                if pool_broken or timed_out:
-                    _terminate_pool(pool)
-                else:
-                    pool.shutdown(wait=True)
-
-        if pool_broken or timed_out:
-            pool_failures += 1
-            registry.counter("executor.pool.rebuilds").inc()
-            spans.event("executor.pool_rebuild",
-                        cause="broken pool" if pool_broken else "task timeout",
-                        resubmitted=len(next_round))
-            # Charge one attempt to everything going another round: the
-            # culprit cannot be told apart from tasks queued behind it,
-            # and a fresh pool re-runs them all from scratch anyway.
-            for index, _task in next_round:
-                attempts[index] += 1
-            logger.warning(
-                "worker pool failed; rebuilding and resubmitting "
-                f"{len(next_round)} incomplete tasks",
-                cause="broken pool" if pool_broken else "task timeout",
-                consecutive_failures=pool_failures)
-        else:
-            pool_failures = 0
-        _sleep(retry_delay)
-        incomplete = next_round
-
-
 def execute_tasks(
     tasks: Sequence[Task],
     jobs: int,
     policy: Optional[ExecutionPolicy] = None,
     journal: Optional[RunJournal] = None,
+    backend: Optional[ExecutorBackend] = None,
 ) -> int:
     """Run every not-yet-cached task and seed the pass cache.
 
     Tasks are deduplicated by cache key (experiments share passes —
     Figures 2 and 3, or the Figure 15/16/Table 2 baselines); tasks
     already cached — including those restored from a ``--resume`` run
-    directory's disk cache — are skipped, so the pool only sees genuinely
-    new work.  ``policy`` controls retries/timeouts/degradation (default:
-    3 attempts, no timeout); ``journal`` makes completion durable per
-    task.  Returns the number of tasks computed.
+    directory's disk cache — are skipped, so the backend only sees
+    genuinely new work.  ``policy`` controls retries/timeouts/
+    degradation (default: 3 attempts, no timeout); ``journal`` makes
+    completion durable per task; ``backend`` overrides the default
+    routing (``jobs == 1`` → in-process, else a local pool).  Returns
+    the number of tasks computed.
     """
     cache = get_pass_cache()
     if not cache.enabled:
@@ -493,7 +135,7 @@ def execute_tasks(
                     registry.counter("executor.tasks.resumed").inc()
                     # Attempt 0: never executed this run, replayed from
                     # the journal + pass cache.
-                    spans.record_task(_task_identity(task)[0],
+                    spans.record_task(task_identity(task)[0],
                                       task.describe(), 0, worker="resumed")
                 else:
                     # Present via a shared cache but not yet journaled:
@@ -504,18 +146,18 @@ def execute_tasks(
     if not pending:
         return 0
 
+    if backend is None:
+        jobs = max(1, min(jobs, len(pending)))
+        backend = (InProcessBackend() if jobs == 1
+                   else PoolBackend(jobs=jobs))
     fault_spec = resolve_fault_spec(pending[0].settings)
     if fault_spec:
         configure_faults(fault_spec)
     try:
-        jobs = max(1, min(jobs, len(pending)))
-        with spans.span("executor.execute", tasks=len(pending), jobs=jobs):
-            if jobs == 1:
-                # In-process fallback: one task, or an explicit --jobs 1.
-                for task in pending:
-                    _execute_one_serial(task, policy, journal)
-            else:
-                _execute_parallel(pending, jobs, policy, journal, fault_spec)
+        with spans.span("executor.execute", tasks=len(pending),
+                        backend=backend.name, jobs=jobs):
+            backend.execute(pending, policy=policy, journal=journal,
+                            fault_spec=fault_spec)
     finally:
         if fault_spec:
             configure_faults(None)
@@ -532,6 +174,7 @@ def plan_experiments(
     identity for error messages and the journal; cache keys stay
     structural, so shared passes still deduplicate across experiments.
     """
+    # repro: allow[R002] lazy import of the experiment table: planners live in the registry ring, and deferring the import keeps workers from loading the report stack
     from repro.experiments.registry import get_experiment
 
     tasks: List[Task] = []
@@ -551,6 +194,7 @@ def prefetch_experiments(
     jobs: int,
     policy: Optional[ExecutionPolicy] = None,
     journal: Optional[RunJournal] = None,
+    backend: Optional[ExecutorBackend] = None,
 ) -> int:
     """Precompute the selected experiments' passes with ``jobs`` workers.
 
@@ -561,4 +205,4 @@ def prefetch_experiments(
     """
     settings = settings or ExperimentSettings()
     return execute_tasks(plan_experiments(experiment_ids, settings), jobs,
-                         policy=policy, journal=journal)
+                         policy=policy, journal=journal, backend=backend)

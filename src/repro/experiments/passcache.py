@@ -16,9 +16,19 @@ Two tiers:
 * **disk** (optional, ``--cache-dir``) — one pickle per entry named by
   the fingerprint's SHA-256, wrapped in a schema-versioned envelope so a
   cache written by an older layout is rejected (treated as a miss), never
-  unpickled into the wrong shape.  Writes go through a temp file +
-  ``os.replace`` so concurrent writers (the parallel executor's workers)
-  can share one directory.
+  unpickled into the wrong shape.  The disk tier is a *shared store*
+  safe under concurrent multi-process writers — pool workers, queue
+  workers on other hosts, and the controller may all write the same
+  directory:
+
+  * writes land via temp file + ``os.link`` onto the final name —
+    atomic and **single-writer-wins**: the first fully-written envelope
+    for a key sticks, concurrent twins discard (keys are content
+    addresses, so twins carry identical payloads anyway);
+  * an entry that fails to read back (torn write, garbled bytes, stale
+    schema) is **quarantined** — renamed aside, counted, warned about —
+    so the slot is free for the recomputed result instead of wedging
+    every future run into recomputing forever.
 
 The process-wide instance is read with :func:`get_pass_cache` and
 swapped with :func:`configure_pass_cache` (the CLI's ``--cache-dir`` /
@@ -272,17 +282,33 @@ class PassCache:
     def _path_for(self, key: str) -> str:
         return os.path.join(self.cache_dir, f"{key_digest(key)}.pkl")
 
-    def _degraded(self, key: str, counter: str, reason: str) -> None:
+    def _degraded(self, key: str, counter: str, reason: str,
+                  quarantine: bool = True) -> None:
         """Make a disk-tier degradation observable, not silent.
 
         Corrupt or stale entries still (correctly) read as misses — but
         an operator watching a warm cache recompute everything deserves
         to know why.  One counter bump + one warning line per event.
+
+        ``quarantine`` additionally renames the bad file aside
+        (``.quarantine.<pid>``): under the single-writer-wins store a
+        corrupt entry squatting on the final name would otherwise block
+        the recomputed result from ever landing, turning one torn write
+        into a permanent recompute-every-run tax.
         """
         telemetry.get_registry().counter(f"cache.pass.disk.{counter}").inc()
         telemetry.get_logger("passcache").warning(
             f"disk cache entry degraded to a miss ({reason})",
             file=f"{key_digest(key)}.pkl")
+        if not quarantine:
+            return
+        path = self._path_for(key)
+        try:
+            os.replace(path, f"{path}.quarantine.{os.getpid()}")
+        except OSError:
+            return
+        telemetry.get_registry().counter(
+            "cache.pass.disk.quarantined").inc()
 
     def _disk_load(self, key: str) -> Optional[Any]:
         if not self.cache_dir:
@@ -294,20 +320,22 @@ class PassCache:
         except FileNotFoundError:
             return None  # an ordinary miss, not a degradation
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, MemoryError) as exc:
+                ImportError, IndexError, MemoryError, ValueError) as exc:
             self._degraded(key, "corrupt", f"unreadable: {type(exc).__name__}")
             return None
         if not isinstance(envelope, dict) or envelope.get("magic") != CACHE_MAGIC:
             self._degraded(key, "corrupt", "bad envelope")
             return None
         if envelope.get("schema") != SCHEMA_VERSION:
-            # written by another layout: miss, never misread
+            # written by another layout: miss, never misread; quarantined
+            # so this layout's recompute can claim the slot
             self._degraded(
                 key, "schema_mismatch",
                 f"schema {envelope.get('schema')!r} != {SCHEMA_VERSION}")
             return None
         if envelope.get("key") != key:
-            self._degraded(key, "corrupt", "key mismatch (digest collision)")
+            self._degraded(key, "corrupt", "key mismatch (digest collision)",
+                           quarantine=False)
             return None  # SHA-256 filename collision guard
         return envelope.get("payload")
 
@@ -331,7 +359,22 @@ class PassCache:
         try:
             with open(tmp_path, "wb") as handle:
                 handle.write(data)
-            os.replace(tmp_path, path)
+            try:
+                # Single-writer-wins commit: linking the fully-written
+                # temp file onto the final name either claims the slot
+                # atomically or fails because a concurrent writer (a
+                # twin worker computing the same pure pass) already did.
+                os.link(tmp_path, path)
+            except FileExistsError:
+                telemetry.get_registry().counter(
+                    "cache.pass.disk.write_race").inc()
+            except OSError:
+                # Filesystems without hard links (or cross-device
+                # layouts) fall back to the atomic-but-last-writer-wins
+                # rename; identical payloads make that equivalent.
+                os.replace(tmp_path, path)
+                return
+            os.unlink(tmp_path)
         except OSError:
             # a read-only or full cache directory degrades to memory-only
             try:

@@ -99,6 +99,7 @@ def generate_report(
     jobs: int = 1,
     policy=None,
     journal=None,
+    backend=None,
 ) -> str:
     """Run experiments and return the markdown report.
 
@@ -112,7 +113,9 @@ def generate_report(
     controls retries/timeouts/degradation; ``journal`` (a
     :class:`~repro.experiments.checkpoint.RunJournal`) records each
     completed pass durably so an interrupted report run can resume.  A
-    journaled run prefetches even with ``jobs=1``.
+    journaled run prefetches even with ``jobs=1``, as does an explicit
+    ``backend`` (an :class:`~repro.experiments.backends.base.
+    ExecutorBackend` — e.g. the distributed work-queue backend).
     """
     settings = settings or ExperimentSettings()
     if experiments is None:
@@ -122,13 +125,14 @@ def generate_report(
         ]
     logger = get_logger("report")
     spans = get_spans()
-    if jobs > 1 or journal is not None:
+    if jobs > 1 or journal is not None or backend is not None:
         from repro.experiments.executor import prefetch_experiments
 
         started = time.perf_counter()
         with spans.span("report.prefetch", jobs=jobs):
             computed = prefetch_experiments(experiments, settings, jobs,
-                                            policy=policy, journal=journal)
+                                            policy=policy, journal=journal,
+                                            backend=backend)
             if progress and computed:
                 # Progress lines carry the active span's name so
                 # ``repro-mnm obs show`` can align them to the timeline.

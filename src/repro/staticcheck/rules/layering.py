@@ -15,10 +15,26 @@ from a group above — e.g. ``workloads`` must not reach into
 embeddable without dragging in the experiment harness, and a worker
 process importing a task spec can never pull the whole CLI with it.
 
-Exempt: entry points (``cli.py`` / ``__main__.py``) and the package
-root ``repro/__init__.py`` — both are wiring that by design touch every
-layer.  ``if TYPE_CHECKING:`` imports are ignored (they do not exist at
-runtime; that is the sanctioned way to annotate downward-facing types).
+Inside ``repro.experiments`` a second, finer DAG applies — the rings::
+
+    base / planning / passcache / resilience      (foundations)
+    checkpoint                                    (journal over passcache)
+    backends                                      (execution strategies)
+    executor                                      (planning + routing)
+    registry / report / figures / tables / extensions   (presentation)
+
+The rings keep the execution engine honest: a backend (including a
+worker process importing its task spec from the queue) may pull the
+foundations, never the executor facade or the experiment registry — so
+``repro-mnm worker`` starts without dragging the figures/report stack
+into every fleet process.
+
+Exempt: entry points (``cli.py`` / ``__main__.py``), the package root
+``repro/__init__.py``, and package ``__init__`` facades at the ring
+level (``repro/experiments/__init__.py`` re-exports across rings by
+design).  ``if TYPE_CHECKING:`` imports are ignored (they do not exist
+at runtime; that is the sanctioned way to annotate downward-facing
+types).
 """
 
 from __future__ import annotations
@@ -49,6 +65,28 @@ LAYERS = {
     "staticcheck": 4,
 }
 
+#: Submodule -> ring rank inside ``repro.experiments``.  Same rank =
+#: same ring (imports allowed); an import may only point at the same
+#: ring or a lower one.  New submodules must be assigned a ring here.
+EXPERIMENTS_RINGS = {
+    "base": 0,
+    "planning": 0,
+    "passcache": 0,
+    "resilience": 0,
+    "checkpoint": 1,
+    "backends": 2,
+    "executor": 3,
+    "registry": 4,
+    "report": 4,
+    "figures": 4,
+    "tables": 4,
+    "extensions": 4,
+}
+
+
+#: Sentinel: an experiments submodule missing from EXPERIMENTS_RINGS.
+_UNASSIGNED_RING = object()
+
 
 class LayeringRule(Rule):
     """R002 — reject imports that point upward in the layer DAG."""
@@ -70,7 +108,19 @@ class LayeringRule(Rule):
                 hint="add it to LAYERS in "
                      "src/repro/staticcheck/rules/layering.py")
             return
-        for node, target in self._repro_imports(module):
+        ring = self._module_ring(module)
+        if ring is _UNASSIGNED_RING:
+            yield self.finding(
+                module, module.tree,
+                f"experiments submodule {module.module} has no ring "
+                "assignment",
+                hint="add it to EXPERIMENTS_RINGS in "
+                     "src/repro/staticcheck/rules/layering.py")
+            ring = None
+        for node, dotted in self._repro_imports(module):
+            target = _component_of(dotted)
+            if target is None:
+                continue
             target_rank = LAYERS.get(target)
             if target_rank is None:
                 if target:  # unknown component: flag, don't guess a rank
@@ -87,30 +137,82 @@ class LayeringRule(Rule):
                     f"{component!r} (layer {rank}) imports "
                     f"repro.{target} (layer {target_rank}) — an upward "
                     "edge in the layer DAG")
+                continue
+            if (ring is not None and component == "experiments"
+                    and target == "experiments"):
+                yield from self._check_ring_edge(module, node, dotted, ring)
+
+    def _module_ring(self, module: ModuleInfo):
+        """This module's experiments ring, None (exempt), or unassigned.
+
+        Package ``__init__`` facades inside experiments are exempt: they
+        re-export across rings so callers get one import surface.
+        """
+        parts = (module.module or "").split(".")
+        if len(parts) < 3 or parts[1] != "experiments":
+            return None
+        if os.path.basename(module.path) == "__init__.py":
+            return None
+        sub = parts[2]
+        rank = EXPERIMENTS_RINGS.get(sub)
+        return _UNASSIGNED_RING if rank is None else rank
+
+    def _check_ring_edge(self, module: ModuleInfo, node: ast.AST,
+                         dotted: str, ring: int) -> Iterator[Finding]:
+        """Flag upward edges between experiments rings."""
+        parts = dotted.split(".")
+        if len(parts) >= 3:
+            subs = [parts[2]]
+        elif isinstance(node, ast.ImportFrom) and not node.level:
+            # ``from repro.experiments import X``: only names that *are*
+            # ringed submodules can be classified; plain symbols come
+            # through the facade and are exempt like the facade itself.
+            subs = [alias.name for alias in node.names
+                    if alias.name in EXPERIMENTS_RINGS]
+        else:
+            subs = []
+        for sub in subs:
+            target_ring = EXPERIMENTS_RINGS.get(sub)
+            if target_ring is None:
+                if sub not in ("cli", "__main__"):
+                    yield self.finding(
+                        module, node,
+                        f"import of unclassified experiments submodule "
+                        f"repro.experiments.{sub}",
+                        hint="add it to EXPERIMENTS_RINGS in "
+                             "src/repro/staticcheck/rules/layering.py")
+                else:
+                    yield self.finding(
+                        module, node,
+                        f"library code imports the entry point "
+                        f"repro.experiments.{sub}")
+                continue
+            if target_ring > ring:
+                yield self.finding(
+                    module, node,
+                    f"experiments ring {ring} module imports "
+                    f"repro.experiments.{sub} (ring {target_ring}) — an "
+                    "upward edge between experiments rings")
 
     @staticmethod
     def _repro_imports(
         module: ModuleInfo,
     ) -> List[Tuple[ast.AST, str]]:
-        """(node, top-level component) for every runtime repro import."""
+        """(node, absolute dotted target) for every runtime repro import."""
         edges: List[Tuple[ast.AST, str]] = []
         is_package = os.path.basename(module.path) == "__init__.py"
         for node in walk_runtime(module.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
-                    component = _component_of(alias.name)
-                    if component is not None:
-                        edges.append((node, component))
+                    if alias.name.split(".", 1)[0] == "repro":
+                        edges.append((node, alias.name))
             elif isinstance(node, ast.ImportFrom):
                 if node.level:
                     # Relative import: resolve against this module.
                     base = _resolve_relative(module.module, is_package,
                                              node.level, node.module)
-                    if base is None:
-                        continue
-                    component = _component_of(base)
-                    if component is not None:
-                        edges.append((node, component))
+                    if base is not None and base.split(".", 1)[0] == "repro":
+                        edges.append((node, base))
                     continue
                 if node.module is None:
                     continue
@@ -118,11 +220,10 @@ class LayeringRule(Rule):
                     # ``from repro import simulate`` names components
                     # directly.
                     for alias in node.names:
-                        edges.append((node, alias.name))
+                        edges.append((node, f"repro.{alias.name}"))
                     continue
-                component = _component_of(node.module)
-                if component is not None:
-                    edges.append((node, component))
+                if node.module.split(".", 1)[0] == "repro":
+                    edges.append((node, node.module))
         return edges
 
 

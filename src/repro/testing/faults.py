@@ -28,15 +28,31 @@ one object or a list — or a bare kind name as shorthand::
 
 Sites and kinds:
 
-=============  ==============================================================
-``task``       around each simulation task (worker and serial paths alike):
-               ``raise`` (an :class:`InjectedFault`, classified retryable),
-               ``hang`` (sleep ``hang_seconds``, for timeout tests),
-               ``exit`` (``os._exit`` — kills the worker, breaks the pool),
-               ``interrupt`` (``KeyboardInterrupt``, for Ctrl-C tests)
-``cache-write``in the pass cache's disk store: ``corrupt`` truncates and
-               garbles the envelope bytes actually written
-=============  ==============================================================
+=================  ==========================================================
+``task``           around each simulation task (pool worker, queue worker
+                   and serial paths alike): ``raise`` (an
+                   :class:`InjectedFault`, classified retryable), ``hang``
+                   (sleep ``hang_seconds``, for timeout tests), ``exit``
+                   (``os._exit`` — kills the worker, breaks the pool),
+                   ``interrupt`` (``KeyboardInterrupt``, for Ctrl-C tests),
+                   ``sigkill`` (``SIGKILL`` to the executing process — the
+                   fleet-scale crash: no cleanup, no release, the lease
+                   must lapse)
+``cache-write``    in the pass cache's disk store: ``corrupt`` truncates
+                   and garbles the envelope bytes actually written
+``lease``          in a queue worker's heartbeat: ``stall`` skips every
+                   renewal for the selected task, so the lease expires
+                   mid-execution and another worker takes it over
+``claim``          in the work queue's claim path: ``steal`` treats a live
+                   lease as expired — a forced duplicate-claim race that
+                   first-writer-wins result commitment must absorb
+``queue-write``    in the work queue's task-file writer: ``torn`` writes
+                   only a prefix of the bytes (a controller crash
+                   mid-enqueue); readers must quarantine, never trust
+``journal-write``  in the run journal's appender: ``torn`` appends a
+                   truncated, newline-less entry (a crash mid-append);
+                   ``--resume`` must skip it, count it and recompute
+=================  ==========================================================
 """
 
 from __future__ import annotations
@@ -44,6 +60,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import signal
 import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
@@ -51,11 +68,25 @@ from typing import Optional, Tuple
 from repro.experiments.resilience import TransientTaskError
 
 #: Hook sites production code exposes.
-SITES = ("task", "cache-write")
+SITES = ("task", "cache-write", "lease", "claim", "queue-write",
+         "journal-write")
 
 #: Fault kinds, per site.
-TASK_KINDS = ("raise", "hang", "exit", "interrupt")
+TASK_KINDS = ("raise", "hang", "exit", "interrupt", "sigkill")
 CACHE_KINDS = ("corrupt",)
+LEASE_KINDS = ("stall",)
+CLAIM_KINDS = ("steal",)
+TORN_KINDS = ("torn",)
+
+#: site -> legal kinds (shorthand parsing and spec validation).
+SITE_KINDS = {
+    "task": TASK_KINDS,
+    "cache-write": CACHE_KINDS,
+    "lease": LEASE_KINDS,
+    "claim": CLAIM_KINDS,
+    "queue-write": TORN_KINDS,
+    "journal-write": TORN_KINDS,
+}
 
 
 class InjectedFault(TransientTaskError):
@@ -99,7 +130,7 @@ class FaultSpec:
         if self.site not in SITES:
             raise ValueError(f"unknown fault site {self.site!r}; "
                              f"expected one of {SITES}")
-        kinds = TASK_KINDS if self.site == "task" else CACHE_KINDS
+        kinds = SITE_KINDS[self.site]
         if self.kind not in kinds:
             raise ValueError(f"unknown fault kind {self.kind!r} for site "
                              f"{self.site!r}; expected one of {kinds}")
@@ -143,8 +174,15 @@ def parse_fault_spec(text: str) -> Tuple[FaultSpec, ...]:
             return (FaultSpec(site="task", kind=text),)
         if text in CACHE_KINDS:
             return (FaultSpec(site="cache-write", kind=text),)
+        if text in LEASE_KINDS:
+            return (FaultSpec(site="lease", kind=text),)
+        if text in CLAIM_KINDS:
+            return (FaultSpec(site="claim", kind=text),)
+        # "torn" is ambiguous between queue-write and journal-write, so
+        # it has no shorthand: spell the site out in JSON.
         raise ValueError(f"unknown fault shorthand {text!r}; expected one "
-                         f"of {TASK_KINDS + CACHE_KINDS} or a JSON spec")
+                         f"of {TASK_KINDS + CACHE_KINDS + LEASE_KINDS + CLAIM_KINDS} "
+                         "or a JSON spec")
     try:
         data = json.loads(text)
     except json.JSONDecodeError as exc:
@@ -197,11 +235,45 @@ class FaultInjector:
                     f"injected interrupt (attempt {attempt})")
             elif spec.kind == "exit":
                 os._exit(spec.exit_code)
+            elif spec.kind == "sigkill":
+                # The fleet-scale crash: the kernel reaps the process
+                # before any finally/atexit runs.  A queue worker's lease
+                # stops renewing and must lapse; a pool worker breaks
+                # the pool exactly like ``exit`` does.
+                os.kill(os.getpid(), signal.SIGKILL)
 
     def should_corrupt(self, key: str) -> bool:
         """The ``cache-write`` site: whether to garble this write."""
         return any(
             spec.site == "cache-write" and spec.fires(key, self.attempt)
+            for spec in self.specs
+        )
+
+    def should_tear(self, site: str, key: str,
+                    attempt: Optional[int] = None) -> bool:
+        """The ``queue-write``/``journal-write`` sites: truncate this write?"""
+        attempt = self.attempt if attempt is None else attempt
+        return any(
+            spec.site == site and spec.kind == "torn"
+            and spec.fires(key, attempt)
+            for spec in self.specs
+        )
+
+    def lease_stall(self, key: str, attempt: Optional[int] = None) -> bool:
+        """The ``lease`` site: should this task's heartbeat stop renewing?"""
+        attempt = self.attempt if attempt is None else attempt
+        return any(
+            spec.site == "lease" and spec.kind == "stall"
+            and spec.fires(key, attempt)
+            for spec in self.specs
+        )
+
+    def claim_steal(self, key: str, attempt: Optional[int] = None) -> bool:
+        """The ``claim`` site: treat a live lease as expired?"""
+        attempt = self.attempt if attempt is None else attempt
+        return any(
+            spec.site == "claim" and spec.kind == "steal"
+            and spec.fires(key, attempt)
             for spec in self.specs
         )
 

@@ -1,0 +1,204 @@
+"""Distributed-backend tests: byte-identity, chaos convergence, abort.
+
+The acceptance gate of the distributed farm, at unit level: a run
+fanned out over real worker subprocesses — even with every first
+attempt SIGKILLed — must seed the pass cache with exactly the payloads
+a serial in-process run computes, and its merged simulation counters
+must match the serial run's (``executor.*`` / ``queue.*`` /
+``checkpoint.*`` / ``cache.*`` health counters excluded, per the
+byte-identity contract).
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro import telemetry
+from repro.experiments.backends.distributed import DistributedBackend
+from repro.experiments.backends.queue import WorkItem, WorkQueue
+from repro.experiments.backends.worker import WorkerOptions, run_worker
+from repro.experiments.base import ExperimentSettings
+from repro.experiments.executor import execute_tasks, plan_experiments
+from repro.experiments.passcache import (
+    configure_pass_cache,
+    get_pass_cache,
+    key_digest,
+)
+from repro.experiments.resilience import (
+    ExecutionPolicy,
+    RetryPolicy,
+    TaskExecutionError,
+)
+from repro.testing.faults import configure_faults
+
+TINY = ExperimentSettings(num_instructions=4000, warmup_fraction=0.25,
+                          workloads=("twolf",))
+FAST = ExecutionPolicy(retry=RetryPolicy(max_attempts=3, backoff_base=0.0))
+
+#: Health-counter prefixes excluded from the byte-identity contract.
+HEALTH_PREFIXES = ("executor.", "queue.", "checkpoint.", "cache.")
+
+
+@pytest.fixture(autouse=True)
+def fresh_state(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    configure_pass_cache()
+    configure_faults(None)
+    telemetry.reset()
+    yield
+    configure_faults(None)
+    configure_pass_cache()
+    telemetry.reset()
+
+
+def sim_counters() -> dict:
+    counters = telemetry.get_registry().snapshot()["counters"]
+    return {name: value for name, value in counters.items()
+            if not name.startswith(HEALTH_PREFIXES)}
+
+
+def serial_reference(tasks, cache_dir):
+    """Payloads + filtered counters of a clean in-process serial run."""
+    telemetry.reset()
+    telemetry.enable_metrics()
+    configure_pass_cache(cache_dir=str(cache_dir))
+    assert execute_tasks(tasks, jobs=1, policy=FAST) == len(tasks)
+    cache = get_pass_cache()
+    payloads = {task.cache_key(): pickle.dumps(cache.lookup(task.cache_key()))
+                for task in tasks}
+    return payloads, sim_counters()
+
+
+def distributed_run(tasks, cache_dir, queue_dir, workers=2, **kwargs):
+    """Payloads + filtered counters of a distributed run."""
+    telemetry.reset()
+    telemetry.enable_metrics()
+    configure_pass_cache(cache_dir=str(cache_dir))
+    backend = DistributedBackend(str(queue_dir), workers=workers,
+                                 poll_interval=0.05, **kwargs)
+    assert execute_tasks(tasks, jobs=1, policy=FAST,
+                         backend=backend) == len(tasks)
+    cache = get_pass_cache()
+    payloads = {task.cache_key(): pickle.dumps(cache.lookup(task.cache_key()))
+                for task in tasks}
+    return payloads, sim_counters()
+
+
+class TestByteIdentity:
+    def test_clean_distributed_run_matches_serial(self, tmp_path):
+        tasks = plan_experiments(["fig02"], TINY)[:3]
+        want_payloads, want_counters = serial_reference(
+            tasks, tmp_path / "serial-cache")
+        got_payloads, got_counters = distributed_run(
+            tasks, tmp_path / "dist-cache", tmp_path / "queue")
+        assert got_payloads == want_payloads
+        assert got_counters == want_counters
+
+    def test_sigkill_chaos_converges_to_the_same_bytes(
+            self, tmp_path, monkeypatch):
+        tasks = plan_experiments(["fig02"], TINY)[:2]
+        want_payloads, want_counters = serial_reference(
+            tasks, tmp_path / "serial-cache")
+        # Every task's first attempt SIGKILLs its worker mid-claim; the
+        # lease lapses, the controller respawns, attempt 2 succeeds.
+        monkeypatch.setenv("REPRO_FAULTS", json.dumps(
+            {"site": "task", "kind": "sigkill", "fail_attempts": 1}))
+        got_payloads, got_counters = distributed_run(
+            tasks, tmp_path / "dist-cache", tmp_path / "queue",
+            workers=2, lease_ttl=0.75)
+        assert got_payloads == want_payloads
+        assert got_counters == want_counters
+        registry = telemetry.get_registry()
+        assert registry.counter("executor.tasks.recovered").value == len(tasks)
+        assert registry.counter("queue.worker.respawned").value >= 1
+
+
+class TestResume:
+    def test_journal_resumed_continuation_recomputes_only_new_work(
+            self, tmp_path):
+        """An interrupted distributed run continues where it stopped."""
+        from repro.experiments.checkpoint import RunJournal
+
+        tasks = plan_experiments(["fig02"], TINY)[:3]
+        run_dir = str(tmp_path / "run")
+        cache_dir = RunJournal.passes_dir(run_dir)
+        # First (interrupted) run: only two of the three tasks finish.
+        telemetry.reset()
+        telemetry.enable_metrics()
+        configure_pass_cache(cache_dir=cache_dir)
+        with RunJournal.open(run_dir) as journal:
+            backend = DistributedBackend(str(tmp_path / "q1"), workers=1,
+                                         poll_interval=0.05)
+            assert execute_tasks(tasks[:2], jobs=1, policy=FAST,
+                                 journal=journal, backend=backend) == 2
+        # The continuation: same run dir, the full task list.
+        telemetry.reset()
+        telemetry.enable_metrics()
+        configure_pass_cache(cache_dir=cache_dir)
+        with RunJournal.open(run_dir) as journal:
+            assert len(journal) == 2
+            backend = DistributedBackend(str(tmp_path / "q2"), workers=1,
+                                         poll_interval=0.05)
+            assert execute_tasks(tasks, jobs=1, policy=FAST,
+                                 journal=journal, backend=backend) == 1
+            assert all(journal.is_complete(task.cache_key())
+                       for task in tasks)
+        registry = telemetry.get_registry()
+        assert registry.counter("executor.tasks.resumed").value == 2
+        assert registry.counter("executor.tasks.completed").value == 1
+
+
+class TestMergeOnly:
+    def test_workers_zero_merges_precommitted_envelopes(self, tmp_path):
+        """An external fleet can serve the queue; the controller merges."""
+        tasks = plan_experiments(["fig02"], TINY)[:2]
+        queue_dir = str(tmp_path / "queue")
+        queue = WorkQueue.create(queue_dir,
+                                 cache_dir=str(tmp_path / "worker-cache"))
+        for index, task in enumerate(tasks):
+            queue.enqueue(WorkItem(index=index,
+                                   key_digest=key_digest(task.cache_key()),
+                                   task=task))
+        # Stand-in for an external worker on another host.
+        assert run_worker(WorkerOptions(queue_dir=queue_dir, worker_id="ext",
+                                        exit_when_drained=True)) == 0
+        # The in-process worker repointed the global cache; start clean so
+        # the controller sees the tasks as pending and must merge.
+        telemetry.reset()
+        telemetry.enable_metrics()
+        configure_pass_cache(cache_dir=str(tmp_path / "ctrl-cache"))
+        backend = DistributedBackend(queue_dir, workers=0, poll_interval=0.05)
+        assert execute_tasks(tasks, jobs=1, policy=FAST,
+                             backend=backend) == len(tasks)
+        cache = get_pass_cache()
+        for task in tasks:
+            assert cache.lookup(task.cache_key()) is not None
+        completed = telemetry.get_registry().counter(
+            "executor.tasks.completed").value
+        assert completed == len(tasks)
+
+
+class TestAbort:
+    def test_fatal_error_record_aborts_the_run(self, tmp_path):
+        tasks = plan_experiments(["fig02"], TINY)[:1]
+        queue_dir = str(tmp_path / "queue")
+        queue = WorkQueue.create(queue_dir)
+        digest = key_digest(tasks[0].cache_key())
+        queue.record_error(digest, 1, "ext", "ValueError",
+                           "poison task", False)
+        backend = DistributedBackend(queue_dir, workers=0, poll_interval=0.05)
+        with pytest.raises(TaskExecutionError, match="poison task"):
+            execute_tasks(tasks, jobs=1, policy=FAST, backend=backend)
+
+    def test_exhausted_retry_budget_aborts_the_run(self, tmp_path):
+        tasks = plan_experiments(["fig02"], TINY)[:1]
+        queue_dir = str(tmp_path / "queue")
+        queue = WorkQueue.create(queue_dir)
+        digest = key_digest(tasks[0].cache_key())
+        for attempt in (1, 2, 3):
+            queue.record_error(digest, attempt, "ext", "InjectedFault",
+                               f"flaky (attempt {attempt})", True)
+        backend = DistributedBackend(queue_dir, workers=0, poll_interval=0.05)
+        with pytest.raises(TaskExecutionError, match="flaky"):
+            execute_tasks(tasks, jobs=1, policy=FAST, backend=backend)

@@ -1,0 +1,155 @@
+"""Worker-loop tests: drain, skip, retry numbering, heartbeat renewal.
+
+These run :func:`run_worker` in-process against a real queue directory
+— the same loop ``repro-mnm worker`` serves — so they cover the claim/
+execute/commit cycle without subprocess plumbing.  The subprocess side
+(spawning, respawning, SIGKILL chaos) is covered by the distributed-
+backend tests and the CLI signal tests.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.experiments.backends.queue import WorkItem, WorkQueue
+from repro.experiments.backends.worker import (
+    WorkerOptions,
+    _Heartbeat,
+    default_worker_id,
+    run_worker,
+)
+from repro.experiments.base import ExperimentSettings
+from repro.experiments.executor import plan_experiments
+from repro.experiments.passcache import configure_pass_cache, key_digest
+from repro.testing.faults import configure_faults
+
+TINY = ExperimentSettings(num_instructions=4000, warmup_fraction=0.25,
+                          workloads=("twolf",))
+
+
+@pytest.fixture(autouse=True)
+def fresh_state(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    configure_pass_cache()
+    configure_faults(None)
+    telemetry.enable_metrics()
+    yield
+    configure_faults(None)
+    configure_pass_cache()
+    telemetry.reset()
+
+
+def populated_queue(tmp_path, count=2, **kwargs):
+    queue = WorkQueue.create(str(tmp_path / "queue"),
+                             cache_dir=str(tmp_path / "cache"), **kwargs)
+    tasks = plan_experiments(["fig02"], TINY)[:count]
+    items = [WorkItem(index=index, key_digest=key_digest(task.cache_key()),
+                      task=task)
+             for index, task in enumerate(tasks)]
+    for item in items:
+        queue.enqueue(item)
+    return queue, items
+
+
+class TestRunWorker:
+    def test_drains_the_queue_and_commits_every_task(self, tmp_path):
+        queue, items = populated_queue(tmp_path)
+        code = run_worker(WorkerOptions(queue_dir=queue.root,
+                                        worker_id="w0",
+                                        exit_when_drained=True))
+        assert code == 0
+        for item in items:
+            envelope = queue.load_result(item.key_digest)
+            assert envelope is not None
+            assert envelope["worker"] == "w0"
+            assert envelope["attempt"] == 1
+            assert envelope["result"] is not None
+            # The lease is released once the result is committed.
+            assert queue.read_lease(item.key_digest) is None
+
+    def test_skips_precommitted_results(self, tmp_path):
+        queue, items = populated_queue(tmp_path)
+        sentinel = {"magic": "repro-workqueue", "schema": 1,
+                    "worker": "elsewhere", "attempt": 1}
+        queue.commit_result(items[0].key_digest, dict(sentinel))
+        run_worker(WorkerOptions(queue_dir=queue.root, worker_id="w0",
+                                 exit_when_drained=True))
+        # The pre-committed envelope was not recomputed or replaced.
+        assert queue.load_result(items[0].key_digest)["worker"] == "elsewhere"
+        assert queue.load_result(items[1].key_digest)["worker"] == "w0"
+
+    def test_max_tasks_bounds_the_serving_loop(self, tmp_path):
+        queue, items = populated_queue(tmp_path)
+        code = run_worker(WorkerOptions(queue_dir=queue.root,
+                                        worker_id="w0", max_tasks=1))
+        assert code == 0
+        done = [item for item in items if queue.has_result(item.key_digest)]
+        assert len(done) == 1
+
+    def test_shutdown_marker_exits_before_serving(self, tmp_path):
+        queue, items = populated_queue(tmp_path)
+        queue.request_shutdown()
+        code = run_worker(WorkerOptions(queue_dir=queue.root,
+                                        worker_id="w0"))
+        assert code == 0
+        assert not any(queue.has_result(item.key_digest) for item in items)
+
+    def test_failed_attempts_are_recorded_then_retried_in_place(
+            self, tmp_path, monkeypatch):
+        queue, items = populated_queue(tmp_path, count=1)
+        monkeypatch.setenv("REPRO_FAULTS", json.dumps(
+            {"site": "task", "kind": "raise", "fail_attempts": 2}))
+        code = run_worker(WorkerOptions(queue_dir=queue.root,
+                                        worker_id="w0",
+                                        exit_when_drained=True))
+        assert code == 0
+        digest = items[0].key_digest
+        errors = queue.load_errors(digest)
+        assert [record["attempt"] for record in errors] == [1, 2]
+        assert all(record["retryable"] for record in errors)
+        envelope = queue.load_result(digest)
+        assert envelope is not None
+        assert envelope["attempt"] == 3  # numbering continued past errors
+
+    def test_rejects_a_missing_queue(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_worker(WorkerOptions(queue_dir=str(tmp_path / "nope"),
+                                     wait_seconds=0.0))
+
+
+class TestHeartbeat:
+    def test_renewal_advances_the_deadline(self, tmp_path):
+        queue = WorkQueue.create(str(tmp_path / "queue"))
+        lease = queue.claim("d" * 16, "alpha", ttl=0.3)
+        heartbeat = _Heartbeat(queue, lease)
+        heartbeat.start()
+        try:
+            time.sleep(0.35)
+            current = queue.read_lease("d" * 16)
+            assert current is not None
+            assert current.deadline > lease.deadline
+        finally:
+            heartbeat.stop()
+
+    def test_stalled_heartbeat_lets_the_lease_lapse(self, tmp_path):
+        queue = WorkQueue.create(str(tmp_path / "queue"))
+        lease = queue.claim("d" * 16, "alpha", ttl=0.3)
+        heartbeat = _Heartbeat(queue, lease, stalled=True)
+        heartbeat.start()
+        try:
+            time.sleep(0.35)
+            current = queue.read_lease("d" * 16)
+            assert current is not None
+            assert current.deadline == lease.deadline  # never renewed
+            # Another worker can now take the task over.
+            takeover = queue.claim("d" * 16, "beta", ttl=30.0)
+            assert takeover is not None
+            assert takeover.attempt == 2
+        finally:
+            heartbeat.stop()
+
+
+def test_default_worker_id_is_queue_unique():
+    assert default_worker_id().endswith(str(__import__("os").getpid()))

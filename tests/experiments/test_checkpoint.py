@@ -107,6 +107,75 @@ class TestJournalFile:
             handle.write('"just a string"\n[1, 2]\n')
         assert len(RunJournal.open(run_dir)) == 1
 
+    def test_truncation_at_every_byte_offset_never_misreads(self, tmp_path):
+        """The crash-consistency sweep: cut the file at *every* offset.
+
+        Whatever prefix a crash leaves on disk, loading must (a) not
+        raise, (b) recover exactly the entries whose full line survived,
+        and (c) never hallucinate a completion that is not byte-intact.
+        The non-ASCII task description puts multibyte UTF-8 sequences in
+        the file, so some offsets cut *inside* a character.
+        """
+        run_dir = str(tmp_path / "run")
+        with RunJournal.open(run_dir) as journal:
+            journal.record("key-a", "fig02: tôlf pass ①")
+            journal.record("key-b", "fig02: pass b")
+            journal.record("key-c", "fig02: pass c")
+        path = os.path.join(run_dir, JOURNAL_NAME)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        # key digest -> byte offset at which its line is fully on disk.
+        durable_at = {}
+        offset = data.index(b"\n") + 1  # header line
+        for line in data[offset:].split(b"\n")[:-1]:
+            offset += len(line) + 1
+            digest = json.loads(line.decode("utf-8"))["key_sha"]
+            durable_at[digest] = offset
+        assert len(durable_at) == 3
+        for cut in range(len(data) + 1):
+            with open(path, "wb") as handle:
+                handle.write(data[:cut])
+            journal = RunJournal.open(run_dir)
+            # A line is durable once its JSON is byte-complete; the
+            # trailing newline itself (offset - 1 vs offset) adds no
+            # information, so a cut right before it still recovers.
+            expected = {digest for digest, offset in durable_at.items()
+                        if offset - 1 <= cut}
+            recovered = {entry["key_sha"] for entry in journal.entries()}
+            assert recovered == expected, f"mismatch at byte offset {cut}"
+
+    def test_torn_tail_bumps_the_torn_counter(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        with RunJournal.open(run_dir) as journal:
+            journal.record("key-a", "pass a")
+        path = os.path.join(run_dir, JOURNAL_NAME)
+        with open(path, "ab") as handle:
+            handle.write(b'{"key_sha": "feedface", "task": "torn \xc3')
+        registry = telemetry.enable_metrics()
+        journal = RunJournal.open(run_dir)
+        assert len(journal) == 1
+        assert registry.counter("checkpoint.journal.torn").value == 1
+
+    def test_injected_torn_append_recomputes_on_resume(self, tmp_path):
+        """The journal-write chaos site models a crash mid-append."""
+        from repro.testing.faults import configure_faults
+
+        run_dir = str(tmp_path / "run")
+        configure_faults(json.dumps(
+            {"site": "journal-write", "kind": "torn", "fail_attempts": 1}))
+        try:
+            with RunJournal.open(run_dir) as journal:
+                journal.record("key-a", "pass a")
+                # The crashed run still believes the task is complete...
+                assert journal.is_complete("key-a")
+        finally:
+            configure_faults(None)
+        registry = telemetry.enable_metrics()
+        # ...but a resume skips the torn line and recomputes it.
+        reopened = RunJournal.open(run_dir)
+        assert not reopened.is_complete("key-a")
+        assert registry.counter("checkpoint.journal.torn").value == 1
+
 
 class TestResume:
     def _journaled_run(self, run_dir, settings=TINY, policy=FAST):

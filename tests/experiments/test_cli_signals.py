@@ -1,0 +1,121 @@
+"""SIGTERM parity regression tests (subprocess level).
+
+Fleet schedulers (systemd, Kubernetes, Slurm) stop processes with
+SIGTERM, not Ctrl-C.  The CLI must treat both identically: flush the
+journal, write a ``status: interrupted`` manifest, exit 130 — for the
+controller and for ``repro-mnm worker`` alike.  These tests drive real
+subprocesses because signal disposition is process-global state that
+in-process tests cannot exercise honestly.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.experiments.backends.queue import WorkQueue
+from repro.experiments.cli import (
+    EXIT_INTERRUPTED,
+    _install_sigterm_handler,
+    _restore_sigterm_handler,
+)
+
+SMALL = ["--instructions", "4000", "--workloads", "twolf",
+         "--warmup-fraction", "0.25"]
+
+#: A task-site hang long enough that SIGTERM always lands mid-task.
+HANG_SPEC = json.dumps({"site": "task", "kind": "hang",
+                        "hang_seconds": 300.0})
+
+
+def spawn(args, env_extra=None):
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(env_extra or {})
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.experiments", *args],
+        env=env, stdin=subprocess.DEVNULL,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+
+
+def wait_for(predicate, timeout=60.0, interval=0.1):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestControllerSigterm:
+    def test_sigterm_mid_run_exits_130_with_interrupted_manifest(
+            self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        proc = spawn(["report", "--skip-heavy", *SMALL,
+                      "--run-dir", run_dir],
+                     env_extra={"REPRO_FAULTS": HANG_SPEC})
+        try:
+            # The run directory appears early (journal setup); the first
+            # planned task then hangs for 300 s, so after a grace period
+            # SIGTERM reliably lands mid-task.
+            assert wait_for(lambda: os.path.isdir(run_dir)), \
+                proc.communicate(timeout=5)
+            time.sleep(2.0)
+            proc.send_signal(signal.SIGTERM)
+            _, stderr = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == EXIT_INTERRUPTED
+        assert b"interrupted" in stderr
+        manifest_path = os.path.join(run_dir, "manifest.json")
+        assert os.path.exists(manifest_path)
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        assert manifest["status"] == "interrupted"
+
+
+class TestWorkerSigterm:
+    def test_sigterm_while_polling_exits_130(self, tmp_path):
+        queue_dir = str(tmp_path / "queue")
+        WorkQueue.create(queue_dir)
+        proc = spawn(["worker", "--queue", queue_dir])
+        try:
+            time.sleep(2.0)  # let it reach the polling loop
+            assert proc.poll() is None, proc.communicate(timeout=5)
+            proc.send_signal(signal.SIGTERM)
+            _, stderr = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == EXIT_INTERRUPTED
+        assert b"worker interrupted" in stderr
+
+
+class TestHandlerPlumbing:
+    def test_sigterm_converts_to_keyboard_interrupt(self):
+        previous = _install_sigterm_handler()
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                os.kill(os.getpid(), signal.SIGTERM)
+                # Python delivers the signal at the next bytecode
+                # boundary; this loop is that boundary.
+                for _ in range(1000):
+                    time.sleep(0.001)
+        finally:
+            _restore_sigterm_handler(previous)
+
+    def test_restore_reinstates_the_previous_disposition(self):
+        before = signal.getsignal(signal.SIGTERM)
+        previous = _install_sigterm_handler()
+        assert signal.getsignal(signal.SIGTERM) is not before
+        _restore_sigterm_handler(previous)
+        assert signal.getsignal(signal.SIGTERM) == before

@@ -167,6 +167,22 @@ class TestSerialRetries:
         assert "flaky task workload=twolf" in str(excinfo.value)
         assert registry.snapshot()["counters"]["executor.tasks.failed"] == 1
 
+    def test_serial_deadline_overrun_is_counted_not_enforced(self):
+        """--task-timeout on the serial path: surfaced, never killing.
+
+        In-process execution cannot preempt a running task, so the
+        timeout degrades to a best-effort deadline check: the task still
+        completes and counts, and the overrun lands in
+        ``executor.serial.deadline_exceeded``.
+        """
+        registry = telemetry.enable_metrics()
+        task = _FlakyTask(failures=0, exc_factory=TransientTaskError)
+        policy = ExecutionPolicy(retry=FAST.retry, task_timeout=1e-6)
+        assert execute_tasks([task], jobs=1, policy=policy) == 1
+        counters = registry.snapshot()["counters"]
+        assert counters["executor.serial.deadline_exceeded"] == 1
+        assert counters["executor.tasks.completed"] == 1  # still completed
+
     def test_fatal_errors_abort_without_retrying(self):
         task = _FlakyTask(failures=99,
                           exc_factory=lambda: ValueError("bad config"))

@@ -118,8 +118,40 @@ class TestR002Layering:
                       module="repro.analysis.mrc", rule="R002")
         assert down == []
         lateral = _check("from repro.search import space\n",
-                         module="repro.experiments.runner", rule="R002")
+                         module="repro.experiments.executor", rule="R002")
         assert lateral == []
+
+    def test_experiments_ring_edges(self):
+        # Downward ring edge: the executor may import a backend.
+        down = _check(
+            "from repro.experiments.backends import queue\n",
+            module="repro.experiments.executor", rule="R002")
+        assert down == []
+        # Upward ring edge: a backend must not import the executor.
+        up = _check(
+            "from repro.experiments import executor\n",
+            module="repro.experiments.backends.queue", rule="R002")
+        assert _ids(up) == ["R002"]
+        assert "ring" in up[0].message
+        # The registry ring sits on top and may import everything.
+        top = _check(
+            "from repro.experiments.executor import prefetch_experiments\n",
+            module="repro.experiments.report", rule="R002")
+        assert top == []
+
+    def test_experiments_unassigned_submodule_flagged(self):
+        findings = _check(
+            "x = 1\n", module="repro.experiments.frobnicator", rule="R002")
+        assert _ids(findings) == ["R002"]
+        assert "ring assignment" in findings[0].message
+
+    def test_experiments_facade_symbols_exempt(self):
+        # Plain symbols through the facade cannot be classified; only
+        # names that are themselves ringed submodules are checked.
+        ok = _check(
+            "from repro.experiments import default_jobs\n",
+            module="repro.experiments.backends.pool", rule="R002")
+        assert ok == []
 
     def test_telemetry_imports_nothing_above(self):
         findings = _check(

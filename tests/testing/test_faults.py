@@ -43,6 +43,39 @@ class TestParsing:
         assert spec.site == "cache-write"
         assert spec.kind == "corrupt"
 
+    def test_shorthand_sigkill_targets_task(self):
+        (spec,) = parse_fault_spec("sigkill")
+        assert spec.site == "task"
+        assert spec.kind == "sigkill"
+
+    def test_shorthand_stall_targets_lease(self):
+        (spec,) = parse_fault_spec("stall")
+        assert spec.site == "lease"
+        assert spec.kind == "stall"
+
+    def test_shorthand_steal_targets_claim(self):
+        (spec,) = parse_fault_spec("steal")
+        assert spec.site == "claim"
+        assert spec.kind == "steal"
+
+    def test_torn_has_no_shorthand(self):
+        """``torn`` is ambiguous (queue-write vs journal-write): JSON only."""
+        with pytest.raises(ValueError):
+            parse_fault_spec("torn")
+        (spec,) = parse_fault_spec('{"site": "queue-write", "kind": "torn"}')
+        assert spec.site == "queue-write"
+        (spec,) = parse_fault_spec(
+            '{"site": "journal-write", "kind": "torn"}')
+        assert spec.site == "journal-write"
+
+    def test_fleet_kinds_are_site_checked(self):
+        with pytest.raises(ValueError):
+            FaultSpec(site="lease", kind="steal")  # claim-only kind
+        with pytest.raises(ValueError):
+            FaultSpec(site="claim", kind="stall")  # lease-only kind
+        with pytest.raises(ValueError):
+            FaultSpec(site="task", kind="torn")
+
     def test_json_object(self):
         (spec,) = parse_fault_spec(
             '{"site": "task", "kind": "raise", "fail_attempts": 2, '
@@ -154,6 +187,33 @@ class TestInjector:
 
     def test_configure_empty_spec_disables(self):
         assert configure_faults("") is None
+
+    def test_lease_stall_selector(self):
+        injector = FaultInjector(parse_fault_spec(
+            '{"site": "lease", "kind": "stall", "fail_attempts": 2}'))
+        assert injector.lease_stall("key", 1)
+        assert injector.lease_stall("key", 2)
+        assert not injector.lease_stall("key", 3)  # converges
+        assert not injector.claim_steal("key", 1)  # other sites untouched
+        assert not injector.should_tear("queue-write", "key", 1)
+
+    def test_claim_steal_selector(self):
+        injector = FaultInjector(parse_fault_spec("steal"))
+        assert injector.claim_steal("key", 1)
+        assert not injector.claim_steal("key", 2)
+        assert not injector.lease_stall("key", 1)
+
+    def test_should_tear_distinguishes_sites(self):
+        injector = FaultInjector(parse_fault_spec(
+            '{"site": "journal-write", "kind": "torn"}'))
+        assert injector.should_tear("journal-write", "key", 1)
+        assert not injector.should_tear("queue-write", "key", 1)
+
+    def test_queue_site_selectors_use_the_ambient_attempt(self):
+        injector = FaultInjector(parse_fault_spec("stall"))
+        assert injector.lease_stall("key")
+        injector.set_attempt(2)
+        assert not injector.lease_stall("key")
 
 
 class TestCorruptBytes:
