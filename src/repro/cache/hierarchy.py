@@ -19,7 +19,7 @@ runner evaluate many filters against a single simulation pass.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.cache.cache import AccessKind, Cache, CacheConfig, CacheSide
 
@@ -211,6 +211,10 @@ class CacheHierarchy:
         self.inclusive = inclusive
         self.memory_writebacks = 0
         self.back_invalidations = 0
+        #: Per-victim-cache share of ``back_invalidations``: how many blocks
+        #: each *inner* cache lost to inclusion enforcement (keyed by the
+        #: inner cache's config name; the values always sum to the total).
+        self.back_invalidation_counts: Dict[str, int] = {}
         self._tiers: List[Tuple[Cache, ...]] = []
         for tier_config in config.tiers:
             caches = tuple(Cache(c) for c in tier_config.configs)
@@ -232,12 +236,17 @@ class CacheHierarchy:
 
         def on_replace(cache: Cache, victim_block: int) -> None:
             base = victim_block << cache.config.offset_bits
+            counts = self.back_invalidation_counts
             for closer in range(1, tier):
                 for inner in self._tiers[closer - 1]:
                     if compatible(cache, inner):
-                        self.back_invalidations += inner.invalidate_range(
+                        dropped = inner.invalidate_range(
                             base, cache.config.block_size
                         )
+                        if dropped:
+                            self.back_invalidations += dropped
+                            name = inner.config.name
+                            counts[name] = counts.get(name, 0) + dropped
 
         return on_replace
 
@@ -355,6 +364,9 @@ class CacheHierarchy:
             registry.counter(base + ".probes").inc(stats.probes)
             registry.counter(base + ".hits").inc(stats.hits)
             registry.counter(base + ".misses").inc(stats.misses)
+            dropped = self.back_invalidation_counts.get(cache.config.name, 0)
+            if dropped:
+                registry.counter(base + ".back_invalidations").inc(dropped)
 
     def run(self, references: Sequence[Tuple[int, AccessKind]]) -> List[AccessOutcome]:
         """Convenience: access a sequence of ``(address, kind)`` pairs."""

@@ -75,6 +75,24 @@ class MissFilter(ABC):
     def on_flush(self) -> None:
         """The tracked cache was flushed; drop all filter state."""
 
+    def on_invalidate(self, granule_addr: int) -> None:
+        """A cross-context event touched this granule; downgrade conservatively.
+
+        In a multi-core hierarchy another core's fill or eviction can move a
+        block this filter never observed through its own place/replace
+        stream.  The only sound reaction to such partial knowledge is to
+        *stop proving anything* about the granule: the default treats it as
+        a placement, which for every technique clears any standing miss
+        proof (counters saturate upward, sum flip-flops set, the RMNM entry
+        is dropped) and can only ever cost coverage, never soundness.
+
+        Overrides may add bookkeeping but must keep the downgrade — they
+        are required to route through ``super().on_invalidate(...)``
+        (enforced statically by R006 and dynamically by the multicore
+        false-miss property tests).
+        """
+        self.on_place(granule_addr)
+
     def query_many(self, granule_addrs):
         """Batched :meth:`is_definite_miss` over a sequence of granules.
 

@@ -323,6 +323,23 @@ class MostlyNoMachine:
         """The design's configuration name."""
         return self.design.name
 
+    def on_invalidate(self, granule_addr: int) -> None:
+        """Route one cross-context invalidation hint to every tracked filter.
+
+        The multi-core layer calls this when an event on a tracked cache
+        was caused by *another* context (a competitive fill or a back-
+        invalidation) and this machine therefore cannot process it as a
+        first-class place/replace.  Every filter applies its conservative
+        downgrade (:meth:`~repro.core.base.MissFilter.on_invalidate`), so
+        any standing miss proof for the granule is withdrawn — the
+        soundness contract survives sharing at the cost of coverage.
+        """
+        for entry in self._tracked.values():
+            entry.filter.on_invalidate(granule_addr)
+        counters = self._query_counters
+        if counters is not None:
+            get_registry().counter("mnm.invalidations").inc()
+
     def flush(self) -> None:
         """Reset every filter (mirrors a cache flush; see Section 3.3)."""
         for entry in self._tracked.values():

@@ -234,6 +234,57 @@ def core_run(
     return result
 
 
+def multicore_pass(
+    workloads: Sequence[str],
+    hierarchy_config: HierarchyConfig,
+    designs: Sequence[MNMDesign],
+    mc,
+    settings: ExperimentSettings,
+):
+    """Memoised :func:`repro.simulate.run_multicore_pass` for one topology.
+
+    Core *i* runs ``workloads[i % len(workloads)]`` with generator seed
+    ``settings.seed + i`` — distinct cores never replay byte-identical
+    streams even when they share a workload name, and the assignment is a
+    pure function of the inputs, so parent and worker derive the same
+    streams and the same cache key.
+    """
+    from repro.experiments.passcache import multicore_key
+    from repro.simulate import run_multicore_pass
+
+    workloads = tuple(workloads)
+    if not workloads:
+        raise ValueError("multicore_pass needs at least one workload name")
+    cache = get_pass_cache()
+    key = multicore_key(workloads, hierarchy_config, designs, mc, settings)
+    cached = cache.lookup(key)
+    if cached is not None:
+        return cached
+
+    fetch_block = hierarchy_config.tiers[0].configs[0].block_size
+    streams = []
+    names = []
+    for core in range(mc.cores):
+        workload = workloads[core % len(workloads)]
+        trace = get_trace(workload, settings.num_instructions,
+                          settings.seed + core)
+        streams.append(list(trace.memory_references(fetch_block)))
+        names.append(workload)
+    total = sum(len(stream) for stream in streams)
+    warmup_refs = int(total * settings.warmup_fraction)
+    result = run_multicore_pass(
+        streams,
+        hierarchy_config,
+        designs,
+        mc,
+        workload_names=tuple(names),
+        warmup=warmup_refs,
+        engine=settings.engine,
+    )
+    cache.store(key, result)
+    return result
+
+
 def clear_pass_cache() -> None:
     """Drop memoised passes (tests use this)."""
     get_pass_cache().clear()

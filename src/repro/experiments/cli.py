@@ -163,6 +163,33 @@ def _build_parser() -> argparse.ArgumentParser:
                              "paper's fixed configurations")
     _add_settings_args(search)
 
+    multicore = sub.add_parser(
+        "multicore",
+        help="multi-core contention: MNM coverage under shared hierarchies")
+    multicore.add_argument("--cores", type=int, nargs="+", default=None,
+                           metavar="N",
+                           help="core counts to sweep (default: 1 2 4)")
+    multicore.add_argument("--sharing", type=str,
+                           default="private,shared,hybrid",
+                           help="comma-separated MNM sharing topologies "
+                                "from {private, shared, hybrid} "
+                                "(default: all three)")
+    multicore.add_argument("--l2-policy", type=str,
+                           default="inclusive,exclusive",
+                           help="comma-separated shared-L2 policies from "
+                                "{inclusive, exclusive} (default: both)")
+    multicore.add_argument("--schedule",
+                           choices=("round_robin", "stochastic"),
+                           default="round_robin",
+                           help="stream interleaving (default round_robin)")
+    multicore.add_argument("--schedule-seed", type=int, default=0,
+                           help="seed of the stochastic interleaver "
+                                "(default 0)")
+    multicore.add_argument("--designs", type=str, default="",
+                           help="comma-separated MNM design names "
+                                "(default: the contention line-up)")
+    _add_settings_args(multicore)
+
     worker = sub.add_parser(
         "worker",
         help="serve simulation tasks from a distributed work queue")
@@ -622,6 +649,83 @@ def _search_command(args: argparse.Namespace,
     return 0
 
 
+def _multicore_command(args: argparse.Namespace,
+                       settings: ExperimentSettings,
+                       jobs: int,
+                       policy: ExecutionPolicy,
+                       journal: Optional[RunJournal],
+                       backend=None) -> int:
+    """``repro-mnm multicore``: the contention sweep with explicit axes."""
+    from repro.experiments.extensions import run_multicore_contention
+    from repro.experiments.planning import (
+        MULTICORE_CORE_COUNTS,
+        MULTICORE_DESIGNS,
+        plan_multicore_contention,
+    )
+    from repro.multicore.config import L2_POLICIES, SHARINGS
+
+    core_counts = tuple(args.cores) if args.cores else MULTICORE_CORE_COUNTS
+    if any(cores < 1 for cores in core_counts):
+        raise _fail(EXIT_BAD_VALUE,
+                    f"--cores values must be >= 1, got {core_counts}")
+    sharings = tuple(
+        value.strip() for value in args.sharing.split(",") if value.strip()
+    )
+    bad = [value for value in sharings if value not in SHARINGS]
+    if bad or not sharings:
+        raise _fail(EXIT_BAD_VALUE,
+                    f"--sharing must name values from {SHARINGS}, "
+                    f"got {args.sharing!r}")
+    policies = tuple(
+        value.strip() for value in args.l2_policy.split(",") if value.strip()
+    )
+    bad = [value for value in policies if value not in L2_POLICIES]
+    if bad or not policies:
+        raise _fail(EXIT_BAD_VALUE,
+                    f"--l2-policy must name values from {L2_POLICIES}, "
+                    f"got {args.l2_policy!r}")
+    if args.designs:
+        from repro.core.presets import parse_design
+
+        names = tuple(
+            value.strip() for value in args.designs.split(",") if value.strip()
+        )
+        try:
+            for name in names:
+                parse_design(name)
+        except ValueError as exc:
+            raise _fail(EXIT_BAD_VALUE, f"--designs: {exc}")
+    else:
+        names = MULTICORE_DESIGNS
+    if args.schedule_seed < 0:
+        raise _fail(EXIT_BAD_VALUE,
+                    f"--schedule-seed must be >= 0, got {args.schedule_seed}")
+
+    if jobs > 1 or journal is not None or backend is not None:
+        from repro.experiments.executor import execute_tasks
+
+        tasks = plan_multicore_contention(
+            settings, core_counts=core_counts, sharings=sharings,
+            l2_policies=policies, schedule=args.schedule,
+            schedule_seed=args.schedule_seed, design_names=names,
+        )
+        execute_tasks(tasks, jobs, policy=policy, journal=journal,
+                      backend=backend)
+    result = run_multicore_contention(
+        settings, core_counts=core_counts, sharings=sharings,
+        l2_policies=policies, schedule=args.schedule,
+        schedule_seed=args.schedule_seed, design_names=names,
+    )
+    _emit(result.render(float_digits=1), args.output)
+    if args.chart:
+        _emit("\n" + result.render_chart(), args.output)
+    if args.json_path:
+        with open(args.json_path, "a") as handle:
+            json.dump(result.to_dict(), handle)
+            handle.write("\n")
+    return 0
+
+
 def _run_command(args: argparse.Namespace,
                  settings: ExperimentSettings,
                  journal: Optional[RunJournal] = None) -> int:
@@ -632,6 +736,9 @@ def _run_command(args: argparse.Namespace,
     if args.command == "search":
         return _search_command(args, settings, jobs, policy, journal,
                                backend=backend)
+    if args.command == "multicore":
+        return _multicore_command(args, settings, jobs, policy, journal,
+                                  backend=backend)
     if args.command == "report":
         from repro.experiments.report import generate_report
 

@@ -49,6 +49,7 @@ if TYPE_CHECKING:  # avoid an import cycle with repro.experiments.base
     from repro.cache.hierarchy import HierarchyConfig
     from repro.core.machine import MNMDesign
     from repro.experiments.base import ExperimentSettings
+    from repro.multicore.config import MulticoreConfig
 
 #: Envelope magic + layout version.  Bump the version whenever the
 #: pickled result dataclasses change shape; old entries then read as
@@ -173,6 +174,29 @@ def core_key(
         fingerprint_settings(settings),
         fingerprint_hierarchy(hierarchy_config),
         fingerprint_design(design),
+    ))
+
+
+def multicore_key(
+    workloads: Sequence[str],
+    hierarchy_config: "HierarchyConfig",
+    designs: Sequence["MNMDesign"],
+    mc: "MulticoreConfig",
+    settings: "ExperimentSettings",
+) -> str:
+    """Cache key for one multi-design multicore contention pass.
+
+    ``mc.fingerprint()`` covers every behavioural knob of the topology —
+    core count, MNM sharing, L2 policy, schedule *and* schedule seed — so
+    two runs that could interleave differently never share an entry
+    (pinned by ``tests/multicore/test_passcache_multicore.py``).
+    """
+    return "\x1f".join((
+        "multicore", ",".join(workloads),
+        mc.fingerprint(),
+        fingerprint_settings(settings),
+        fingerprint_hierarchy(hierarchy_config),
+        ";".join(fingerprint_design(d) for d in designs),
     ))
 
 

@@ -42,9 +42,16 @@ from repro.core.presets import (
 from repro.experiments.base import (
     ExperimentSettings,
     core_run,
+    multicore_pass,
     reference_pass,
 )
-from repro.experiments.passcache import core_key, key_digest, pass_key
+from repro.experiments.passcache import (
+    core_key,
+    key_digest,
+    multicore_key,
+    pass_key,
+)
+from repro.multicore.config import MulticoreConfig
 
 #: Characters of the cache-key digest used as a task's short id.  Twelve
 #: hex chars (48 bits) keep manifests readable while making a collision
@@ -148,7 +155,53 @@ class CoreTask:
                         self.design(), self.settings)
 
 
-Task = Union[PassTask, CoreTask]
+@dataclass(frozen=True)
+class MulticoreTask:
+    """One multi-design multicore contention pass, described portably.
+
+    ``workloads`` are assigned to cores round-robin by
+    :func:`~repro.experiments.base.multicore_pass`; ``mc`` carries the
+    topology (cores, MNM sharing, L2 policy, schedule + seed), all of
+    which the cache key covers.
+    """
+
+    workloads: Tuple[str, ...]
+    hierarchy_config: HierarchyConfig
+    design_names: Tuple[str, ...]
+    mc: "MulticoreConfig"
+    settings: ExperimentSettings
+    #: See :attr:`PassTask.experiment_id`.
+    experiment_id: str = ""
+
+    def designs(self) -> Tuple[MNMDesign, ...]:
+        return tuple(parse_design(name) for name in self.design_names)
+
+    #: Span/manifest label for this task family.
+    kind = "multicore_pass"
+
+    def cache_key(self) -> str:
+        return multicore_key(self.workloads, self.hierarchy_config,
+                             self.designs(), self.mc, self.settings)
+
+    def task_id(self) -> str:
+        """Short stable id (cache-key digest prefix) for spans/manifests."""
+        return key_digest(self.cache_key())[:TASK_ID_CHARS]
+
+    def describe(self) -> str:
+        """Human-readable identity for error messages and the journal."""
+        designs = ",".join(self.design_names) or "<baseline>"
+        return (f"{self.experiment_id or '?'}: multicore pass "
+                f"workloads={','.join(self.workloads)} "
+                f"hierarchy={self.hierarchy_config.name} "
+                f"cores={self.mc.cores} sharing={self.mc.mnm_sharing} "
+                f"l2={self.mc.l2_policy} designs={designs}")
+
+    def execute(self):
+        return multicore_pass(self.workloads, self.hierarchy_config,
+                              self.designs(), self.mc, self.settings)
+
+
+Task = Union[PassTask, CoreTask, MulticoreTask]
 Planner = Callable[[ExperimentSettings], List[Task]]
 
 
@@ -256,6 +309,51 @@ def _performance_planner(placement: str) -> Planner:
             )
         return tasks
     return plan
+
+
+#: Design line-up of the multicore contention figure: one representative
+#: per family axis the sharing question bites on (counter, sum, hybrid,
+#: oracle).
+MULTICORE_DESIGNS: Tuple[str, ...] = ("TMNM_12x3", "SMNM_13x3", "HMNM2",
+                                      "PERFECT")
+
+#: Core counts swept by the default contention figure.
+MULTICORE_CORE_COUNTS: Tuple[int, ...] = (1, 2, 4)
+
+
+def plan_multicore_contention(
+    settings: ExperimentSettings,
+    core_counts: Sequence[int] = MULTICORE_CORE_COUNTS,
+    sharings: Sequence[str] = ("private", "shared", "hybrid"),
+    l2_policies: Sequence[str] = ("inclusive", "exclusive"),
+    schedule: str = "round_robin",
+    schedule_seed: int = 0,
+    hierarchy_config: Optional[HierarchyConfig] = None,
+    design_names: Sequence[str] = MULTICORE_DESIGNS,
+    experiment_id: str = "multicore",
+) -> List[Task]:
+    """Contention sweep: one task per (workload, cores, sharing, policy).
+
+    Every core of a task runs the *same* workload (with per-core seeds),
+    so coverage is comparable across core counts — the only thing that
+    changes along the axis is contention, not the load mix.
+    """
+    hierarchy = hierarchy_config or paper_hierarchy_5level()
+    names = tuple(design_names)
+    tasks: List[Task] = []
+    for workload in settings.workload_list:
+        for cores in core_counts:
+            for sharing in sharings:
+                for policy in l2_policies:
+                    mc = MulticoreConfig(
+                        cores=cores, mnm_sharing=sharing, l2_policy=policy,
+                        schedule=schedule, schedule_seed=schedule_seed,
+                    )
+                    tasks.append(MulticoreTask(
+                        (workload,), hierarchy, names, mc, settings,
+                        experiment_id=experiment_id,
+                    ))
+    return tasks
 
 
 plan_figure15 = _performance_planner("parallel")

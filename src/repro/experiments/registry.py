@@ -118,6 +118,21 @@ _register(ExperimentEntry(
     _run_search, heavy=True, extension=True))
 
 
+def _run_multicore(settings):
+    from repro.experiments.extensions import run_multicore_contention
+
+    return run_multicore_contention(settings)
+
+
+# heavy: the default sweep simulates every (cores, sharing, policy)
+# topology per workload — a multiple of any single coverage figure
+# (``repro-mnm multicore`` exposes the axes individually).
+_register(ExperimentEntry(
+    "multicore", "MNM coverage under multi-core contention",
+    _run_multicore, heavy=True, extension=True,
+    planner=planning.plan_multicore_contention))
+
+
 def get_experiment(experiment_id: str) -> ExperimentEntry:
     """Look an experiment up by id (e.g. ``fig10`` or ``table2``)."""
     try:

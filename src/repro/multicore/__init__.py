@@ -1,0 +1,45 @@
+"""Multi-core contention layer: shared tiers, coherence, MNM sharing.
+
+Public surface:
+
+* :class:`~repro.multicore.config.MulticoreConfig` — cores, MNM sharing
+  topology, shared-L2 policy, schedule (+ the compact ``MC4ip_…`` naming
+  used by the search space).
+* :func:`~repro.multicore.schedule.interleave` — deterministic stream
+  interleavers (round-robin, seeded-stochastic).
+* :class:`~repro.multicore.hierarchy.MulticoreHierarchy` — per-core
+  private L1s over shared tiers, with coherence and (inclusive policy)
+  back-invalidation traffic.
+* :class:`~repro.multicore.mnm.MulticoreMNM` — private / shared / hybrid
+  filter banks, sound under competitive fills via conservative
+  ``on_invalidate`` downgrade.
+
+The pass runner lives in :func:`repro.simulate.run_multicore_pass`.
+"""
+
+from repro.multicore.config import (
+    L2_POLICIES,
+    SCHEDULES,
+    SHARINGS,
+    MulticoreConfig,
+    is_multicore_name,
+    multicore_point_name,
+    parse_multicore_name,
+)
+from repro.multicore.hierarchy import MulticoreHierarchy
+from repro.multicore.mnm import MulticoreMNM, multicore_storage_bits
+from repro.multicore.schedule import interleave
+
+__all__ = [
+    "L2_POLICIES",
+    "SCHEDULES",
+    "SHARINGS",
+    "MulticoreConfig",
+    "MulticoreHierarchy",
+    "MulticoreMNM",
+    "interleave",
+    "is_multicore_name",
+    "multicore_point_name",
+    "multicore_storage_bits",
+    "parse_multicore_name",
+]

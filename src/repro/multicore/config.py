@@ -1,0 +1,138 @@
+"""Multi-core run description: core count, MNM sharing, shared-L2 policy.
+
+A :class:`MulticoreConfig` is the small frozen value object that travels
+through task specs and pass-cache fingerprints (it must stay picklable and
+repr-stable, see R003/R001).  The compact ``MC``-names defined here are how
+the search space addresses multicore points, e.g. ``MC4ip_TMNM_12x3`` =
+four cores, inclusive shared L2, private per-core MNMs, base design
+``TMNM_12x3``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Tuple
+
+#: MNM placement topologies (Section 2's placement question, multi-core
+#: edition): one filter bank per core, one shared bank, or private tier-2
+#: banks over a shared tier-3+ bank.
+SHARINGS: Tuple[str, ...] = ("private", "shared", "hybrid")
+
+#: Shared-L2 content policies: inclusive (shared-tier evictions
+#: back-invalidate every closer cache) or exclusive (the L2 holds only
+#: L1 victims).
+L2_POLICIES: Tuple[str, ...] = ("inclusive", "exclusive")
+
+#: Stream interleavings (see :mod:`repro.multicore.schedule`).
+SCHEDULES: Tuple[str, ...] = ("round_robin", "stochastic")
+
+_SHARING_CODES = {"p": "private", "s": "shared", "h": "hybrid"}
+_POLICY_CODES = {"i": "inclusive", "e": "exclusive"}
+_NAME_RE = re.compile(r"^MC(\d+)([ie])([psh])_(.+)$")
+
+
+@dataclass(frozen=True)
+class MulticoreConfig:
+    """How N workload streams share one hierarchy.
+
+    Attributes:
+        cores: number of contexts, each with its own private L1 tier.
+        mnm_sharing: MNM topology, one of :data:`SHARINGS`.
+        l2_policy: shared-tier content policy, one of :data:`L2_POLICIES`.
+        schedule: stream interleaving, one of :data:`SCHEDULES`.
+        schedule_seed: seed of the stochastic interleaver (ignored by
+            round-robin but always part of the fingerprint, so two runs
+            that *could* differ never share a cache entry).
+    """
+
+    cores: int = 2
+    mnm_sharing: str = "private"
+    l2_policy: str = "inclusive"
+    schedule: str = "round_robin"
+    schedule_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.mnm_sharing not in SHARINGS:
+            raise ValueError(
+                f"unknown mnm_sharing {self.mnm_sharing!r} "
+                f"(expected one of {SHARINGS})"
+            )
+        if self.l2_policy not in L2_POLICIES:
+            raise ValueError(
+                f"unknown l2_policy {self.l2_policy!r} "
+                f"(expected one of {L2_POLICIES})"
+            )
+        if self.schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {self.schedule!r} "
+                f"(expected one of {SCHEDULES})"
+            )
+        if self.schedule_seed < 0:
+            raise ValueError(
+                f"schedule_seed must be >= 0, got {self.schedule_seed}"
+            )
+
+    @property
+    def inclusive(self) -> bool:
+        return self.l2_policy == "inclusive"
+
+    def fingerprint(self) -> str:
+        """Stable cache-key fragment covering every behavioural knob."""
+        return (
+            f"cores={self.cores}|sharing={self.mnm_sharing}"
+            f"|l2={self.l2_policy}|schedule={self.schedule}"
+            f"|schedule_seed={self.schedule_seed}"
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary for reports."""
+        return (
+            f"{self.cores} cores, {self.mnm_sharing} MNM, "
+            f"{self.l2_policy} L2, {self.schedule} schedule "
+            f"(seed {self.schedule_seed})"
+        )
+
+
+def multicore_point_name(config: MulticoreConfig, base_design: str) -> str:
+    """Compact search-space name, e.g. ``MC4ip_TMNM_12x3``.
+
+    Only the axes the search explores are encoded (cores, L2 policy,
+    sharing); the schedule is pinned to the config defaults by
+    :func:`parse_multicore_name`.
+    """
+    return (
+        f"MC{config.cores}{config.l2_policy[0]}"
+        f"{config.mnm_sharing[0]}_{base_design}"
+    )
+
+
+def parse_multicore_name(name: str) -> Tuple[MulticoreConfig, str]:
+    """Invert :func:`multicore_point_name`.
+
+    Returns ``(config, base_design_name)``; the schedule axes take their
+    defaults (round-robin, seed 0) — search points vary topology, not
+    interleaving.
+    """
+    match = _NAME_RE.match(name)
+    if match is None:
+        raise ValueError(
+            f"not a multicore point name: {name!r} "
+            "(expected MC<cores><i|e><p|s|h>_<design>)"
+        )
+    cores_text, policy_code, sharing_code, base = match.groups()
+    return (
+        MulticoreConfig(
+            cores=int(cores_text),
+            mnm_sharing=_SHARING_CODES[sharing_code],
+            l2_policy=_POLICY_CODES[policy_code],
+        ),
+        base,
+    )
+
+
+def is_multicore_name(name: str) -> bool:
+    """True if ``name`` parses as a multicore search point."""
+    return _NAME_RE.match(name) is not None

@@ -1,0 +1,274 @@
+"""MNM filter banks over a shared hierarchy: private, shared, or hybrid.
+
+The single-core :class:`~repro.core.machine.MostlyNoMachine` assumes the
+filter sees *every* event on the cache it watches.  With N cores over
+shared tiers that assumption splits into three buildable topologies:
+
+* ``shared`` — one filter bank per shared cache, observing the merged
+  event stream of all cores.  Sound for the same reason the single-core
+  machine is: the bank's view of the cache is complete.
+* ``private`` — one bank per (core, shared cache).  A bank sees its own
+  core's places/replaces as first-class events; every *other* core's
+  event reaches it only as an :meth:`~repro.core.base.MissFilter.
+  on_invalidate` hint, which conservatively withdraws any standing miss
+  proof for the granule.  This models per-core MNM hardware that cannot
+  snoop the full shared-cache port traffic.
+* ``hybrid`` — private banks for tier 2 (the hot, per-core-latency
+  level), one shared bank for tiers 3+.
+
+Soundness argument for the private downgrade (checked dynamically by
+``tests/multicore/test_false_miss.py``): ``on_invalidate`` defaults to
+``on_place``, so a private bank's state equals that of a filter fed the
+true stream with every foreign event rewritten to a placement.  For every
+technique that rewrite can only move state toward "maybe present" —
+counters never undershoot the true resident count, flip-flops only get
+set, RMNM absence proofs are dropped — so a definite-miss answer still
+implies true absence.  The cost is coverage, which is exactly the
+private-vs-shared trade the contention figures measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.addresses import ADDRESS_BITS, BlockMapper, log2_exact
+from repro.cache.cache import AccessKind, Cache
+from repro.core.base import FilterStats, MissFilter, NullFilter
+from repro.core.hybrid import CompositeFilter
+from repro.core.machine import FilterBuildContext, MissBits, MNMDesign
+from repro.core.perfect import PerfectFilter
+from repro.core.rmnm import RMNMCache, RMNMLane
+from repro.multicore.config import SHARINGS
+from repro.multicore.hierarchy import MulticoreHierarchy
+
+
+@dataclass
+class _Bank:
+    """One filter bank: a filter watching one shared cache for one domain."""
+
+    tier: int
+    cache: Cache
+    core: Optional[int]  # None = shared bank (all cores)
+    filter: MissFilter
+    mapper: BlockMapper
+    stats: FilterStats
+
+
+class MulticoreMNM:
+    """Filter banks for one design over one :class:`MulticoreHierarchy`."""
+
+    def __init__(
+        self,
+        hierarchy: MulticoreHierarchy,
+        design: MNMDesign,
+        sharing: str,
+    ) -> None:
+        if sharing not in SHARINGS:
+            raise ValueError(
+                f"unknown mnm_sharing {sharing!r} (expected one of {SHARINGS})"
+            )
+        self.hierarchy = hierarchy
+        self.design = design
+        self.sharing = sharing
+        self.granule = hierarchy.config.mnm_granule
+        self._granule_shift = log2_exact(self.granule)
+        granule_bits = ADDRESS_BITS - self._granule_shift
+        #: Granule-level downgrade hints delivered to private banks by
+        #: other cores' traffic (a measure of contention pressure on the
+        #: filters; always 0 for the fully shared topology).
+        self.cross_core_invalidations = 0
+
+        tracked = list(hierarchy.shared_caches())
+        # Bank slots: (tier, cache, owner); owner None = shared domain.
+        slots: List[Tuple[int, Cache, Optional[int]]] = []
+        for tier, cache in tracked:
+            if self._private_at(tier):
+                slots.extend(
+                    (tier, cache, core) for core in range(hierarchy.cores)
+                )
+            else:
+                slots.append((tier, cache, None))
+
+        # One RMNM cache per owner domain, with one lane per bank it owns
+        # (the shared machine's "one lane per tracked cache" rule, applied
+        # within each domain).
+        self._rmnms: Dict[Optional[int], RMNMCache] = {}
+        lane_counts: Dict[Optional[int], int] = {}
+        if design.rmnm_geometry is not None and not design.perfect:
+            blocks, assoc = design.rmnm_geometry
+            owned: Dict[Optional[int], int] = {}
+            for _tier, _cache, owner in slots:
+                owned[owner] = owned.get(owner, 0) + 1
+            for owner, lanes in owned.items():
+                self._rmnms[owner] = RMNMCache(blocks, assoc, num_lanes=lanes)
+
+        self._banks: List[_Bank] = []
+        self._by_cache: Dict[str, List[_Bank]] = {}
+        by_key: Dict[Tuple[str, Optional[int]], _Bank] = {}
+        for tier, cache, owner in slots:
+            context = FilterBuildContext(
+                level=tier, cache_name=cache.config.name,
+                granule_bits=granule_bits,
+            )
+            components: List[MissFilter] = []
+            if design.perfect:
+                components.append(PerfectFilter())
+            else:
+                components.extend(
+                    factory(context) for factory in design.factories_for(tier)
+                )
+                rmnm = self._rmnms.get(owner)
+                if rmnm is not None:
+                    lane = lane_counts.get(owner, 0)
+                    lane_counts[owner] = lane + 1
+                    components.append(RMNMLane(rmnm, lane))
+            if not components:
+                filter_: MissFilter = NullFilter()
+            elif len(components) == 1:
+                filter_ = components[0]
+            else:
+                filter_ = CompositeFilter(components)
+            bank = _Bank(
+                tier=tier, cache=cache, core=owner, filter=filter_,
+                mapper=BlockMapper(self.granule, cache.config.block_size),
+                stats=FilterStats(),
+            )
+            self._banks.append(bank)
+            self._by_cache.setdefault(cache.config.name, []).append(bank)
+            by_key[(cache.config.name, owner)] = bank
+
+        for name, banks in self._by_cache.items():
+            cache = banks[0].cache
+            cache.add_place_listener(self._make_listener(banks, place=True))
+            cache.add_replace_listener(self._make_listener(banks, place=False))
+
+        # Per-(core, kind) query routes: (bit index, bank) pairs for
+        # tiers 2..N, resolved once — query() runs per reference.
+        self._route: Dict[Tuple[int, AccessKind], Tuple[Tuple[int, _Bank], ...]] = {}
+        for core in range(hierarchy.cores):
+            for kind in AccessKind:
+                route: List[Tuple[int, _Bank]] = []
+                for tier in range(2, hierarchy.num_tiers + 1):
+                    cache = hierarchy.shared_cache_for(tier, kind)
+                    owner = core if self._private_at(tier) else None
+                    route.append((tier - 1, by_key[(cache.config.name, owner)]))
+                self._route[(core, kind)] = tuple(route)
+
+    def _private_at(self, tier: int) -> bool:
+        """Does ``tier`` get per-core banks under this topology?"""
+        if self.sharing == "private":
+            return True
+        if self.sharing == "hybrid":
+            return tier == 2
+        return False
+
+    def _make_listener(
+        self, banks: Sequence[_Bank], place: bool
+    ) -> Callable[[Cache, int], None]:
+        hierarchy = self.hierarchy
+
+        def listener(_cache: Cache, cache_block: int) -> None:
+            active = hierarchy.active_core
+            for bank in banks:
+                if bank.core is None or bank.core == active:
+                    target = (
+                        bank.filter.on_place if place
+                        else bank.filter.on_replace
+                    )
+                    for granule_addr in bank.mapper.to_granules(cache_block):
+                        target(granule_addr)
+                else:
+                    invalidate = bank.filter.on_invalidate
+                    for granule_addr in bank.mapper.to_granules(cache_block):
+                        invalidate(granule_addr)
+                        self.cross_core_invalidations += 1
+
+        return listener
+
+    # ---------------------------------------------------------------- query
+
+    def query(self, core: int, address: int, kind: AccessKind) -> MissBits:
+        """Miss-bit vector for an access ``core`` is about to perform.
+
+        Same contract as the single-core machine's query: must run
+        *before* the matching :meth:`MulticoreHierarchy.access`, and
+        ``bits[tier - 1]`` True is a proof that the shared tier will miss
+        — for every topology, under every policy.
+        """
+        granule_addr = address >> self._granule_shift
+        bits = [False] * self.hierarchy.num_tiers
+        for bit_index, bank in self._route[(core, kind)]:
+            stats = bank.stats
+            stats.lookups += 1
+            if bank.filter.is_definite_miss(granule_addr):
+                stats.miss_answers += 1
+                bits[bit_index] = True
+        return tuple(bits)
+
+    # ------------------------------------------------------------ inspection
+
+    def banks(self) -> Tuple[_Bank, ...]:
+        """Every bank (tests iterate these to cross-check soundness)."""
+        return tuple(self._banks)
+
+    def bank_for(self, cache_name: str, core: Optional[int]) -> _Bank:
+        """The bank watching ``cache_name`` for ``core`` (None = shared)."""
+        for bank in self._by_cache[cache_name]:
+            if bank.core == core:
+                return bank
+        raise LookupError(f"no bank for ({cache_name!r}, core={core})")
+
+    @property
+    def storage_bits(self) -> int:
+        """Total filter state: every bank's filters + each RMNM cache once.
+
+        Private topologies replicate state per core; the total reflects
+        that — replication is the hardware cost the sharing axis trades
+        against coverage.
+        """
+        total = sum(rmnm.storage_bits for rmnm in self._rmnms.values())
+        for bank in self._banks:
+            filter_ = bank.filter
+            components = (
+                filter_.components
+                if isinstance(filter_, CompositeFilter)
+                else (filter_,)
+            )
+            total += sum(
+                component.storage_bits
+                for component in components
+                if not isinstance(component, RMNMLane)
+            )
+        return total
+
+    @property
+    def name(self) -> str:
+        return self.design.name
+
+    def flush(self) -> None:
+        for bank in self._banks:
+            bank.filter.on_flush()
+        for rmnm in self._rmnms.values():
+            rmnm.flush()
+
+    def __repr__(self) -> str:
+        return (
+            f"MulticoreMNM({self.design.name!r}, sharing={self.sharing!r}, "
+            f"banks={len(self._banks)})"
+        )
+
+
+def multicore_storage_bits(hierarchy_config, design, mc) -> int:
+    """Filter state of ``design`` instantiated on the ``mc`` topology.
+
+    A pure function of its inputs — it builds the hierarchy and banks,
+    reads the total, and discards both; no simulation runs.  The search
+    runner uses it to prune over-budget multicore candidates statically,
+    the same way :func:`repro.power.budget.design_storage_bits` prunes
+    single-core ones (which this equals when ``mc`` is one shared core).
+    """
+    from repro.multicore.hierarchy import MulticoreHierarchy
+
+    hierarchy = MulticoreHierarchy(hierarchy_config, mc)
+    return MulticoreMNM(hierarchy, design, mc.mnm_sharing).storage_bits

@@ -1,0 +1,53 @@
+"""Deterministic interleavers: which core issues the next reference.
+
+A schedule is a function of the per-core stream lengths only — it never
+looks at the references themselves — so the interleaving is reproducible
+from ``(counts, schedule, seed)`` alone, which is exactly what the pass
+cache fingerprints (R001: no ambient entropy; the stochastic schedule
+draws from a ``random.Random(seed)`` owned by the call).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Sequence
+
+from repro.multicore.config import SCHEDULES
+
+
+def interleave(
+    counts: Sequence[int], schedule: str, seed: int = 0
+) -> Iterator[int]:
+    """Yield core indices, one per reference, until every stream is drained.
+
+    ``counts[i]`` is the length of core *i*'s stream; core *i* is yielded
+    exactly ``counts[i]`` times.  ``round_robin`` cycles the cores in
+    index order, skipping drained streams; ``stochastic`` picks uniformly
+    among the cores that still have references, from a private
+    ``random.Random(seed)``.
+    """
+    if schedule not in SCHEDULES:
+        raise ValueError(
+            f"unknown schedule {schedule!r} (expected one of {SCHEDULES})"
+        )
+    if any(count < 0 for count in counts):
+        raise ValueError(f"stream lengths must be >= 0, got {tuple(counts)}")
+    remaining: List[int] = list(counts)
+    if schedule == "round_robin":
+        while True:
+            exhausted = True
+            for core, left in enumerate(remaining):
+                if left:
+                    exhausted = False
+                    remaining[core] -= 1
+                    yield core
+            if exhausted:
+                return
+    rng = random.Random(seed)
+    live = [core for core, left in enumerate(remaining) if left]
+    while live:
+        core = live[rng.randrange(len(live))]
+        remaining[core] -= 1
+        if not remaining[core]:
+            live.remove(core)
+        yield core

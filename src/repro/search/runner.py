@@ -36,11 +36,17 @@ from repro.analysis.report import bar_chart
 from repro.analysis.sweep import SweepPoint, pareto_frontier
 from repro.cache.hierarchy import HierarchyConfig
 from repro.cache.presets import paper_hierarchy_5level
-from repro.core.presets import all_paper_design_names
-from repro.experiments.base import ExperimentSettings, reference_pass
+from repro.core.presets import all_paper_design_names, parse_design
+from repro.experiments.base import (
+    ExperimentSettings,
+    multicore_pass,
+    reference_pass,
+)
 from repro.experiments.checkpoint import RunJournal
 from repro.experiments.executor import execute_tasks
-from repro.experiments.planning import plan_design_passes
+from repro.experiments.planning import MulticoreTask, plan_design_passes
+from repro.multicore import multicore_storage_bits
+from repro.multicore.config import parse_multicore_name
 from repro.experiments.resilience import ExecutionPolicy
 from repro.power.budget import design_storage_bits
 from repro.search.objectives import INFEASIBLE, Evaluation, Objective
@@ -295,10 +301,18 @@ def run_search(
             points_by_name.setdefault(point.name, point)
 
         to_run: List[str] = []
+        to_run_multicore: List[str] = []
         for name, point in points_by_name.items():
+            mc = point.multicore_config()
             if name not in state.storage_bits:
-                state.storage_bits[name] = design_storage_bits(
-                    hierarchy_config, point.design())
+                # A multicore point's static cost is its banks on the
+                # topology (private sharing replicates state per core),
+                # not the base design's single-core footprint.
+                state.storage_bits[name] = (
+                    multicore_storage_bits(hierarchy_config, point.design(),
+                                           mc)
+                    if mc is not None else
+                    design_storage_bits(hierarchy_config, point.design()))
             if not objective.within_budget(state.storage_bits[name]):
                 if name not in state.pruned_names:
                     state.pruned_names.add(name)
@@ -310,7 +324,7 @@ def run_search(
                 state.deduped += 1
                 registry.counter("search.candidates.deduped").inc()
                 continue
-            to_run.append(name)
+            (to_run_multicore if mc is not None else to_run).append(name)
 
         if to_run:
             tasks = plan_design_passes(to_run, hierarchy_config, scaled,
@@ -369,6 +383,64 @@ def run_search(
                     )
                     state.evaluated += 1
                     registry.counter("search.candidates.evaluated").inc()
+
+        if to_run_multicore:
+            # Multicore candidates fan out as MulticoreTask specs — one
+            # topology pass per (candidate, workload); the same
+            # content-addressed cache dedupes and the journal resumes
+            # them.  Energy/access-time reductions are 0.0 by definition
+            # (there is no multicore power model), so rank this family by
+            # a coverage metric.
+            parsed = {name: parse_multicore_name(name)
+                      for name in to_run_multicore}
+            tasks = [
+                MulticoreTask((workload,), hierarchy_config, (base,), mc,
+                              scaled, experiment_id="search")
+                for name in to_run_multicore
+                for mc, base in (parsed[name],)
+                for workload in scaled.workload_list
+            ]
+            state.tasks_planned += len(tasks)
+            registry.counter("search.tasks.planned").inc(len(tasks))
+            computed = execute_tasks(tasks, jobs, policy=policy,
+                                     journal=journal, backend=backend)
+            state.tasks_computed += computed
+            registry.counter("search.tasks.computed").inc(computed)
+            registry.counter("search.tasks.cache_hits").inc(
+                len(tasks) - computed)
+            logger.info(
+                f"round {state.rounds}: evaluated "
+                f"{len(to_run_multicore)} multicore candidates "
+                f"at fidelity {proposal.fidelity:g}",
+                tasks=len(tasks), computed=computed,
+                span=spans.current_name() or "search.round")
+
+            for name in to_run_multicore:
+                mc, base = parsed[name]
+                designs = (parse_design(base),)
+                identified = candidates = violations = 0
+                storage_bits = 0
+                for workload in scaled.workload_list:
+                    result = multicore_pass((workload,), hierarchy_config,
+                                            designs, mc, scaled)
+                    design_result = result.designs[base]
+                    meter = design_result.coverage
+                    identified += meter.identified
+                    candidates += meter.candidates
+                    violations += meter.violations
+                    storage_bits = design_result.storage_bits
+                state.evaluations[name] = Evaluation(
+                    point=points_by_name[name],
+                    storage_bits=storage_bits,
+                    identified=identified,
+                    candidates=candidates,
+                    violations=violations,
+                    energy_reduction=0.0,
+                    access_time_reduction=0.0,
+                    fidelity=proposal.fidelity,
+                )
+                state.evaluated += 1
+                registry.counter("search.candidates.evaluated").inc()
 
         scores: Dict[str, float] = {}
         for name in points_by_name:

@@ -24,6 +24,14 @@ from typing import Dict, Iterator, List, Tuple
 
 from repro.core.machine import MNMDesign
 from repro.core.presets import parse_design
+from repro.multicore.config import (
+    L2_POLICIES,
+    SHARINGS,
+    MulticoreConfig,
+    is_multicore_name,
+    multicore_point_name,
+    parse_multicore_name,
+)
 
 #: The RMNM geometry ladder of Table 3 — hybrid points pick a rung instead
 #: of combining blocks and associativity freely, which keeps every hybrid's
@@ -32,8 +40,15 @@ RMNM_LADDER: Tuple[Tuple[int, int], ...] = (
     (128, 1), (512, 2), (2048, 4), (4096, 8),
 )
 
+#: Base (single-core) designs a multicore point wraps — the multicore
+#: family's ``base_design`` dimension indexes this tuple, so its values
+#: stay plain ints like every other dimension.
+MULTICORE_BASE_DESIGNS: Tuple[str, ...] = (
+    "TMNM_12x3", "SMNM_13x3", "CMNM_8_10", "HMNM2",
+)
+
 #: Technique families a :class:`FamilySpace` may declare.
-FAMILIES = ("tmnm", "smnm", "cmnm", "rmnm", "hybrid")
+FAMILIES = ("tmnm", "smnm", "cmnm", "rmnm", "hybrid", "multicore")
 
 
 @dataclass(frozen=True)
@@ -58,8 +73,21 @@ class DesignPoint:
         return hashlib.sha256(self.name.encode("utf-8")).hexdigest()[:12]
 
     def design(self) -> MNMDesign:
-        """Build the point's :class:`MNMDesign` (identical in any process)."""
+        """Build the point's :class:`MNMDesign` (identical in any process).
+
+        For a multicore point this is the wrapped *base* design — the
+        topology (cores, sharing, L2 policy) lives in the name prefix and
+        comes back through :meth:`multicore_config`.
+        """
+        if is_multicore_name(self.name):
+            return parse_design(parse_multicore_name(self.name)[1])
         return parse_design(self.name)
+
+    def multicore_config(self) -> "MulticoreConfig | None":
+        """The point's topology, or None for a single-core point."""
+        if is_multicore_name(self.name):
+            return parse_multicore_name(self.name)[0]
+        return None
 
 
 # ---------------------------------------------------------------------------
@@ -95,12 +123,23 @@ def _hybrid_name(params: Dict[str, int]) -> str:
     )
 
 
+def _multicore_name(params: Dict[str, int]) -> str:
+    config = MulticoreConfig(
+        cores=params["cores"],
+        mnm_sharing=SHARINGS[params["mnm_sharing"]],
+        l2_policy=L2_POLICIES[params["l2_policy"]],
+    )
+    return multicore_point_name(
+        config, MULTICORE_BASE_DESIGNS[params["base_design"]])
+
+
 _NAMERS = {
     "tmnm": _tmnm_name,
     "smnm": _smnm_name,
     "cmnm": _cmnm_name,
     "rmnm": _rmnm_name,
     "hybrid": _hybrid_name,
+    "multicore": _multicore_name,
 }
 
 
@@ -297,6 +336,23 @@ def hybrid_space() -> FamilySpace:
     ))
 
 
+def multicore_space() -> FamilySpace:
+    """Multicore topology grid: cores × MNM sharing × L2 policy × base.
+
+    ``mnm_sharing`` / ``l2_policy`` / ``base_design`` are indices into
+    :data:`~repro.multicore.config.SHARINGS`, :data:`~repro.multicore.
+    config.L2_POLICIES` and :data:`MULTICORE_BASE_DESIGNS`; the schedule
+    is fixed (round-robin, seed 0) so the axis varies contention, not
+    interleaving noise.
+    """
+    return FamilySpace("multicore", (
+        ("cores", (1, 2, 4)),
+        ("mnm_sharing", tuple(range(len(SHARINGS)))),
+        ("l2_policy", tuple(range(len(L2_POLICIES)))),
+        ("base_design", tuple(range(len(MULTICORE_BASE_DESIGNS)))),
+    ))
+
+
 def quick_space() -> SearchSpace:
     """A deliberately tiny space for smoke tests and CI (seconds, not hours)."""
     return SearchSpace("quick", (
@@ -332,6 +388,11 @@ _SPACE_PRESETS = {
     "cmnm": lambda: SearchSpace("cmnm", (cmnm_space(),)),
     "rmnm": lambda: SearchSpace("rmnm", (rmnm_space(),)),
     "hybrid": lambda: SearchSpace("hybrid", (hybrid_space(),)),
+    # Deliberately NOT folded into paper_space: a multicore point costs a
+    # whole topology simulation per workload, and its energy/access-time
+    # metrics are zero (no multicore power model) — mixing it into the
+    # default space would skew any non-coverage objective.
+    "multicore": lambda: SearchSpace("multicore", (multicore_space(),)),
 }
 
 

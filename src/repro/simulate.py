@@ -567,3 +567,163 @@ def run_reference_pass(
         designs=results,
         cache_stats=cache_stats,
     )
+
+
+# ---------------------------------------------------------------------------
+# Multi-core contention passes (shared tiers, competitive fills)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MulticoreDesignResult:
+    """Per-design accumulators from one shared multicore pass."""
+
+    design_name: str
+    coverage: CoverageMeter
+    storage_bits: int
+    cross_core_invalidations: int
+
+    @property
+    def bypass_rate(self) -> float:
+        """Identified misses per measured reference (the contention figure's
+        second axis: how often the MNM still earns its bypass under
+        sharing)."""
+        meter = self.coverage
+        return meter.identified / meter.accesses if meter.accesses else 0.0
+
+
+@dataclass
+class MulticorePassResult:
+    """Everything measured in one multi-design multicore pass."""
+
+    workloads: Tuple[str, ...]
+    hierarchy_name: str
+    cores: int
+    mnm_sharing: str
+    l2_policy: str
+    schedule: str
+    schedule_seed: int
+    references: int
+    back_invalidations: int
+    coherence_invalidations: int
+    designs: Dict[str, MulticoreDesignResult]
+    cache_stats: Dict[str, Tuple[int, int]]
+
+
+def run_multicore_pass(
+    per_core_references: Sequence[Sequence[Tuple[int, AccessKind]]],
+    hierarchy_config: HierarchyConfig,
+    designs: Sequence[MNMDesign],
+    mc: "MulticoreConfig",
+    workload_names: Tuple[str, ...] = (),
+    warmup: int = 0,
+    engine: str = "interp",
+) -> MulticorePassResult:
+    """Evaluate many MNM designs against one shared multicore simulation.
+
+    ``per_core_references[i]`` is core *i*'s reference stream; the
+    schedule in ``mc`` decides the interleaving.  As in
+    :func:`run_reference_pass`, bypasses never change cache contents, so
+    every design (each with its own :class:`~repro.multicore.mnm.
+    MulticoreMNM` bank set) observes one shared simulation.
+
+    The fast kernel does not model multicore contention: ``engine="fast"``
+    deliberately falls back to this interpreter (pinned by
+    ``tests/multicore/test_pass.py``), keeping the CLI's ``--engine``
+    flag safe to pass everywhere.
+    """
+    from repro.analysis.coverage import CoverageMeter as _Meter
+    from repro.multicore.config import MulticoreConfig
+    from repro.multicore.hierarchy import MulticoreHierarchy
+    from repro.multicore.mnm import MulticoreMNM
+    from repro.multicore.schedule import interleave
+
+    if engine not in ("interp", "fast"):
+        raise ValueError(
+            f"unknown engine {engine!r} (expected 'interp' or 'fast')"
+        )
+    if not isinstance(mc, MulticoreConfig):
+        raise TypeError(f"mc must be a MulticoreConfig, got {type(mc)!r}")
+    streams = [list(stream) for stream in per_core_references]
+    if len(streams) != mc.cores:
+        raise ValueError(
+            f"{mc.cores} cores need {mc.cores} reference streams, "
+            f"got {len(streams)}"
+        )
+
+    profiler = get_profiler()
+    pass_started = time.perf_counter() if profiler.enabled else 0.0
+
+    hierarchy = MulticoreHierarchy(hierarchy_config, mc)
+    entries: List[Tuple[MNMDesign, MulticoreMNM, _Meter]] = [
+        (
+            design,
+            MulticoreMNM(hierarchy, design, mc.mnm_sharing),
+            _Meter(hierarchy.num_tiers),
+        )
+        for design in designs
+    ]
+
+    positions = [0] * mc.cores
+    bits_list: List[Tuple[bool, ...]] = [()] * len(entries)
+    design_range = range(len(entries))
+    count = 0
+    seen = 0
+    for core in interleave(
+        [len(stream) for stream in streams], mc.schedule, mc.schedule_seed
+    ):
+        address, kind = streams[core][positions[core]]
+        positions[core] += 1
+        seen += 1
+        if seen <= warmup:
+            hierarchy.access(core, address, kind)
+            if seen == warmup:
+                hierarchy.reset_stats()
+                for _, mnm, _ in entries:
+                    mnm.cross_core_invalidations = 0
+            continue
+        count += 1
+        for index in design_range:
+            bits_list[index] = entries[index][1].query(core, address, kind)
+        outcome = hierarchy.access(core, address, kind)
+        for index in design_range:
+            entries[index][2].record(outcome, bits_list[index])
+
+    if count == 0:
+        raise ValueError(
+            f"multicore pass for {hierarchy_config.name!r} measured "
+            f"nothing: warmup={warmup} consumed the entire interleaved "
+            f"stream ({seen} references)"
+        )
+
+    registry = get_registry()
+    if registry.enabled:
+        hierarchy.export_stats(registry)
+    if profiler.enabled:
+        profiler.add("multicore_pass", time.perf_counter() - pass_started,
+                     units=count, unit_name="references")
+
+    return MulticorePassResult(
+        workloads=tuple(workload_names),
+        hierarchy_name=hierarchy_config.name,
+        cores=mc.cores,
+        mnm_sharing=mc.mnm_sharing,
+        l2_policy=mc.l2_policy,
+        schedule=mc.schedule,
+        schedule_seed=mc.schedule_seed,
+        references=count,
+        back_invalidations=hierarchy.back_invalidations,
+        coherence_invalidations=hierarchy.coherence_invalidations,
+        designs={
+            design.name: MulticoreDesignResult(
+                design_name=design.name,
+                coverage=meter,
+                storage_bits=mnm.storage_bits,
+                cross_core_invalidations=mnm.cross_core_invalidations,
+            )
+            for design, mnm, meter in entries
+        },
+        cache_stats={
+            cache.config.name: (cache.stats.probes, cache.stats.hits)
+            for _, cache in hierarchy.all_caches()
+        },
+    )

@@ -5,7 +5,7 @@ The architecture is a strict stack (docs/ARCHITECTURE.md)::
     telemetry                     (importable everywhere, imports nothing)
     addresses                     (bit-twiddling foundation)
     core / cache / cpu / workloads        (mechanism: filters, caches, traces)
-    simulate / kernel / analysis / power  (measurement over mechanism)
+    simulate / kernel / analysis / power / multicore  (measurement over mechanism)
     experiments / search / testing / staticcheck   (orchestration)
 
 A module may import from its own group or any group below it, never
@@ -58,6 +58,7 @@ LAYERS = {
     "kernel": 3,
     "analysis": 3,
     "power": 3,
+    "multicore": 3,
     "experiments": 4,
     "obs": 4,
     "search": 4,

@@ -24,7 +24,12 @@ shut:
 * a base-less class that quacks like a filter (defines ``on_place``
   plus either ``is_definite_miss`` or ``query_many``) is flagged:
   wired in by duck typing it would dodge every soundness test keyed
-  on the ABC.
+  on the ABC;
+* an ``on_invalidate`` override — on a machine or a filter subclass —
+  must route through ``super().on_invalidate(...)`` (or the explicit
+  base): the base implementation is the conservative downgrade that
+  keeps a filter sound under cross-core invalidation, and an override
+  that drops it silently converts contention into false misses.
 """
 
 from __future__ import annotations
@@ -83,20 +88,45 @@ class MNMSoundnessRule(Rule):
             method = _method(cls, method_name)
             if method is None:
                 continue  # inherits the audited implementation — fine.
-            if not self._routes_through_base(method, method_name):
+            if not self._routes_through_base(method, method_name,
+                                            ("MostlyNoMachine",)):
                 yield self.finding(
                     module, method,
                     f"{cls.name}.{method_name} reimplements the MNM query "
                     f"without routing through super().{method_name} — its "
                     "miss bits bypass the audited proof path")
+        yield from self._check_invalidate(module, cls, "MostlyNoMachine")
+
+    def _check_invalidate(self, module: ModuleInfo, cls: ast.ClassDef,
+                          base: str) -> Iterator[Finding]:
+        """An ``on_invalidate`` override must keep the base downgrade.
+
+        The base implementation is the conservative action (filters
+        downgrade to "maybe present"; the machine fans the hint out to
+        every tracked filter) that keeps MISS answers proofs of absence
+        under cross-core invalidation.  An override that refines the
+        reaction is fine *as long as* it also runs the base — dropping
+        it silently converts contention into false misses.
+        """
+        method = _method(cls, "on_invalidate")
+        if method is None:
+            return
+        if not self._routes_through_base(method, "on_invalidate", (base,)):
+            yield self.finding(
+                module, method,
+                f"{cls.name}.on_invalidate overrides the invalidation "
+                f"downgrade without routing through "
+                f"super().on_invalidate — a cross-core invalidation this "
+                "override mishandles becomes a false miss")
 
     @staticmethod
-    def _routes_through_base(method, method_name: str) -> bool:
+    def _routes_through_base(method, method_name: str,
+                             bases: tuple = ("MostlyNoMachine",)) -> bool:
         for node in ast.walk(method):
             if not isinstance(node, ast.Call):
                 continue
             chain = dotted_name(node.func)
-            if chain == f"MostlyNoMachine.{method_name}":
+            if chain in {f"{base}.{method_name}" for base in bases}:
                 return True
             if (isinstance(node.func, ast.Attribute)
                     and node.func.attr == method_name
@@ -109,6 +139,7 @@ class MNMSoundnessRule(Rule):
 
     def _check_filter_subclass(self, module: ModuleInfo,
                                cls: ast.ClassDef) -> Iterator[Finding]:
+        yield from self._check_invalidate(module, cls, "MissFilter")
         if _is_abstract(cls):
             return
         defined = _defined_names(cls)

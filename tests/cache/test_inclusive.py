@@ -94,6 +94,46 @@ class TestInclusiveHierarchy:
                     "does not — inclusion violated"
                 )
 
+    def test_back_invalidation_counts_sum_to_total(self):
+        """The per-victim-cache split must account for every drop, and the
+        exported ``cache.<name>.back_invalidations`` counters must equal
+        the in-object split exactly."""
+        from repro.telemetry import MetricsRegistry
+
+        rng = random.Random(5)
+        hierarchy = CacheHierarchy(small_hierarchy_config(3), inclusive=True)
+        for address, kind in random_references(rng, 4000, span=1 << 14):
+            hierarchy.access(address, kind)
+        assert hierarchy.back_invalidations >= 1  # stream must exercise it
+        assert (sum(hierarchy.back_invalidation_counts.values())
+                == hierarchy.back_invalidations)
+        registry = MetricsRegistry()
+        hierarchy.export_stats(registry)
+        counters = registry.snapshot()["counters"]
+        for name, dropped in hierarchy.back_invalidation_counts.items():
+            assert counters[f"cache.{name}.back_invalidations"] == dropped
+        # no phantom counters for caches that never lost a block
+        exported = {key for key in counters
+                    if key.endswith(".back_invalidations")}
+        expected = {f"cache.{name}"
+                    f".back_invalidations"
+                    for name, dropped in
+                    hierarchy.back_invalidation_counts.items() if dropped}
+        assert exported == expected
+
+    def test_non_inclusive_exports_no_back_invalidation_counters(self):
+        from repro.telemetry import MetricsRegistry
+
+        rng = random.Random(5)
+        hierarchy = CacheHierarchy(small_hierarchy_config(3))
+        for address, kind in random_references(rng, 2000, span=1 << 14):
+            hierarchy.access(address, kind)
+        registry = MetricsRegistry()
+        hierarchy.export_stats(registry)
+        counters = registry.snapshot()["counters"]
+        assert not any(key.endswith(".back_invalidations")
+                       for key in counters)
+
     def test_mnm_stays_sound_under_inclusion(self):
         """Back-invalidations are replacements the filters must observe."""
         rng = random.Random(8)

@@ -119,3 +119,52 @@ class TestAll:
         assert "fig02" in out
         assert "fig14" in out
         assert "fig15" not in out
+
+
+class TestMulticoreCommand:
+    ARGS = ["multicore", "--instructions", "3000", "--workloads", "twolf",
+            "--warmup-fraction", "0.25", "--cores", "2",
+            "--sharing", "private,shared", "--l2-policy", "inclusive",
+            "--designs", "TMNM_10x1,PERFECT"]
+
+    def test_contention_report(self, capsys):
+        assert main(list(self.ARGS)) == 0
+        out = capsys.readouterr().out
+        assert "multi-core contention" in out
+        assert "private" in out and "shared" in out
+        assert "violations" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "mc.json"
+        assert main([*self.ARGS, "--json", str(path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        assert payload["experiment_id"] == "multicore"
+        # every row's violations column must read 0 (soundness contract)
+        index = payload["headers"].index("violations")
+        assert all(row[index] == 0 for row in payload["rows"])
+
+    def _expect(self, argv, fragment, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == EXIT_BAD_VALUE
+        assert fragment in capsys.readouterr().err
+
+    def test_rejects_zero_cores(self, capsys):
+        self._expect(["multicore", "--cores", "0"], "--cores", capsys)
+
+    def test_rejects_unknown_sharing(self, capsys):
+        self._expect(["multicore", "--sharing", "split"], "--sharing",
+                     capsys)
+
+    def test_rejects_unknown_policy(self, capsys):
+        self._expect(["multicore", "--l2-policy", "victim"], "--l2-policy",
+                     capsys)
+
+    def test_rejects_unparsable_design(self, capsys):
+        self._expect(["multicore", "--designs", "NOT_A_DESIGN"],
+                     "--designs", capsys)
+
+    def test_rejects_negative_schedule_seed(self, capsys):
+        self._expect(["multicore", "--schedule-seed", "-3"],
+                     "--schedule-seed", capsys)

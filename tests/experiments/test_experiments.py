@@ -182,3 +182,36 @@ class TestHeavyExperimentsSmoke:
     def test_fig16_reports_all_designs(self):
         result = run_experiment("fig16", self.SETTINGS)
         assert len(result.headers) == 6
+
+
+class TestMulticoreExtension:
+    """Restricted-axis run of the contention sweep (full axes are heavy)."""
+
+    SETTINGS = ExperimentSettings(num_instructions=3000,
+                                  warmup_fraction=0.3,
+                                  workloads=("twolf",))
+
+    def test_contention_table_shape_and_soundness(self):
+        from repro.experiments.extensions import run_multicore_contention
+
+        result = run_multicore_contention(
+            self.SETTINGS, core_counts=(1, 2), sharings=("private", "shared"),
+            l2_policies=("inclusive",),
+            design_names=("TMNM_10x1", "PERFECT"),
+        )
+        assert result.experiment_id == "multicore"
+        assert result.headers[:4] == ["design", "cores", "sharing", "l2"]
+        # 2 designs x 2 core counts x 2 sharings x 1 policy
+        assert len(result.rows) == 8
+        violations = result.column("violations")
+        assert all(value == 0 for value in violations)
+        # private banks at 2 cores pay storage over the shared bank
+        kb = {(row[0], row[1], row[2]): row[6] for row in result.rows}
+        assert kb[("TMNM_10x1", 2, "private")] == (
+            2 * kb[("TMNM_10x1", 2, "shared")])
+        assert "soundness" in result.notes
+
+    def test_registry_entry_is_heavy_extension(self):
+        entry = get_experiment("multicore")
+        assert entry.heavy and entry.extension
+        assert entry.planner is not None

@@ -236,3 +236,67 @@ class TestDiskDegradations:
         assert PassCache(cache_dir=cache_dir).lookup("key") is None
         counters = registry.snapshot()["counters"]
         assert counters["cache.pass.disk.corrupt"] == 1
+
+
+class TestMulticoreKeys:
+    """Satellite regression: every multicore axis must be key-bearing.
+
+    A collision between two topologies differing only in schedule seed or
+    core count would serve one topology's contention numbers as the
+    other's — the exact stale-result bug the content-addressed cache
+    exists to prevent.
+    """
+
+    def _key(self, mc):
+        from repro.experiments.passcache import multicore_key
+
+        return multicore_key(("twolf",), small_hierarchy_config(),
+                             (tmnm_design(12, 3),), mc, TINY)
+
+    def test_schedule_seed_never_collides(self):
+        from repro.multicore.config import MulticoreConfig
+
+        keys = {
+            self._key(MulticoreConfig(cores=2, schedule="stochastic",
+                                      schedule_seed=seed))
+            for seed in range(8)
+        }
+        assert len(keys) == 8
+
+    def test_core_count_never_collides(self):
+        from repro.multicore.config import MulticoreConfig
+
+        keys = {self._key(MulticoreConfig(cores=cores))
+                for cores in (1, 2, 3, 4, 8)}
+        assert len(keys) == 5
+
+    def test_every_topology_axis_is_key_bearing(self):
+        """Flipping any single MulticoreConfig field must change the key."""
+        import dataclasses as dc
+
+        from repro.multicore.config import MulticoreConfig
+
+        base = MulticoreConfig(cores=2, mnm_sharing="private",
+                               l2_policy="inclusive",
+                               schedule="round_robin", schedule_seed=0)
+        variants = [
+            dc.replace(base, cores=4),
+            dc.replace(base, mnm_sharing="shared"),
+            dc.replace(base, mnm_sharing="hybrid"),
+            dc.replace(base, l2_policy="exclusive"),
+            dc.replace(base, schedule="stochastic"),
+            dc.replace(base, schedule="stochastic", schedule_seed=1),
+        ]
+        base_key = self._key(base)
+        keys = [self._key(variant) for variant in variants]
+        assert base_key not in keys
+        assert len(set(keys)) == len(keys)
+
+    def test_multicore_and_reference_keys_disjoint(self):
+        """A multicore pass can never be served a single-core result."""
+        from repro.multicore.config import MulticoreConfig
+
+        hierarchy = small_hierarchy_config()
+        single = pass_key("twolf", hierarchy, (tmnm_design(12, 3),), TINY)
+        multi = self._key(MulticoreConfig(cores=1))
+        assert single != multi

@@ -1,0 +1,91 @@
+"""Tests for MulticoreConfig validation and the MC point naming."""
+
+import pytest
+
+from repro.multicore.config import (
+    L2_POLICIES,
+    SCHEDULES,
+    SHARINGS,
+    MulticoreConfig,
+    is_multicore_name,
+    multicore_point_name,
+    parse_multicore_name,
+)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        mc = MulticoreConfig()
+        assert mc.cores == 2
+        assert mc.mnm_sharing in SHARINGS
+        assert mc.l2_policy in L2_POLICIES
+        assert mc.schedule in SCHEDULES
+
+    def test_cores_must_be_positive(self):
+        with pytest.raises(ValueError, match="cores"):
+            MulticoreConfig(cores=0)
+
+    def test_unknown_sharing_rejected(self):
+        with pytest.raises(ValueError, match="sharing"):
+            MulticoreConfig(mnm_sharing="split")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="l2_policy"):
+            MulticoreConfig(l2_policy="victim")
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError, match="schedule"):
+            MulticoreConfig(schedule="fifo")
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            MulticoreConfig(schedule_seed=-1)
+
+    def test_inclusive_property(self):
+        assert MulticoreConfig(l2_policy="inclusive").inclusive
+        assert not MulticoreConfig(l2_policy="exclusive").inclusive
+
+
+class TestFingerprint:
+    def test_every_field_is_fingerprint_bearing(self):
+        import dataclasses as dc
+
+        base = MulticoreConfig(cores=2)
+        variants = [
+            dc.replace(base, cores=4),
+            dc.replace(base, mnm_sharing="shared"),
+            dc.replace(base, l2_policy="exclusive"),
+            dc.replace(base, schedule="stochastic"),
+            dc.replace(base, schedule="stochastic", schedule_seed=9),
+        ]
+        prints = {base.fingerprint()} | {v.fingerprint() for v in variants}
+        assert len(prints) == len(variants) + 1
+
+
+class TestNaming:
+    def test_round_trip(self):
+        for cores in (1, 2, 4, 16):
+            for sharing in SHARINGS:
+                for policy in L2_POLICIES:
+                    config = MulticoreConfig(cores=cores, mnm_sharing=sharing,
+                                             l2_policy=policy)
+                    name = multicore_point_name(config, "TMNM_12x3")
+                    parsed, base = parse_multicore_name(name)
+                    assert parsed == config
+                    assert base == "TMNM_12x3"
+
+    def test_known_spelling(self):
+        config = MulticoreConfig(cores=4, mnm_sharing="private",
+                                 l2_policy="inclusive")
+        assert multicore_point_name(config, "HMNM2") == "MC4ip_HMNM2"
+
+    def test_is_multicore_name(self):
+        assert is_multicore_name("MC4ip_HMNM2")
+        assert is_multicore_name("MC1es_TMNM_12x3")
+        assert not is_multicore_name("TMNM_12x3")
+        assert not is_multicore_name("PERFECT")
+        assert not is_multicore_name("MCxip_HMNM2")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_multicore_name("TMNM_12x3")

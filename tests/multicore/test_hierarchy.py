@@ -1,0 +1,126 @@
+"""Tests for the multicore hierarchy: coherence, policies, counters."""
+
+import random
+
+import pytest
+
+from repro.cache.cache import AccessKind
+from repro.multicore.config import MulticoreConfig
+from repro.multicore.hierarchy import MulticoreHierarchy
+from tests.conftest import random_references, small_hierarchy_config
+
+
+def make(cores=2, sharing="private", policy="inclusive", levels=3):
+    mc = MulticoreConfig(cores=cores, mnm_sharing=sharing, l2_policy=policy)
+    return MulticoreHierarchy(small_hierarchy_config(levels), mc)
+
+
+class TestTopology:
+    def test_private_l1s_shared_deeper_tiers(self):
+        hierarchy = make(cores=4)
+        for core in range(4):
+            l1 = hierarchy.l1_for(core, AccessKind.LOAD)
+            assert l1.config.name == f"c{core}_dl1"
+        assert hierarchy.shared_cache_for(2, AccessKind.LOAD) is (
+            hierarchy.shared_cache_for(2, AccessKind.INSTRUCTION))
+
+    def test_single_tier_hierarchy_rejected(self):
+        import dataclasses
+
+        config = small_hierarchy_config(3)
+        flat = dataclasses.replace(config, tiers=config.tiers[:1])
+        with pytest.raises(ValueError, match="shared tier"):
+            MulticoreHierarchy(flat, MulticoreConfig())
+
+    def test_cores_do_not_share_l1_contents(self):
+        hierarchy = make(cores=2)
+        hierarchy.access(0, 0x1000, AccessKind.LOAD)
+        assert hierarchy.l1_for(0, AccessKind.LOAD).contains(0x1000)
+        assert not hierarchy.l1_for(1, AccessKind.LOAD).contains(0x1000)
+
+
+class TestCoherence:
+    def test_store_invalidates_peer_l1(self):
+        hierarchy = make(cores=2)
+        hierarchy.access(0, 0x2000, AccessKind.LOAD)
+        assert hierarchy.l1_for(0, AccessKind.LOAD).contains(0x2000)
+        hierarchy.access(1, 0x2000, AccessKind.STORE)
+        assert not hierarchy.l1_for(0, AccessKind.LOAD).contains(0x2000)
+        assert hierarchy.coherence_invalidations >= 1
+
+    def test_load_does_not_invalidate_peers(self):
+        hierarchy = make(cores=2)
+        hierarchy.access(0, 0x2000, AccessKind.LOAD)
+        hierarchy.access(1, 0x2000, AccessKind.LOAD)
+        assert hierarchy.l1_for(0, AccessKind.LOAD).contains(0x2000)
+        assert hierarchy.coherence_invalidations == 0
+
+
+class TestPolicies:
+    def test_inclusive_shared_eviction_reaches_every_l1(self):
+        hierarchy = make(cores=2, policy="inclusive")
+        hierarchy.access(0, 0x1000, AccessKind.LOAD)
+        hierarchy.access(1, 0x1000, AccessKind.LOAD)
+        ul2 = hierarchy.shared_cache_for(2, AccessKind.LOAD)
+        blk = ul2.block_addr(0x1000)
+        for k in range(1, ul2.config.associativity + 1):
+            ul2.fill((blk + k * ul2.config.num_sets)
+                     << ul2.config.offset_bits)
+        assert not ul2.contains(0x1000)
+        for core in range(2):
+            assert not hierarchy.l1_for(core, AccessKind.LOAD).contains(
+                0x1000)
+        assert hierarchy.back_invalidations >= 2
+
+    def test_exclusive_demand_fill_skips_l2(self):
+        hierarchy = make(policy="exclusive")
+        hierarchy.access(0, 0x3000, AccessKind.LOAD)
+        assert hierarchy.l1_for(0, AccessKind.LOAD).contains(0x3000)
+        assert not hierarchy.shared_cache_for(2, AccessKind.LOAD).contains(
+            0x3000)
+
+    def test_exclusive_hierarchy_has_no_back_invalidations(self):
+        hierarchy = make(policy="exclusive")
+        rng = random.Random(4)
+        for address, kind in random_references(rng, 3000, span=1 << 14):
+            hierarchy.access(rng.randrange(2), address, kind)
+        assert hierarchy.back_invalidations == 0
+
+    def test_back_invalidation_counts_sum_to_total(self):
+        """Multicore mirror of the single-core counter-equality contract."""
+        hierarchy = make(cores=2, policy="inclusive")
+        rng = random.Random(6)
+        for address, kind in random_references(rng, 4000, span=1 << 14):
+            hierarchy.access(rng.randrange(2), address, kind)
+        assert hierarchy.back_invalidations >= 1
+        assert (sum(hierarchy.back_invalidation_counts.values())
+                == hierarchy.back_invalidations)
+
+
+class TestStats:
+    def test_reset_stats_zeroes_every_counter(self):
+        hierarchy = make(cores=2, policy="inclusive")
+        rng = random.Random(9)
+        for address, kind in random_references(rng, 3000, span=1 << 14):
+            hierarchy.access(rng.randrange(2), address, kind)
+        hierarchy.reset_stats()
+        assert hierarchy.back_invalidations == 0
+        assert hierarchy.back_invalidation_counts == {}
+        assert hierarchy.coherence_invalidations == 0
+        for _, cache in hierarchy.all_caches():
+            assert cache.stats.probes == 0
+
+    def test_export_stats_counter_equality(self):
+        from repro.telemetry import MetricsRegistry
+
+        hierarchy = make(cores=2, policy="inclusive")
+        rng = random.Random(11)
+        for address, kind in random_references(rng, 4000, span=1 << 14):
+            hierarchy.access(rng.randrange(2), address, kind)
+        registry = MetricsRegistry()
+        hierarchy.export_stats(registry)
+        counters = registry.snapshot()["counters"]
+        for name, dropped in hierarchy.back_invalidation_counts.items():
+            assert counters[f"cache.{name}.back_invalidations"] == dropped
+        assert (counters["multicore.coherence_invalidations"]
+                == hierarchy.coherence_invalidations)

@@ -1,0 +1,127 @@
+"""Tests for MulticoreMNM bank topologies and invalidation routing."""
+
+import random
+
+from repro.cache.cache import AccessKind
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.machine import MostlyNoMachine
+from repro.core.presets import (
+    hmnm_design,
+    parse_design,
+    perfect_design,
+    tmnm_design,
+)
+from repro.multicore.config import MulticoreConfig
+from repro.multicore.hierarchy import MulticoreHierarchy
+from repro.multicore.mnm import MulticoreMNM, multicore_storage_bits
+from tests.conftest import random_references, small_hierarchy_config
+
+
+def make(sharing, cores=2, policy="inclusive", design=None):
+    mc = MulticoreConfig(cores=cores, mnm_sharing=sharing, l2_policy=policy)
+    hierarchy = MulticoreHierarchy(small_hierarchy_config(3), mc)
+    mnm = MulticoreMNM(hierarchy, design or tmnm_design(10, 1), sharing)
+    return hierarchy, mnm
+
+
+class TestTopologies:
+    def test_private_replicates_banks_per_core(self):
+        _, mnm = make("private", cores=3)
+        tier2 = [bank for bank in mnm.banks() if bank.tier == 2]
+        assert sorted(bank.core for bank in tier2) == [0, 1, 2]
+
+    def test_shared_keeps_one_bank_per_cache(self):
+        _, mnm = make("shared", cores=3)
+        assert all(bank.core is None for bank in mnm.banks())
+
+    def test_hybrid_splits_by_tier(self):
+        _, mnm = make("hybrid", cores=2)
+        tiers = {bank.tier: bank.core for bank in mnm.banks()}
+        tier2 = [bank for bank in mnm.banks() if bank.tier == 2]
+        tier3 = [bank for bank in mnm.banks() if bank.tier == 3]
+        assert all(bank.core is not None for bank in tier2)
+        assert all(bank.core is None for bank in tier3)
+        del tiers
+
+    def test_private_storage_is_core_multiplied(self):
+        """For a replication-free filter family, private banks cost exactly
+        cores x the shared footprint — the hardware side of the trade."""
+        config = small_hierarchy_config(3)
+        design = tmnm_design(10, 1)
+        shared = multicore_storage_bits(
+            config, design, MulticoreConfig(cores=4, mnm_sharing="shared"))
+        private = multicore_storage_bits(
+            config, design, MulticoreConfig(cores=4, mnm_sharing="private"))
+        assert private == 4 * shared
+
+    def test_hybrid_storage_between_extremes(self):
+        config = small_hierarchy_config(3)
+        design = hmnm_design(2)
+        bits = {
+            sharing: multicore_storage_bits(
+                config, design,
+                MulticoreConfig(cores=4, mnm_sharing=sharing))
+            for sharing in ("private", "shared", "hybrid")
+        }
+        assert bits["shared"] <= bits["hybrid"] <= bits["private"]
+
+
+class TestInvalidationRouting:
+    def test_private_banks_see_cross_core_traffic(self):
+        hierarchy, mnm = make("private", cores=2)
+        rng = random.Random(3)
+        for address, kind in random_references(rng, 2000, span=1 << 13):
+            core = rng.randrange(2)
+            mnm.query(core, address, kind)
+            hierarchy.access(core, address, kind)
+        assert mnm.cross_core_invalidations > 0
+
+    def test_shared_bank_never_sees_foreign_events(self):
+        hierarchy, mnm = make("shared", cores=2)
+        rng = random.Random(3)
+        for address, kind in random_references(rng, 2000, span=1 << 13):
+            core = rng.randrange(2)
+            mnm.query(core, address, kind)
+            hierarchy.access(core, address, kind)
+        assert mnm.cross_core_invalidations == 0
+
+    def test_downgrade_never_creates_a_proof(self):
+        """After on_invalidate(g) no filter family may claim a definite
+        miss for g — invalidation only ever *removes* proofs."""
+        designs = [tmnm_design(8, 1), parse_design("SMNM_10x1"),
+                   parse_design("CMNM_2_8"), hmnm_design(2),
+                   perfect_design()]
+        for design in designs:
+            _, mnm = make("private", cores=2, design=design)
+            for bank in mnm.banks():
+                for granule in (0, 5, 127):
+                    bank.filter.on_invalidate(granule)
+                    assert not bank.filter.is_definite_miss(granule), (
+                        design.name, bank.cache.config.name, granule)
+
+
+class TestMachineInvalidationSurface:
+    def test_machine_on_invalidate_downgrades_every_filter(self):
+        hierarchy = CacheHierarchy(small_hierarchy_config(3))
+        machine = MostlyNoMachine(hierarchy, tmnm_design(10, 1))
+        granule = 0x40
+        for name in machine.tracked_cache_names():
+            assert machine.filter_for(name).is_definite_miss(granule)
+        machine.on_invalidate(granule)
+        for name in machine.tracked_cache_names():
+            assert not machine.filter_for(name).is_definite_miss(granule)
+
+    def test_machine_stays_sound_after_invalidations(self):
+        """Spraying invalidation hints can only lose coverage, never
+        produce a false miss."""
+        rng = random.Random(17)
+        hierarchy = CacheHierarchy(small_hierarchy_config(3))
+        machine = MostlyNoMachine(hierarchy, hmnm_design(2))
+        for address, kind in random_references(rng, 3000, span=1 << 14):
+            if rng.random() < 0.1:
+                machine.on_invalidate(rng.randrange(1 << 9))
+            bits = machine.query(address, kind)
+            outcome = hierarchy.access(address, kind)
+            supplier = outcome.supplier
+            if supplier is not None and supplier >= 2:
+                assert not bits[supplier - 1]

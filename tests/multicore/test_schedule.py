@@ -1,0 +1,54 @@
+"""Tests for the deterministic stream interleavers."""
+
+import pytest
+
+from repro.multicore.schedule import interleave
+
+
+class TestRoundRobin:
+    def test_cycles_in_core_order(self):
+        order = list(interleave([2, 2, 2], "round_robin"))
+        assert order == [0, 1, 2, 0, 1, 2]
+
+    def test_drained_cores_are_skipped(self):
+        order = list(interleave([3, 1], "round_robin"))
+        assert order == [0, 1, 0, 0]
+
+    def test_each_core_appears_exactly_count_times(self):
+        counts = [5, 0, 3, 7]
+        order = list(interleave(counts, "round_robin"))
+        assert len(order) == sum(counts)
+        for core, count in enumerate(counts):
+            assert order.count(core) == count
+
+
+class TestStochastic:
+    def test_deterministic_per_seed(self):
+        a = list(interleave([20, 20], "stochastic", seed=7))
+        b = list(interleave([20, 20], "stochastic", seed=7))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(interleave([50, 50], "stochastic", seed=1))
+        b = list(interleave([50, 50], "stochastic", seed=2))
+        assert a != b
+
+    def test_conserves_counts(self):
+        counts = [11, 0, 17]
+        order = list(interleave(counts, "stochastic", seed=3))
+        for core, count in enumerate(counts):
+            assert order.count(core) == count
+
+
+class TestValidation:
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError, match="schedule"):
+            list(interleave([1], "lifo"))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            list(interleave([1, -1], "round_robin"))
+
+    def test_empty_counts_yield_nothing(self):
+        assert list(interleave([], "round_robin")) == []
+        assert list(interleave([0, 0], "stochastic", seed=0)) == []

@@ -1,0 +1,94 @@
+"""Property test: no topology, policy, schedule or MNM family may ever
+produce a false miss under interleaved streams and cross-core
+invalidations — the paper's one-sided contract, extended to contention.
+
+Hypothesis drives the core count, sharing topology, shared-L2 policy,
+schedule (+ seed) and every core's reference stream; the designs cover
+all four filter families, the Table-3 hybrid and the oracle.  Soundness
+is asserted two ways for every measured access: directly (a shared-tier
+hit contradicting a MISS bit fails on the spot) and through the
+CoverageMeter's violation counter.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.coverage import CoverageMeter
+from repro.cache.cache import AccessKind
+from repro.core.presets import (
+    hmnm_design,
+    parse_design,
+    perfect_design,
+    tmnm_design,
+)
+from repro.multicore.config import (
+    L2_POLICIES,
+    SCHEDULES,
+    SHARINGS,
+    MulticoreConfig,
+)
+from repro.multicore.hierarchy import MulticoreHierarchy
+from repro.multicore.mnm import MulticoreMNM
+from repro.multicore.schedule import interleave
+from tests.conftest import small_hierarchy_config
+
+DESIGNS = (
+    tmnm_design(8, 1),
+    parse_design("SMNM_10x1"),
+    parse_design("CMNM_2_8"),
+    parse_design("RMNM_128_1"),
+    hmnm_design(2),
+    perfect_design(),
+)
+
+references = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=(1 << 13) - 1).map(
+            lambda a: a & ~0x3),
+        st.sampled_from([AccessKind.LOAD, AccessKind.STORE,
+                         AccessKind.INSTRUCTION]),
+    ),
+    min_size=20, max_size=120,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    streams=st.lists(references, min_size=1, max_size=3),
+    sharing=st.sampled_from(SHARINGS),
+    policy=st.sampled_from(L2_POLICIES),
+    schedule=st.sampled_from(SCHEDULES),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_no_false_miss_under_contention(streams, sharing, policy, schedule,
+                                        seed):
+    mc = MulticoreConfig(cores=len(streams), mnm_sharing=sharing,
+                         l2_policy=policy, schedule=schedule,
+                         schedule_seed=seed)
+    hierarchy = MulticoreHierarchy(small_hierarchy_config(3), mc)
+    entries = [
+        (design, MulticoreMNM(hierarchy, design, sharing),
+         CoverageMeter(hierarchy.num_tiers))
+        for design in DESIGNS
+    ]
+
+    positions = [0] * mc.cores
+    for core in interleave([len(s) for s in streams], schedule, seed):
+        address, kind = streams[core][positions[core]]
+        positions[core] += 1
+        bits_per_design = [
+            (mnm, meter, mnm.query(core, address, kind))
+            for _, mnm, meter in entries
+        ]
+        outcome = hierarchy.access(core, address, kind)
+        supplier = outcome.supplier
+        for mnm, meter, bits in bits_per_design:
+            if supplier is not None and supplier >= 2:
+                assert not bits[supplier - 1], (
+                    f"{mnm.name} [{sharing}/{policy}] claimed a definite "
+                    f"miss at shared tier {supplier} that supplied "
+                    f"{address:#x} for core {core}"
+                )
+            meter.record(outcome, bits)
+
+    for design, _, meter in entries:
+        assert meter.violations == 0, (design.name, sharing, policy)

@@ -1,0 +1,119 @@
+"""Tests for the multicore search family: naming, pruning, evaluation."""
+
+import pytest
+
+from repro.experiments.base import ExperimentSettings, clear_pass_cache
+from repro.multicore.config import parse_multicore_name
+from repro.multicore.mnm import multicore_storage_bits
+from repro.search import Objective, make_sampler, run_search, space_preset
+from repro.search.space import MULTICORE_BASE_DESIGNS, multicore_space
+from tests.conftest import small_hierarchy_config
+
+SETTINGS = ExperimentSettings(num_instructions=2000, warmup_fraction=0.25,
+                              workloads=("twolf",))
+
+
+class TestSpace:
+    def test_dimensions(self):
+        space = multicore_space()
+        assert space.size == 3 * 3 * 2 * len(MULTICORE_BASE_DESIGNS)
+
+    def test_every_point_round_trips(self):
+        space = space_preset("multicore")
+        for point in space.points():
+            mc, base = parse_multicore_name(point.name)
+            assert point.multicore_config() == mc
+            assert base in MULTICORE_BASE_DESIGNS
+            assert point.design().name == base
+
+    def test_single_core_points_have_no_topology(self):
+        space = space_preset("tmnm")
+        assert space.point(0).multicore_config() is None
+
+    def test_not_in_paper_space(self):
+        from repro.search.space import paper_space
+
+        assert all(family.family != "multicore"
+                   for family in paper_space().families)
+
+    def test_neighbors_stay_in_family(self):
+        space = space_preset("multicore")
+        for neighbor in space.neighbors(0):
+            assert space.point(neighbor).family == "multicore"
+
+
+class TestStoragePruning:
+    def test_private_storage_scales_with_cores(self):
+        from repro.core.presets import parse_design
+        from repro.multicore.config import MulticoreConfig
+
+        config = small_hierarchy_config(3)
+        design = parse_design("TMNM_12x3")
+        one = multicore_storage_bits(
+            config, design, MulticoreConfig(cores=1, mnm_sharing="private"))
+        four = multicore_storage_bits(
+            config, design, MulticoreConfig(cores=4, mnm_sharing="private"))
+        assert four == 4 * one
+
+
+class TestRunner:
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        clear_pass_cache()
+        yield
+        clear_pass_cache()
+
+    def test_multicore_search_end_to_end(self):
+        report = run_search(
+            space_preset("multicore"),
+            make_sampler("random", seed=3, num_samples=4),
+            Objective(metric="coverage"),
+            settings=SETTINGS,
+            hierarchy_config=small_hierarchy_config(3),
+            include_baselines=False,
+        )
+        assert report.evaluated == len(report.ranked) > 0
+        for evaluation in report.ranked:
+            assert evaluation.point.family == "multicore"
+            assert evaluation.violations == 0
+            assert evaluation.energy_reduction == 0.0
+            assert evaluation.access_time_reduction == 0.0
+            assert 0.0 <= evaluation.coverage <= 1.0
+        rendered = report.render()
+        assert "multicore" in rendered
+
+    def test_report_is_stable_across_reruns(self):
+        def run():
+            clear_pass_cache()
+            return run_search(
+                space_preset("multicore"),
+                make_sampler("random", seed=5, num_samples=3),
+                Objective(metric="coverage"),
+                settings=SETTINGS,
+                hierarchy_config=small_hierarchy_config(3),
+                include_baselines=False,
+            ).render()
+
+        assert run() == run()
+
+    def test_budget_prunes_replicated_private_banks(self):
+        """A budget between the shared and private footprints must prune
+        exactly the topologies that replicate state."""
+        from repro.core.presets import parse_design
+        from repro.multicore.config import MulticoreConfig
+
+        config = small_hierarchy_config(3)
+        design = parse_design("TMNM_12x3")
+        shared_bits = multicore_storage_bits(
+            config, design, MulticoreConfig(cores=4, mnm_sharing="shared"))
+        report = run_search(
+            space_preset("multicore"),
+            make_sampler("grid", num_samples=72),
+            Objective(metric="coverage", budget_bits=shared_bits),
+            settings=SETTINGS,
+            hierarchy_config=config,
+            include_baselines=False,
+        )
+        assert report.pruned > 0
+        for evaluation in report.ranked:
+            assert evaluation.storage_bits <= shared_bits

@@ -153,6 +153,24 @@ class TestR002Layering:
             module="repro.experiments.backends.pool", rule="R002")
         assert ok == []
 
+    def test_multicore_layer_edges(self):
+        # multicore sits in the measurement layer: it may reach down into
+        # cache/core, simulate may reach across, search may reach down...
+        down = _check("from repro.cache import hierarchy\n",
+                      module="repro.multicore.hierarchy", rule="R002")
+        assert down == []
+        lateral = _check("from repro.multicore import MulticoreHierarchy\n",
+                         module="repro.simulate", rule="R002")
+        assert lateral == []
+        above = _check("from repro.multicore.config import MulticoreConfig\n",
+                       module="repro.search.space", rule="R002")
+        assert above == []
+        # ...but mechanism must not depend on the contention layer.
+        up = _check("from repro.multicore import interleave\n",
+                    module="repro.workloads.generators", rule="R002")
+        assert _ids(up) == ["R002"]
+        assert "upward edge" in up[0].message
+
     def test_telemetry_imports_nothing_above(self):
         findings = _check(
             "from repro.core import base\n",
@@ -751,6 +769,117 @@ class TestR006MNMSoundness:
             class BatchHelper:
                 def query_many(self, granule_addrs):
                     return [False] * len(granule_addrs)
+            """,
+            rule="R006",
+        )
+        assert findings == []
+
+    # ----------------- cross-core invalidation downgrade (on_invalidate)
+
+    def test_machine_on_invalidate_without_super_flagged(self):
+        findings = _check(
+            """\
+            from repro.core.machine import MostlyNoMachine
+
+            class QuietMNM(MostlyNoMachine):
+                def on_invalidate(self, granule_addr):
+                    pass  # swallows the downgrade: contention -> false miss
+            """,
+            rule="R006",
+        )
+        assert _ids(findings) == ["R006"]
+        assert "on_invalidate" in findings[0].message
+        assert "false miss" in findings[0].message
+
+    def test_machine_on_invalidate_via_super_ok(self):
+        findings = _check(
+            """\
+            from repro.core.machine import MostlyNoMachine
+
+            class CountingMNM(MostlyNoMachine):
+                def on_invalidate(self, granule_addr):
+                    self.invalidations += 1
+                    super().on_invalidate(granule_addr)
+            """,
+            rule="R006",
+        )
+        assert findings == []
+
+    def test_filter_on_invalidate_without_super_flagged(self):
+        findings = _check(
+            """\
+            from repro.core.base import MissFilter
+
+            class LazyFilter(MissFilter):
+                def is_definite_miss(self, addr):
+                    return False
+
+                def on_place(self, addr):
+                    pass
+
+                def on_replace(self, addr):
+                    pass
+
+                @property
+                def storage_bits(self):
+                    return 0
+
+                def on_invalidate(self, granule_addr):
+                    return None  # drops the conservative downgrade
+            """,
+            rule="R006",
+        )
+        assert _ids(findings) == ["R006"]
+        assert "on_invalidate" in findings[0].message
+
+    def test_filter_on_invalidate_via_base_call_ok(self):
+        findings = _check(
+            """\
+            from repro.core.base import MissFilter
+
+            class TracingFilter(MissFilter):
+                def is_definite_miss(self, addr):
+                    return False
+
+                def on_place(self, addr):
+                    pass
+
+                def on_replace(self, addr):
+                    pass
+
+                @property
+                def storage_bits(self):
+                    return 0
+
+                def on_invalidate(self, granule_addr):
+                    self.seen.append(granule_addr)
+                    MissFilter.on_invalidate(self, granule_addr)
+            """,
+            rule="R006",
+        )
+        assert findings == []
+
+    def test_inherited_on_invalidate_ok(self):
+        findings = _check(
+            """\
+            from repro.core.machine import MostlyNoMachine
+
+            class PlainMNM(MostlyNoMachine):
+                label = "plain"
+            """,
+            rule="R006",
+        )
+        assert findings == []
+
+    def test_on_invalidate_suppressible(self):
+        findings = _check(
+            """\
+            from repro.core.machine import MostlyNoMachine
+
+            class ShadowMNM(MostlyNoMachine):
+                # repro: allow[R006] downgrade handled by a paired shadow bank
+                def on_invalidate(self, granule_addr):
+                    self.shadow.on_invalidate(granule_addr)
             """,
             rule="R006",
         )
