@@ -37,6 +37,7 @@ def _run_report(out_path, instructions, jobs, cache_dir=None):
     ]
     if cache_dir:
         command += ["--cache-dir", cache_dir]
+    # repro: allow[R001] subprocess benchmarks forward the parent environment so the child finds the package
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in [os.path.join(REPO_ROOT, "src"),

@@ -44,6 +44,7 @@ def _run_search(out_path, metrics_path, instructions, samples, jobs,
     ]
     if resume_dir:
         command += ["--resume", resume_dir]
+    # repro: allow[R001] subprocess benchmarks forward the parent environment so the child finds the package
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in [os.path.join(REPO_ROOT, "src"),

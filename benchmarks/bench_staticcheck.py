@@ -1,0 +1,159 @@
+"""Benchmark the staticcheck engine: cold vs warm cache, --diff vs full.
+
+The engine-v2 accelerations (content-addressed result cache, ``--diff``
+reverse-import-closure narrowing) only earn their complexity if they
+hold measurable ground, so this harness times three passes over an
+isolated copy of the installed ``repro`` package:
+
+* **cold** — fresh cache directory, every file analysed;
+* **warm** — identical tree, same cache: every file replays from disk
+  (the headline ``warm_speedup`` = cold wall / warm wall, floored at
+  5x by ``ci/baselines/staticcheck.json``);
+* **diff** — one file touched and committed over, ``--diff HEAD``
+  analysing only that file plus its reverse import closure.
+
+The tree is *copied* into a scratch git repository first, so the
+measurements are deterministic: they cannot depend on the developer's
+dirty working copy, and touching the scratch copy cannot invalidate
+the result cache (whose digest hashes the *installed* checker sources,
+not the scanned files).
+
+Writes ``BENCH_staticcheck.json`` in the shared ``repro-bench/v1``
+envelope so ``repro-mnm obs regress`` gates it like every other
+benchmark::
+
+    python benchmarks/bench_staticcheck.py [--out FILE]
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+try:
+    from benchmarks._schema import bench_envelope, write_bench
+except ImportError:  # run as a standalone script from benchmarks/
+    from _schema import bench_envelope, write_bench
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.staticcheck.rules import default_rules  # noqa: E402
+from repro.staticcheck.runner import run_analysis  # noqa: E402
+
+#: The file the diff scenario touches: a leaf of the import graph, so
+#: the closure stays small and the measurement stays stable.
+TOUCHED = os.path.join("repro", "staticcheck", "sarif.py")
+
+
+def _git(cwd, *argv):
+    subprocess.run(["git", *argv], cwd=cwd, check=True,
+                   capture_output=True)
+
+
+def build_scratch_tree(scratch):
+    """Copy the installed package into a committed scratch git repo."""
+    import repro
+
+    source = os.path.dirname(os.path.abspath(repro.__file__))
+    target = os.path.join(scratch, "repro")
+    shutil.copytree(source, target,
+                    ignore=shutil.ignore_patterns("__pycache__"))
+    _git(scratch, "init", "-q")
+    _git(scratch, "config", "user.email", "bench@example.com")
+    _git(scratch, "config", "user.name", "bench")
+    _git(scratch, "add", ".")
+    _git(scratch, "commit", "-q", "-m", "scratch tree")
+    return target
+
+
+def timed_run(paths, cache_dir, diff_rev=None, repeats=1):
+    """Best-of-N wall clock for one run_analysis invocation."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_analysis(paths, default_rules(), cache_dir=cache_dir,
+                              diff_rev=diff_rev)
+        wall = time.perf_counter() - start
+        best = wall if best is None else min(best, wall)
+    return best, result
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_staticcheck.json")
+    parser.add_argument("--warm-repeats", type=int, default=3,
+                        help="warm passes to take the best of")
+    args = parser.parse_args(argv)
+
+    scratch = tempfile.mkdtemp(prefix="bench_staticcheck_")
+    previous_cwd = os.getcwd()
+    try:
+        build_scratch_tree(scratch)
+        cache_dir = os.path.join(scratch, "result-cache")
+        os.chdir(scratch)  # display_path and --diff resolve against cwd
+
+        cold_wall, cold = timed_run(["repro"], cache_dir)
+        if cold.cache_stats["hits"]:
+            raise RuntimeError(
+                f"cold pass hit the cache: {cold.cache_stats}")
+
+        warm_wall, warm = timed_run(["repro"], cache_dir,
+                                    repeats=max(1, args.warm_repeats))
+        if warm.cache_stats["misses"]:
+            raise RuntimeError(
+                f"warm pass missed the cache: {warm.cache_stats}")
+        if warm.findings != cold.findings:
+            raise RuntimeError("warm findings differ from cold findings")
+
+        with open(TOUCHED, "a", encoding="utf-8") as handle:
+            handle.write("# touched by bench_staticcheck\n")
+        diff_wall, diff = timed_run(["repro"], cache_dir, diff_rev="HEAD")
+
+        files = cold.checked_files
+        metrics = {
+            "files": {"total": files},
+            "wall_seconds": {
+                "cold": round(cold_wall, 4),
+                "warm": round(warm_wall, 4),
+                "diff": round(diff_wall, 4),
+            },
+            "files_per_second": {
+                "cold": round(files / cold_wall, 2),
+                "warm": round(files / warm_wall, 2),
+            },
+            "warm_speedup": round(cold_wall / warm_wall, 2),
+            "diff_speedup": round(cold_wall / diff_wall, 2),
+            "diff": {
+                "analyzed_files": diff.analyzed_files,
+                "checked_files": diff.checked_files,
+            },
+        }
+        document = bench_envelope(
+            "staticcheck", metrics,
+            touched_file=TOUCHED.replace(os.sep, "/"),
+            warm_repeats=max(1, args.warm_repeats),
+            findings=len(cold.findings),
+        )
+    finally:
+        os.chdir(previous_cwd)
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    write_bench(args.out, document)
+    print(f"staticcheck bench: {files} files | "
+          f"cold {cold_wall:.3f}s ({metrics['files_per_second']['cold']:.0f}"
+          f" files/s) | warm {warm_wall:.3f}s "
+          f"({metrics['warm_speedup']:.1f}x) | "
+          f"diff {diff_wall:.3f}s analysing "
+          f"{diff.analyzed_files}/{diff.checked_files} files "
+          f"({metrics['diff_speedup']:.1f}x)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

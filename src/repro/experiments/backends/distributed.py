@@ -198,6 +198,7 @@ class DistributedBackend:
             env["REPRO_FAULTS"] = fault_spec
         log_path = os.path.join(queue.logs_dir(),
                                 f"worker-{os.getpid()}-{ordinal}.log")
+        # repro: allow[R009] diagnostic worker log, append-only and never read back programmatically
         log_handle = open(log_path, "ab")
         try:
             proc = subprocess.Popen(command, env=env,

@@ -57,6 +57,11 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro import telemetry
+from repro.experiments.atomic import (
+    create_exclusive,
+    publish_linked,
+    replace_atomic,
+)
 from repro.experiments.planning import Task
 
 #: Queue header magic + layout version.  Bump the version whenever the
@@ -351,15 +356,7 @@ class WorkQueue:
                       deadline=_wall_clock() + ttl, ttl=ttl,
                       nonce=self._next_nonce(worker))
         registry = telemetry.get_registry()
-        try:
-            handle = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
-        except FileExistsError:
-            pass
-        else:
-            with os.fdopen(handle, "w", encoding="utf-8") as fh:
-                fh.write(lease.to_json())
-                fh.flush()
-                os.fsync(fh.fileno())
+        if create_exclusive(path, lease.to_json().encode("utf-8")):
             registry.counter("queue.lease.claimed").inc()
             return lease
 
@@ -434,26 +431,10 @@ class WorkQueue:
         """
         path = self.result_path(digest)
         data = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "wb") as handle:
-            handle.write(data)
-            handle.flush()
-            os.fsync(handle.fileno())
-        try:
-            os.link(tmp, path)
-        except FileExistsError:
+        if not publish_linked(path, data):
             telemetry.get_registry().counter(
                 "queue.results.duplicate").inc()
             return False
-        except OSError:  # pragma: no cover - linkless filesystem
-            os.replace(tmp, path)
-            tmp = None
-        finally:
-            if tmp is not None:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
         telemetry.get_registry().counter("queue.results.committed").inc()
         return True
 
@@ -545,12 +526,7 @@ class WorkQueue:
 
 def _atomic_write(path: str, data: bytes) -> None:
     """tmp + fsync + ``os.replace``: readers see old bytes or new, never torn."""
-    tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "wb") as handle:
-        handle.write(data)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
+    replace_atomic(path, data)
 
 
 def _fault_injector():

@@ -59,8 +59,11 @@ class ExperimentSettings:
     num_instructions: int = DEFAULT_INSTRUCTIONS
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION
     seed: int = 0
+    # repro: allow[R007] every pass key carries its workload argument explicitly
     workloads: Tuple[str, ...] = ()
+    # repro: allow[R007] faults change whether computing fails, never what a result is keyed as
     fault_spec: str = ""
+    # repro: allow[R007] engines are byte-identical by pinned contract, so passes are interchangeable
     engine: str = "interp"
 
     def __post_init__(self) -> None:

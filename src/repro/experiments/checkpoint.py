@@ -38,6 +38,7 @@ import os
 from typing import Dict, Iterator, Optional
 
 from repro import telemetry
+from repro.experiments.atomic import replace_atomic
 from repro.experiments.passcache import key_digest
 
 #: Journal header magic + layout version.  Bump the version whenever the
@@ -182,18 +183,14 @@ class RunJournal:
             return
         if not os.path.exists(self.path):
             self._write_header()
+        # repro: allow[R009] fsync-per-entry append journal, torn tails recovered on replay
         self._handle = open(self.path, "a", encoding="utf-8")
 
     def _write_header(self) -> None:
         header = json.dumps(
             {"magic": JOURNAL_MAGIC, "schema": JOURNAL_SCHEMA},
             sort_keys=True)
-        tmp_path = f"{self.path}.tmp.{os.getpid()}"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            handle.write(header + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, self.path)
+        replace_atomic(self.path, (header + "\n").encode("utf-8"))
 
     def record(self, key: str, description: str = "",
                elapsed: Optional[float] = None) -> None:

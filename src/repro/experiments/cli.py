@@ -218,19 +218,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser(
         "check",
-        help="static invariant checker: AST rules R001-R006 over the "
+        help="static invariant checker: AST rules R001-R010 over the "
              "source tree")
-    check.add_argument("paths", nargs="*", metavar="PATH",
-                       help="files/directories to check (default: the "
-                            "installed repro package)")
-    check.add_argument("--format", choices=("text", "json"),
-                       default="text",
-                       help="report format (default text)")
-    check.add_argument("--rules", type=str, default="",
-                       help="comma-separated rule subset, e.g. R001,R005 "
-                            "(default: all rules)")
-    check.add_argument("--list-rules", action="store_true",
-                       help="print the rule table and exit")
+    from repro.staticcheck.cli import add_check_arguments
+
+    add_check_arguments(check)
 
     tele = sub.add_parser(
         "telemetry", help="inspect telemetry artifacts")
@@ -863,11 +855,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "check":
-        from repro.staticcheck.cli import run_check
+        from repro.staticcheck.cli import run_check_args
 
-        return run_check(args.paths, fmt=args.format,
-                         rules_csv=args.rules,
-                         list_rules=args.list_rules)
+        return run_check_args(args)
 
     if args.command == "obs":
         from repro.obs.cli import run_obs

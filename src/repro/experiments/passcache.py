@@ -44,6 +44,7 @@ import pickle
 from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence
 
 from repro import telemetry
+from repro.experiments.atomic import publish_linked
 
 if TYPE_CHECKING:  # avoid an import cycle with repro.experiments.base
     from repro.cache.hierarchy import HierarchyConfig
@@ -371,7 +372,6 @@ class PassCache:
             "payload": value,
         }
         path = self._path_for(key)
-        tmp_path = f"{path}.tmp.{os.getpid()}"
         data = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
         injector = _fault_injector()
         if injector is not None and injector.should_corrupt(key):
@@ -381,30 +381,17 @@ class PassCache:
 
             data = corrupt_bytes(data)
         try:
-            with open(tmp_path, "wb") as handle:
-                handle.write(data)
-            try:
-                # Single-writer-wins commit: linking the fully-written
-                # temp file onto the final name either claims the slot
-                # atomically or fails because a concurrent writer (a
-                # twin worker computing the same pure pass) already did.
-                os.link(tmp_path, path)
-            except FileExistsError:
+            # Single-writer-wins commit: the first fully-written envelope
+            # for a key sticks, concurrent twins (workers computing the
+            # same pure pass) discard.  fsync=False is a deliberate
+            # durability trade: entries are recomputable, and torn tails
+            # degrade to misses via the quarantine path.
+            if not publish_linked(path, data, fsync=False):
                 telemetry.get_registry().counter(
                     "cache.pass.disk.write_race").inc()
-            except OSError:
-                # Filesystems without hard links (or cross-device
-                # layouts) fall back to the atomic-but-last-writer-wins
-                # rename; identical payloads make that equivalent.
-                os.replace(tmp_path, path)
-                return
-            os.unlink(tmp_path)
         except OSError:
             # a read-only or full cache directory degrades to memory-only
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
+            pass
 
 
 # ---------------------------------------------------------------------------

@@ -24,6 +24,7 @@ import platform
 import sys
 from typing import Any, Dict, Optional, Sequence
 
+from repro.experiments.atomic import replace_atomic
 from repro.experiments.base import ExperimentSettings
 
 #: Manifest layout version.  Bump whenever the document shape changes;
@@ -32,6 +33,17 @@ MANIFEST_SCHEMA = "repro-run-manifest/v1"
 
 #: The manifest's filename inside a run directory.
 MANIFEST_NAME = "manifest.json"
+
+#: Every top-level key :func:`build_manifest` may emit.  This is the
+#: schema registry R010 cross-checks against the producer: add a key to
+#: the document without registering it here (or vice versa) and
+#: ``repro-mnm check`` fails.  Consumers (``obs show``/``diff``) may
+#: rely on exactly this set existing in a v1 manifest.
+MANIFEST_KEYS = frozenset({
+    "schema", "command", "status", "fingerprint", "settings", "designs",
+    "jobs", "environment", "journal", "spans", "events", "tasks",
+    "metrics",
+})
 
 
 def settings_dict(settings: ExperimentSettings) -> Dict[str, Any]:
@@ -115,13 +127,8 @@ def write_manifest(run_dir: str, manifest: Dict[str, Any]) -> str:
     """Atomically write ``manifest`` into ``run_dir``; returns the path."""
     os.makedirs(run_dir, exist_ok=True)
     path = os.path.join(run_dir, MANIFEST_NAME)
-    tmp_path = f"{path}.tmp.{os.getpid()}"
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp_path, path)
+    document = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    replace_atomic(path, document.encode("utf-8"))
     return path
 
 

@@ -8,11 +8,18 @@ over the source tree before a single trace is simulated.
 
 Layout:
 
-* :mod:`repro.staticcheck.engine` — file discovery, per-module AST
-  parsing, ``# repro: allow[RULE-ID]`` suppression comments, stable
+* :mod:`repro.staticcheck.engine` — file discovery, tolerant per-module
+  AST parsing, ``# repro: allow[RULE-ID]`` suppression comments, stable
   sorted :class:`~repro.staticcheck.engine.Finding` records, text and
   JSON reporters;
-* :mod:`repro.staticcheck.rules` — the repo-specific rules R001–R006;
+* :mod:`repro.staticcheck.rules` — the repo-specific rules R001–R010
+  (module rules plus cross-module *project* rules like R007);
+* :mod:`repro.staticcheck.runner` — the accelerated orchestration:
+  content-addressed result cache, parallel analysis, ``--diff``
+  reverse-import-closure narrowing;
+* :mod:`repro.staticcheck.baseline` — the warn-then-ratchet committed
+  baseline;
+* :mod:`repro.staticcheck.sarif` — the SARIF 2.1.0 reporter;
 * :mod:`repro.staticcheck.cli` — the ``repro-mnm check`` subcommand.
 
 The package deliberately imports nothing else from :mod:`repro` (it
@@ -24,6 +31,7 @@ from repro.staticcheck.engine import (
     ModuleInfo,
     check_paths,
     check_source,
+    check_sources,
     render_json,
     render_text,
 )
@@ -35,6 +43,7 @@ __all__ = [
     "ModuleInfo",
     "check_paths",
     "check_source",
+    "check_sources",
     "default_rules",
     "render_json",
     "render_text",

@@ -1,0 +1,88 @@
+"""Committed-baseline mode: land a rule warn-only, then ratchet.
+
+A new rule over a mature tree usually surfaces pre-existing findings
+that are real but not this week's work.  The baseline file makes that
+state explicit and monotonically shrinking:
+
+1. ``repro-mnm check --baseline ci/staticcheck-baseline.json
+   --write-baseline src/`` records every current finding's
+   *fingerprint* (rule + path + message — deliberately no line numbers,
+   so unrelated edits above a grandfathered finding do not churn the
+   file);
+2. subsequent ``--baseline`` runs subtract exactly those fingerprints:
+   grandfathered findings are reported in the summary count but neither
+   printed nor counted toward exit 7 — **new** findings still fail the
+   build;
+3. fixing a finding removes its fingerprint on the next
+   ``--write-baseline``, and the diff of the baseline file *is* the
+   ratchet: reviewers watch it only ever shrink.
+
+The file is plain sorted JSON so merges conflict loudly instead of
+silently unioning.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Sequence, Set, Tuple
+
+from repro.staticcheck.engine import Finding
+
+BASELINE_SCHEMA = "repro-staticcheck-baseline/v1"
+
+
+def load_baseline(path: str) -> Set[str]:
+    """The grandfathered fingerprints in ``path``.
+
+    Raises ``ValueError`` for files of another shape and ``OSError``
+    for unreadable paths; a missing file raises ``FileNotFoundError``
+    (use ``--write-baseline`` to create one).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) \
+            or payload.get("schema") != BASELINE_SCHEMA \
+            or not isinstance(payload.get("findings"), list):
+        raise ValueError(f"{path}: not a {BASELINE_SCHEMA} document")
+    return {
+        str(item["fingerprint"])
+        for item in payload["findings"]
+        if isinstance(item, dict) and "fingerprint" in item
+    }
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Record ``findings`` as the new grandfathered set (atomically)."""
+    entries = sorted(
+        {
+            (finding.fingerprint(), finding.rule_id, finding.path)
+            for finding in findings
+        }
+    )
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [
+            {"fingerprint": fingerprint, "rule": rule, "path": file_path}
+            for fingerprint, rule, file_path in entries
+        ],
+    }
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_path, path)
+
+
+def split_baselined(
+    findings: Sequence[Finding], grandfathered: Set[str],
+) -> Tuple[List[Finding], int]:
+    """(fresh findings, count of baselined ones)."""
+    fresh: List[Finding] = []
+    baselined = 0
+    for finding in findings:
+        if finding.fingerprint() in grandfathered:
+            baselined += 1
+        else:
+            fresh.append(finding)
+    return fresh, baselined

@@ -1,0 +1,216 @@
+"""Content-addressed result cache for per-file analysis.
+
+Borrows the :mod:`repro.experiments.passcache` idiom — keys are
+structural fingerprints, so equal keys imply equal analysis — but is
+implemented here without importing it: the checker must stay able to
+load and judge a broken tree, so :mod:`repro.staticcheck` imports
+nothing else from :mod:`repro`.
+
+A cache entry records everything the engine learns from one file that
+is a pure function of (file bytes, rule sources): its post-suppression
+module-rule findings, its dotted module name, and its import edges (the
+``--diff`` closure reads those without re-parsing warm files).  The key
+is::
+
+    sha256(display_path NUL file_bytes) + rules_digest
+
+where ``rules_digest`` hashes **every** ``.py`` source under the
+staticcheck package plus the selected rule ids and the entry schema
+version.  Editing any rule — or the engine itself — therefore
+invalidates the whole cache at once: cross-rule invalidation without
+per-rule bookkeeping, at the cost of a full re-analysis after checker
+changes (rare, and exactly when you want one).
+
+Project-rule findings are **never** cached: they are functions of
+module *combinations*, not single files, and are cheap relative to the
+per-file AST passes.
+
+Entries are one JSON file each, written via temp-file + ``os.replace``
+(the checker preaches R009; it practices it too).  A corrupt or
+stale-schema entry reads as a miss, never as wrong findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.staticcheck.engine import Finding
+
+#: Entry layout version; bump when the stored shape changes.
+CACHE_SCHEMA = "repro-staticcheck-cache/v1"
+
+
+def rules_digest(rule_ids: Sequence[str]) -> str:
+    """Hash of the checker's own sources plus the selected rule set.
+
+    Any edit to any file under ``src/repro/staticcheck/`` changes this
+    digest and therefore invalidates every cache entry.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(CACHE_SCHEMA.encode("utf-8"))
+    package_root = os.path.dirname(os.path.abspath(__file__))
+    sources: List[str] = []
+    for dirpath, dirnames, filenames in os.walk(package_root):
+        dirnames[:] = sorted(
+            d for d in dirnames
+            if not d.startswith(".") and d != "__pycache__"
+        )
+        sources.extend(
+            os.path.join(dirpath, name)
+            for name in sorted(filenames)
+            if name.endswith(".py")
+        )
+    for source in sorted(sources):
+        hasher.update(os.path.relpath(source, package_root).encode("utf-8"))
+        with open(source, "rb") as handle:
+            hasher.update(handle.read())
+    hasher.update("\x1f".join(sorted(rule_ids)).encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def file_key(display_path: str, data: bytes) -> str:
+    """Content address of one file's analysis input."""
+    hasher = hashlib.sha256()
+    hasher.update(display_path.encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(data)
+    return hasher.hexdigest()
+
+
+class ResultCache:
+    """Disk store of per-file analysis results, keyed by content.
+
+    ``hits``/``misses``/``stores`` feed the v2 JSON report and the
+    benchmark; a ``None`` cache directory degrades every operation to a
+    no-op so callers never branch.
+    """
+
+    def __init__(self, cache_dir: Optional[str],
+                 rule_ids: Sequence[str]) -> None:
+        self.cache_dir = cache_dir
+        self.digest = rules_digest(rule_ids) if cache_dir else ""
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores}
+
+    def _path_for(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.{self.digest[:16]}.json")
+
+    def load(self, display_path: str, data: bytes
+             ) -> Optional["CacheEntry"]:
+        """The cached analysis of these exact bytes, or None."""
+        if not self.cache_dir:
+            return None
+        path = self._path_for(file_key(display_path, data))
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) \
+                or payload.get("schema") != CACHE_SCHEMA \
+                or payload.get("digest") != self.digest:
+            self.misses += 1
+            return None
+        try:
+            entry = CacheEntry.from_dict(payload)
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, display_path: str, data: bytes,
+              entry: "CacheEntry") -> None:
+        """Persist one file's analysis atomically (tmp + os.replace)."""
+        if not self.cache_dir:
+            return
+        path = self._path_for(file_key(display_path, data))
+        payload = entry.to_dict()
+        payload["schema"] = CACHE_SCHEMA
+        payload["digest"] = self.digest
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_path, path)
+        except OSError:
+            # A read-only or full cache directory degrades to uncached
+            # operation; findings are recomputed, never lost.
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            return
+        self.stores += 1
+
+
+class CacheEntry:
+    """What the engine learned from one file (module rules only)."""
+
+    __slots__ = ("path", "module", "imports", "findings")
+
+    def __init__(self, path: str, module: Optional[str],
+                 imports: Tuple[str, ...],
+                 findings: Tuple[Finding, ...]) -> None:
+        self.path = path
+        self.module = module
+        self.imports = imports
+        self.findings = findings
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "imports": list(self.imports),
+            "findings": [_finding_to_dict(f) for f in self.findings],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CacheEntry":
+        return cls(
+            path=payload["path"],
+            module=payload["module"],
+            imports=tuple(payload["imports"]),
+            findings=tuple(
+                _finding_from_dict(item) for item in payload["findings"]
+            ),
+        )
+
+
+def _finding_to_dict(finding: Finding) -> dict:
+    return {
+        "rule": finding.rule_id,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "hint": finding.hint,
+        "suppressible": finding.suppressible,
+        "requires_rationale": finding.requires_rationale,
+        "severity": finding.severity,
+    }
+
+
+def _finding_from_dict(payload: dict) -> Finding:
+    return Finding(
+        rule_id=payload["rule"],
+        path=payload["path"],
+        line=payload["line"],
+        col=payload["col"],
+        message=payload["message"],
+        hint=payload["hint"],
+        suppressible=payload["suppressible"],
+        requires_rationale=payload["requires_rationale"],
+        severity=payload["severity"],
+    )

@@ -1,0 +1,121 @@
+"""Import graph + reverse closure for ``--diff`` mode.
+
+``--diff <rev>`` only analyses files that changed since ``rev`` — plus
+every file that *imports* a changed file, transitively, because a
+module-rule conclusion about ``A`` can depend on what ``A`` imports
+(layering) and a behavioural change in ``B`` can invalidate its
+importers.  The closure is computed over the same import edges the R002
+layering rule walks, with one deliberate difference: ``TYPE_CHECKING``
+imports **are** included here.  R002 ignores them (they do not exist at
+runtime), but for invalidation they are real edges — renaming a class
+breaks the annotation-only importer too — so the closure stays
+conservative: it may re-check a file it did not strictly need to, never
+the reverse.
+"""
+
+from __future__ import annotations
+
+import ast
+import subprocess
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+def module_imports(tree: ast.Module, module: Optional[str],
+                   is_package: bool) -> Tuple[str, ...]:
+    """Absolute dotted targets of every ``repro`` import in ``tree``.
+
+    Includes ``TYPE_CHECKING``-guarded imports (see module doc) and
+    resolves relative imports against ``module``.  Targets are returned
+    sorted and deduplicated so cache entries are byte-stable.
+    """
+    edges: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".", 1)[0] == "repro":
+                    edges.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = _resolve_relative(module, is_package, node.level,
+                                         node.module)
+                if base is not None and base.split(".", 1)[0] == "repro":
+                    edges.add(base)
+                    # ``from . import executor`` names submodules too.
+                    for alias in node.names:
+                        edges.add(f"{base}.{alias.name}")
+                continue
+            if node.module is None:
+                continue
+            if node.module.split(".", 1)[0] != "repro":
+                continue
+            edges.add(node.module)
+            # ``from repro.experiments import executor``: the imported
+            # name may itself be a submodule; record the candidate edge
+            # (non-module names simply never match a known module).
+            for alias in node.names:
+                edges.add(f"{node.module}.{alias.name}")
+    return tuple(sorted(edges))
+
+
+def _resolve_relative(module: Optional[str], is_package: bool, level: int,
+                      target: Optional[str]) -> Optional[str]:
+    if module is None:
+        return None
+    package = module.split(".")
+    if not is_package:
+        package = package[:-1]
+    if len(package) < level - 1:
+        return None
+    base = package[: len(package) - (level - 1)]
+    if target:
+        base = base + target.split(".")
+    return ".".join(base) if base else None
+
+
+def reverse_closure(
+    targets: Iterable[str],
+    imports_by_module: Dict[str, Sequence[str]],
+) -> Set[str]:
+    """Every module that (transitively) imports any target module.
+
+    ``imports_by_module`` maps dotted module name -> its import edges.
+    Plain name matching suffices: importing a package pulls its
+    ``__init__`` (whose module name is the package's), and importing a
+    submodule through a facade records both candidate edges (see
+    :func:`module_imports`), so no prefix arithmetic is needed here.
+    """
+    importers: Dict[str, Set[str]] = {}
+    for importer, edges in imports_by_module.items():
+        for edge in edges:
+            importers.setdefault(edge, set()).add(importer)
+    closure: Set[str] = set(targets) & set(imports_by_module)
+    frontier: List[str] = sorted(closure)
+    while frontier:
+        current = frontier.pop()
+        for dependent in importers.get(current, ()):
+            if dependent not in closure:
+                closure.add(dependent)
+                frontier.append(dependent)
+    return closure
+
+
+def changed_files(rev: str, repo_root: str) -> List[str]:
+    """Paths changed since ``rev`` plus untracked files, repo-relative.
+
+    Raises ``ValueError`` when ``rev`` is not resolvable (the CLI maps
+    it to its invalid-value exit code) and ``OSError`` when git itself
+    is unavailable.
+    """
+    diff = subprocess.run(
+        ["git", "diff", "--name-only", rev, "--"],
+        cwd=repo_root, capture_output=True, text=True)
+    if diff.returncode != 0:
+        raise ValueError(
+            f"git diff {rev!r} failed: {diff.stderr.strip() or 'bad rev?'}")
+    untracked = subprocess.run(
+        ["git", "ls-files", "--others", "--exclude-standard"],
+        cwd=repo_root, capture_output=True, text=True)
+    names = [line.strip() for line in diff.stdout.splitlines()]
+    if untracked.returncode == 0:
+        names.extend(line.strip() for line in untracked.stdout.splitlines())
+    return sorted({name for name in names if name})

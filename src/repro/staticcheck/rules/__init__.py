@@ -1,15 +1,19 @@
-"""Rule registry: R001–R006, instantiable by id."""
+"""Rule registry: R001–R010, instantiable by id."""
 
 from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.staticcheck.rules.asserts import AssertRule
-from repro.staticcheck.rules.base import Rule
+from repro.staticcheck.rules.atomicity import AtomicityRule
+from repro.staticcheck.rules.base import ProjectRule, Rule
+from repro.staticcheck.rules.byte_identity import ByteIdentityRule
+from repro.staticcheck.rules.cache_keys import CacheKeyRule
 from repro.staticcheck.rules.determinism import DeterminismRule
 from repro.staticcheck.rules.exceptions import ExceptionHygieneRule
 from repro.staticcheck.rules.layering import LayeringRule
 from repro.staticcheck.rules.mnm_soundness import MNMSoundnessRule
+from repro.staticcheck.rules.naming import TelemetryNamingRule
 from repro.staticcheck.rules.picklability import PicklabilityRule
 
 #: Registration order == report order for equal positions.
@@ -20,6 +24,10 @@ _RULE_CLASSES: Tuple[type, ...] = (
     ExceptionHygieneRule,
     AssertRule,
     MNMSoundnessRule,
+    CacheKeyRule,
+    ByteIdentityRule,
+    AtomicityRule,
+    TelemetryNamingRule,
 )
 
 ALL_RULE_IDS: Tuple[str, ...] = tuple(
@@ -50,6 +58,14 @@ def rules_for(rule_ids: Optional[Iterable[str]]) -> List[Rule]:
     return [cls() for cls in _RULE_CLASSES if cls.rule_id in wanted]
 
 
-def rule_table() -> List[Tuple[str, str]]:
-    """(id, title) pairs for ``repro-mnm check --list-rules``."""
-    return [(cls.rule_id, cls.title) for cls in _RULE_CLASSES]
+def rule_table() -> List[Tuple[str, str, str, str]]:
+    """(id, title, severity, suppression) rows for ``--list-rules``.
+
+    ``suppression`` summarises the rule's suppression policy (see
+    :class:`repro.staticcheck.rules.base.Rule`): ``allow`` /
+    ``rationale`` / ``partial`` / ``no``.
+    """
+    return [
+        (cls.rule_id, cls.title, cls.severity, cls.suppression)
+        for cls in _RULE_CLASSES
+    ]

@@ -5,7 +5,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator, List, Optional
 
-from repro.staticcheck.engine import Finding, ModuleInfo
+from repro.staticcheck.engine import Finding, ModuleInfo, ProjectContext
 
 
 class Rule:
@@ -15,11 +15,21 @@ class Rule:
     :meth:`check`, yielding raw findings; the engine owns suppression
     handling and ordering.  ``self.finding(...)`` fills in the common
     fields so rule code stays close to the invariant it states.
+
+    ``severity`` is either ``"error"`` (counts toward exit 7) or
+    ``"warning"`` (reported only — the landing state for a rule being
+    ratcheted in).  ``suppression`` summarises the rule's suppression
+    policy for ``--list-rules`` and the docs table: ``"allow"`` (a bare
+    marker silences it), ``"rationale"`` (the marker must carry a
+    why-this-is-safe sentence), ``"partial"`` (some of its findings are
+    unsuppressible), or ``"no"`` (never suppressible).
     """
 
     rule_id: str = "R000"
     title: str = "abstract rule"
     hint: str = ""
+    severity: str = "error"
+    suppression: str = "allow"
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
         raise NotImplementedError
@@ -36,7 +46,42 @@ class Rule:
             hint=self.hint if hint is None else hint,
             suppressible=suppressible,
             requires_rationale=requires_rationale,
+            severity=self.severity,
         )
+
+
+class ProjectRule(Rule):
+    """A rule that needs to see several modules at once.
+
+    Module rules prove per-file properties; contract rules like R007
+    must relate a dataclass in one file to the fingerprint function
+    that consumes it in another.  A ProjectRule names the modules it
+    cares about in ``interest_modules`` (dotted names) so the engine
+    can always parse them fresh — even under ``--diff`` or a warm
+    result cache, cross-module conclusions are never replayed from a
+    per-file cache entry.
+
+    ``check_project`` receives a :class:`ProjectContext` and yields
+    findings anchored wherever the violation is best fixed (for R007,
+    the dataclass field that fails to reach the fingerprint).
+    """
+
+    #: Dotted module names this rule reasons over.  The engine
+    #: guarantees these are loaded (when present on disk) regardless of
+    #: which files the current invocation was asked to analyse.
+    interest_modules: tuple = ()
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def project_finding(self, module: ModuleInfo, node: ast.AST,
+                        message: str, hint: Optional[str] = None,
+                        requires_rationale: bool = False) -> Finding:
+        return self.finding(module, node, message, hint=hint,
+                            requires_rationale=requires_rationale)
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:

@@ -18,9 +18,11 @@ library code:
   make behaviour depend on the invoking shell.
 
 Exemptions: modules under ``testing/`` (the fault injector reads
-``REPRO_FAULTS`` by design) and entry points (``cli.py`` /
+``REPRO_FAULTS`` by design), entry points (``cli.py`` /
 ``__main__.py``), which translate the user's environment *into*
-explicit settings.
+explicit settings, and test code (``tests/``, ``test_*.py``,
+``conftest.py``), where real wall-clock timing is often the thing
+under test.
 """
 
 from __future__ import annotations
@@ -65,7 +67,8 @@ class DeterminismRule(Rule):
             "docs/ARCHITECTURE.md 'Static analysis & invariants'")
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
-        if module.component == "testing" or module.is_entry_point:
+        if (module.component == "testing" or module.is_entry_point
+                or module.is_test_code):
             return
         aliases = self._from_import_aliases(module.tree)
         for node in walk_runtime(module.tree):

@@ -39,6 +39,7 @@ class ExceptionHygieneRule(Rule):
     title = "no bare/blanket excepts, no untyped raises"
     hint = ("catch the precise types, re-raise after cleanup, or "
             "annotate with '# repro: allow[R004] <rationale>'")
+    suppression = "partial"  # bare 'except:' is never suppressible
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
         in_experiments = module.component == "experiments"

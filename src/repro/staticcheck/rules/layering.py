@@ -70,6 +70,7 @@ LAYERS = {
 #: same ring (imports allowed); an import may only point at the same
 #: ring or a lower one.  New submodules must be assigned a ring here.
 EXPERIMENTS_RINGS = {
+    "atomic": 0,
     "base": 0,
     "planning": 0,
     "passcache": 0,

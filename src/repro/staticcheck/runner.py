@@ -1,0 +1,275 @@
+"""Orchestration: cache, parallel analysis, ``--diff`` closure.
+
+:func:`run_analysis` is what the CLI calls.  It layers three
+accelerations over the plain engine, none of which may change a single
+output byte (the determinism tests pin cold == warm == parallel ==
+serial):
+
+* **result cache** — per-file findings keyed by file content + checker
+  sources (:mod:`repro.staticcheck.cache`); a warm full-tree re-check
+  re-runs no rule at all;
+* **parallel analysis** — cache misses fan out over a process pool
+  (``--jobs``); results are aggregated and sorted, so worker scheduling
+  cannot reorder output.  The pool is built here directly rather than
+  on :mod:`repro.experiments.executor`: staticcheck must stay able to
+  judge a tree whose experiment stack does not import;
+* **diff mode** — ``--diff <rev>`` narrows *rule execution* to files
+  changed since ``rev`` plus their reverse import closure
+  (:mod:`repro.staticcheck.graph`).  Unchanged files outside the
+  closure are still *discovered* (their content feeds the import graph,
+  from cache when warm) but contribute no rule work.
+
+Project rules (R007) are outside all three fast paths: their interest
+modules are always parsed fresh and their findings always recomputed,
+because a cross-module conclusion is not a function of any single
+file's bytes.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import subprocess
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.staticcheck.cache import CacheEntry, ResultCache
+from repro.staticcheck.engine import (
+    Finding,
+    ModuleInfo,
+    check_one_module,
+    check_project_rules,
+    display_path,
+    iter_python_files,
+    load_module_checked,
+    module_name_for,
+    split_rules,
+)
+from repro.staticcheck.graph import changed_files, module_imports, reverse_closure
+
+
+class RunResult:
+    """What one check invocation produced, pre-rendering."""
+
+    __slots__ = ("findings", "checked_files", "analyzed_files",
+                 "cache_stats")
+
+    def __init__(self, findings: List[Finding], checked_files: int,
+                 analyzed_files: int, cache_stats: Dict[str, int]) -> None:
+        self.findings = findings
+        self.checked_files = checked_files
+        self.analyzed_files = analyzed_files
+        self.cache_stats = cache_stats
+
+
+def _worker_analyze(path: str, rule_ids: Tuple[str, ...]):
+    """Process-pool unit: analyse one file with the module rules.
+
+    Reconstructs the rule set from ids (rule instances need not cross
+    the process boundary) and returns a picklable record the parent
+    folds into the aggregate.
+    """
+    from repro.staticcheck.rules import rules_for
+
+    module_rules, _project = split_rules(rules_for(rule_ids))
+    return _analyze_one(path, module_rules)
+
+
+def _analyze_one(path: str, module_rules):
+    """(display, module, imports, findings, failure) for one file."""
+    module, failure = load_module_checked(path)
+    if module is None:
+        return (display_path(path), module_name_for(path), (), (), failure)
+    findings = tuple(check_one_module(module, module_rules))
+    imports = module_imports(
+        module.tree, module.module,
+        os.path.basename(path) == "__init__.py")
+    return (module.path, module.module, imports, findings, None)
+
+
+def _git_root(start: str) -> Optional[str]:
+    probe = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        cwd=start, capture_output=True, text=True)
+    if probe.returncode != 0:
+        return None
+    return probe.stdout.strip() or None
+
+
+def _resolve_jobs(jobs: int) -> int:
+    if jobs > 0:
+        return jobs
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def run_analysis(
+    paths: Sequence[str],
+    rules,
+    cache_dir: Optional[str] = None,
+    jobs: int = 1,
+    diff_rev: Optional[str] = None,
+) -> RunResult:
+    """Check ``paths`` with every acceleration the flags enable.
+
+    Raises ``FileNotFoundError`` for a missing path and ``ValueError``
+    for an unresolvable ``--diff`` revision; the CLI maps both to their
+    documented exit codes.
+    """
+    module_rules, project_rules = split_rules(rules)
+    rule_ids = tuple(sorted({rule.rule_id for rule in rules}))
+    cache = ResultCache(cache_dir, rule_ids)
+
+    files = iter_python_files(paths)
+    records: List[Tuple[str, str]] = []  # (path, display)
+    failures: List[Finding] = []
+    entries: Dict[str, CacheEntry] = {}
+    raw_bytes: Dict[str, bytes] = {}
+    for path in files:
+        shown = display_path(path)
+        records.append((path, shown))
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError as exc:
+            failures.append(Finding(
+                rule_id="E002", path=shown, line=1, col=1,
+                message=f"file cannot be read: {exc.strerror or exc}",
+                suppressible=False))
+            continue
+        raw_bytes[shown] = data
+        entry = cache.load(shown, data)
+        if entry is not None:
+            entries[shown] = entry
+
+    analyze: Set[str] = {shown for _path, shown in records
+                         if shown in raw_bytes}
+    if diff_rev is not None:
+        analyze = _diff_targets(diff_rev, records, entries, raw_bytes)
+
+    # Run module rules over the analyse set: cache hits replay, misses
+    # compute (in parallel when asked), and every fresh result is stored.
+    misses = [
+        (path, shown) for path, shown in records
+        if shown in analyze and shown not in entries
+    ]
+    computed: List[Tuple[str, Optional[str], tuple, tuple,
+                         Optional[Finding]]] = []
+    effective_jobs = min(_resolve_jobs(jobs), max(len(misses), 1))
+    if effective_jobs > 1 and len(misses) > 1:
+        with ProcessPoolExecutor(max_workers=effective_jobs) as pool:
+            computed = list(pool.map(
+                _worker_analyze,
+                [path for path, _shown in misses],
+                [rule_ids] * len(misses),
+                chunksize=max(1, len(misses) // (effective_jobs * 4)),
+            ))
+    else:
+        computed = [_analyze_one(path, module_rules)
+                    for path, _shown in misses]
+
+    findings: List[Finding] = list(failures)
+    for shown, module, imports, file_findings, failure in computed:
+        if failure is not None:
+            failures.append(failure)
+            findings.append(failure)
+            continue
+        entry = CacheEntry(path=shown, module=module,
+                           imports=tuple(imports),
+                           findings=tuple(file_findings))
+        entries[shown] = entry
+        if shown in raw_bytes:
+            cache.store(shown, raw_bytes[shown], entry)
+    for shown in sorted(analyze):
+        entry = entries.get(shown)
+        if entry is not None:
+            findings.extend(entry.findings)
+
+    # Project rules: always fresh, never narrowed by --diff or cache.
+    findings.extend(_run_project_rules(project_rules, records))
+
+    findings.sort(key=Finding.sort_key)
+    return RunResult(
+        findings=findings,
+        checked_files=len(records),
+        analyzed_files=len(analyze),
+        cache_stats=cache.stats(),
+    )
+
+
+def _diff_targets(
+    rev: str,
+    records: Sequence[Tuple[str, str]],
+    entries: Dict[str, CacheEntry],
+    raw_bytes: Dict[str, bytes],
+) -> Set[str]:
+    """The analyse set for ``--diff rev``: changed files + importers.
+
+    Builds the import graph over every discovered file — from the cache
+    when warm, by parsing (rules *not* run) when cold — then walks the
+    reverse closure from the changed modules.
+    """
+    root = _git_root(os.getcwd())
+    if root is None:
+        raise ValueError("--diff requires running inside a git repository")
+    changed = {
+        display_path(os.path.join(root, name))
+        for name in changed_files(rev, root)
+        if name.endswith(".py")
+    }
+
+    imports_by_module: Dict[str, Tuple[str, ...]] = {}
+    module_of: Dict[str, Optional[str]] = {}
+    for path, shown in records:
+        if shown not in raw_bytes:
+            continue
+        entry = entries.get(shown)
+        if entry is not None:
+            module_of[shown] = entry.module
+            if entry.module is not None:
+                imports_by_module[entry.module] = entry.imports
+            continue
+        module, _failure = load_module_checked(path)
+        if module is None:
+            # Unparseable files cannot be placed in the graph; treating
+            # them as changed routes them through the analysis pass,
+            # which reports the load failure exactly once.
+            changed.add(shown)
+            module_of[shown] = None
+            continue
+        module_of[shown] = module.module
+        if module.module is not None:
+            imports_by_module[module.module] = module_imports(
+                module.tree, module.module,
+                os.path.basename(path) == "__init__.py")
+
+    changed_modules = {
+        module_of[shown] for shown in changed
+        if module_of.get(shown) is not None
+    }
+    closure = reverse_closure(changed_modules, imports_by_module)
+    return {
+        shown for _path, shown in records
+        if shown in raw_bytes and (
+            shown in changed or module_of.get(shown) in closure)
+    }
+
+
+def _run_project_rules(project_rules,
+                       records: Sequence[Tuple[str, str]]) -> List[Finding]:
+    """Parse every interest module fresh and run the cross-module rules."""
+    if not project_rules:
+        return []
+    wanted: Set[str] = set()
+    for rule in project_rules:
+        wanted.update(rule.interest_modules)
+    infos: List[ModuleInfo] = []
+    for path, _shown in records:
+        if module_name_for(path) not in wanted:
+            continue
+        module, _failure = load_module_checked(path)
+        if module is not None:
+            infos.append(module)
+    return check_project_rules(infos, project_rules)

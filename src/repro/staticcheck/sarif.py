@@ -1,0 +1,81 @@
+"""SARIF 2.1.0 reporter.
+
+SARIF (Static Analysis Results Interchange Format) is what code-review
+UIs ingest — GitHub renders a SARIF upload as inline annotations on the
+changed lines.  This stays a minimal-but-valid subset: one ``run``, the
+rule metadata from the registry, one ``result`` per finding with a
+physical location.  Output is byte-stable (sorted findings, sorted
+keys) like every other reporter in the repo.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.staticcheck.engine import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """The findings as one SARIF 2.1.0 document."""
+    from repro.staticcheck.rules import rule_table
+
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": title},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(severity, "error"),
+            },
+        }
+        for rule_id, title, severity, _suppression in rule_table()
+    ]
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "level": _LEVELS.get(finding.severity, "error"),
+            "message": {
+                "text": finding.message + (
+                    f" [hint: {finding.hint}]" if finding.hint else ""),
+            },
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    },
+                },
+            ],
+        }
+        for finding in findings
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-mnm-check",
+                        "informationUri":
+                            "docs/ARCHITECTURE.md#static-analysis--invariants",
+                        "rules": rules,
+                    },
+                },
+                "results": results,
+            },
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -72,9 +72,12 @@ class TestOutputModes:
         code, out, _ = _run([str(dirty)], fmt="json")
         assert code == EXIT_FINDINGS
         payload = json.loads(out)
-        assert payload["schema"] == "repro-staticcheck/v1"
+        assert payload["schema"] == "repro-staticcheck/v2"
         assert payload["checked_files"] == 1
+        assert payload["analyzed_files"] == 1
+        assert payload["baselined"] == 0
         assert [f["rule"] for f in payload["findings"]] == ["R005"]
+        assert [f["severity"] for f in payload["findings"]] == ["error"]
 
     def test_rules_filter_narrows_findings(self, tmp_path):
         dirty = tmp_path / "dirty.py"
@@ -83,13 +86,20 @@ class TestOutputModes:
         assert code == EXIT_FINDINGS
         assert "R001" in out and "R005" not in out
 
-    def test_list_rules_prints_all_six(self):
+    def test_list_rules_prints_all_ten(self):
         code, out, _ = _run([], list_rules=True)
         assert code == EXIT_OK
         lines = [line for line in out.splitlines() if line.strip()]
         assert [line.split()[0] for line in lines] == [
             "R001", "R002", "R003", "R004", "R005", "R006",
+            "R007", "R008", "R009", "R010",
         ]
+        # Severity and suppression-policy columns are part of the
+        # contract (and mirrored into docs/ARCHITECTURE.md).
+        for line in lines:
+            columns = line.split()
+            assert columns[1] in ("error", "warning")
+            assert columns[2] in ("allow", "rationale", "partial", "no")
 
 
 class TestEntryPoints:

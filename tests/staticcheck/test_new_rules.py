@@ -1,0 +1,562 @@
+"""Fixture triples for the contract-aware rules R007–R010.
+
+Every rule is shown firing, staying quiet, and being suppressed — the
+same positive/negative/suppression contract ``test_rules.py`` pins for
+R001–R006 — plus the decorated-definition suppression fix.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.staticcheck import check_source, check_sources, rules_for
+from repro.staticcheck.rules.base import Rule
+from repro.staticcheck.rules.cache_keys import CacheKeyRule, KeyBinding
+
+
+def _check(source, module="repro.core.fixture", rule=None, **kwargs):
+    rules = rules_for([rule]) if rule else None
+    return check_source(
+        textwrap.dedent(source), module=module, rules=rules, **kwargs)
+
+
+def _ids(findings):
+    return [f.rule_id for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# R007 — cache-key completeness
+# ---------------------------------------------------------------------------
+
+_BINDING = KeyBinding(
+    builder_module="repro.experiments.fixture_keys",
+    builder="fingerprint_config",
+    param="config",
+    dataclass_module="repro.experiments.fixture_config",
+    dataclass_name="FixtureConfig",
+)
+
+_CONFIG_TEMPLATE = """\
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FixtureConfig:
+    depth: int = 1
+    width: int = 2{extra}
+"""
+
+
+def _check_r007(builder_body, extra_field=""):
+    rule = CacheKeyRule(bindings=(_BINDING,))
+    return check_sources(
+        {
+            "fixture_config.py": _CONFIG_TEMPLATE.format(extra=extra_field),
+            "fixture_keys.py": textwrap.dedent(builder_body),
+        },
+        modules={
+            "fixture_config.py": "repro.experiments.fixture_config",
+            "fixture_keys.py": "repro.experiments.fixture_keys",
+        },
+        rules=[rule],
+    )
+
+
+class TestR007CacheKeys:
+    def test_dropped_field_fires_at_the_field(self):
+        findings = _check_r007(
+            """\
+            def fingerprint_config(config):
+                return f"depth={config.depth}"
+            """,
+        )
+        assert _ids(findings) == ["R007"]
+        assert findings[0].path == "fixture_config.py"
+        assert "'width'" in findings[0].message
+        assert findings[0].requires_rationale
+
+    def test_full_coverage_is_quiet(self):
+        findings = _check_r007(
+            """\
+            def fingerprint_config(config):
+                return f"depth={config.depth}|width={config.width}"
+            """,
+        )
+        assert findings == []
+
+    def test_whole_object_repr_covers_everything(self):
+        findings = _check_r007(
+            """\
+            def fingerprint_config(config):
+                return repr(config)
+            """,
+        )
+        assert findings == []
+
+    def test_rationale_suppression_silences(self):
+        findings = _check_r007(
+            """\
+            def fingerprint_config(config):
+                return f"depth={config.depth}"
+            """,
+            extra_field=(
+                "\n    # repro: allow[R007] display-only knob, never "
+                "changes simulation output\n    label: str = \"x\""),
+        )
+        assert [f.message for f in findings
+                if "'label'" in f.message] == []
+        # width is still uncovered and unsuppressed.
+        assert _ids(findings) == ["R007"]
+
+    def test_bare_marker_without_rationale_stays_alive(self):
+        findings = _check_r007(
+            """\
+            def fingerprint_config(config):
+                return f"depth={config.depth}|width={config.width}"
+            """,
+            extra_field="\n    # repro: allow[R007]\n    label: str = \"x\"",
+        )
+        assert _ids(findings) == ["R007"]
+        assert "rationale" in findings[0].message
+
+    def test_missing_builder_is_itself_a_finding(self):
+        rule = CacheKeyRule(bindings=(_BINDING,))
+        findings = check_sources(
+            {
+                "fixture_config.py": _CONFIG_TEMPLATE.format(extra=""),
+                "fixture_keys.py": "def unrelated():\n    return 1\n",
+            },
+            modules={
+                "fixture_config.py": "repro.experiments.fixture_config",
+                "fixture_keys.py": "repro.experiments.fixture_keys",
+            },
+            rules=[rule],
+        )
+        assert _ids(findings) == ["R007"]
+        assert "fingerprint_config" in findings[0].message
+
+    def test_absent_modules_prove_nothing(self):
+        rule = CacheKeyRule(bindings=(_BINDING,))
+        findings = check_sources(
+            {"other.py": "x = 1\n"},
+            modules={"other.py": "repro.core.other"},
+            rules=[rule],
+        )
+        assert findings == []
+
+    def test_default_bindings_cover_the_real_key_builders(self):
+        builders = {binding.builder for binding in CacheKeyRule().bindings}
+        assert builders == {
+            "fingerprint_settings", "fingerprint_design",
+            "fingerprint_hierarchy", "MulticoreConfig.fingerprint",
+        }
+
+
+# ---------------------------------------------------------------------------
+# R008 — byte-identity hazards
+# ---------------------------------------------------------------------------
+
+class TestR008ByteIdentity:
+    def test_join_over_set_fires(self):
+        findings = _check(
+            'names = ",".join({"b", "a"})\n', rule="R008")
+        assert _ids(findings) == ["R008"]
+        assert "hash seed" in findings[0].message
+
+    def test_for_loop_over_set_call_fires(self):
+        findings = _check(
+            """\
+            def merge(results):
+                for key in set(results):
+                    print(key)
+            """,
+            rule="R008",
+        )
+        assert _ids(findings) == ["R008"]
+
+    def test_listdir_comprehension_fires(self):
+        findings = _check(
+            """\
+            import os
+
+            def entries(root):
+                return [name for name in os.listdir(root)]
+            """,
+            rule="R008",
+        )
+        assert _ids(findings) == ["R008"]
+        assert "filesystem enumeration" in findings[0].message
+
+    def test_sum_over_set_fires_float_accumulation(self):
+        findings = _check(
+            "total = sum({0.1, 0.2, 0.3})\n",
+            module="repro.kernel.fixture", rule="R008")
+        assert _ids(findings) == ["R008"]
+
+    def test_sorted_wrapping_is_quiet(self):
+        findings = _check(
+            """\
+            import os
+
+            def entries(root):
+                ordered = sorted(name for name in os.listdir(root))
+                return ",".join(sorted({"b", "a"})) + str(ordered)
+            """,
+            rule="R008",
+        )
+        assert findings == []
+
+    def test_membership_and_len_are_quiet(self):
+        findings = _check(
+            """\
+            def stats(seen):
+                tracked = {"a", "b"}
+                return len(tracked), ("a" in tracked)
+            """,
+            rule="R008",
+        )
+        assert findings == []
+
+    def test_dict_values_iteration_is_quiet(self):
+        findings = _check(
+            """\
+            def render(table):
+                return ",".join(table.values())
+            """,
+            rule="R008",
+        )
+        assert findings == []
+
+    def test_set_algebra_propagates(self):
+        findings = _check(
+            """\
+            def diff(left, right):
+                for name in set(left) - set(right):
+                    print(name)
+            """,
+            rule="R008",
+        )
+        assert _ids(findings) == ["R008"]
+
+    def test_test_code_exempt(self):
+        findings = _check(
+            'order = list({"b", "a"})\n',
+            module=None, path="tests/test_fixture.py", rule="R008")
+        assert findings == []
+
+    def test_suppression_silences(self):
+        findings = _check(
+            'order = list({"b", "a"})  # repro: allow[R008] membership only\n',
+            rule="R008",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# R009 — filesystem atomicity
+# ---------------------------------------------------------------------------
+
+def _check_r009(source, module="repro.experiments.backends.fixture"):
+    return _check(source, module=module, rule="R009")
+
+
+class TestR009Atomicity:
+    def test_bare_write_open_fires_in_backends(self):
+        findings = _check_r009(
+            """\
+            def save(path, data):
+                with open(path, "w") as handle:
+                    handle.write(data)
+            """,
+        )
+        assert _ids(findings) == ["R009"]
+        assert findings[0].requires_rationale
+
+    def test_append_mode_fires(self):
+        findings = _check_r009(
+            'handle = open("log.txt", mode="a")\n')
+        assert _ids(findings) == ["R009"]
+
+    def test_os_open_write_flags_fire(self):
+        findings = _check_r009(
+            """\
+            import os
+            fd = os.open("x", os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+            """,
+        )
+        assert _ids(findings) == ["R009"]
+
+    def test_path_write_text_fires(self):
+        findings = _check_r009(
+            """\
+            from pathlib import Path
+            Path("x").write_text("data")
+            """,
+        )
+        assert _ids(findings) == ["R009"]
+
+    def test_reads_are_quiet(self):
+        findings = _check_r009(
+            """\
+            import os
+
+            def load(path):
+                with open(path) as handle:
+                    return handle.read()
+
+            def load_binary(path):
+                with open(path, "rb") as handle:
+                    return handle.read()
+            """,
+        )
+        assert findings == []
+
+    def test_unscoped_modules_are_quiet(self):
+        findings = _check(
+            'handle = open("out.txt", "w")\n',
+            module="repro.analysis.fixture", rule="R009")
+        assert findings == []
+
+    def test_blessed_helper_module_exempt(self):
+        findings = _check(
+            'handle = open("x.tmp", "wb")\n',
+            module="repro.experiments.atomic", rule="R009")
+        assert findings == []
+
+    def test_rationale_suppression_silences(self):
+        findings = _check_r009(
+            'handle = open("log", "a")  '
+            "# repro: allow[R009] append-only diagnostic log\n")
+        assert findings == []
+
+    def test_bare_marker_without_rationale_stays_alive(self):
+        findings = _check_r009(
+            'handle = open("log", "a")  # repro: allow[R009]\n')
+        assert _ids(findings) == ["R009"]
+        assert "rationale" in findings[0].message
+
+    def test_non_literal_mode_skipped(self):
+        findings = _check_r009(
+            """\
+            def reopen(path, mode):
+                return open(path, mode)
+            """,
+        )
+        assert findings == []
+
+    def test_checkpoint_and_passcache_scoped(self):
+        for module in ("repro.experiments.passcache",
+                       "repro.experiments.checkpoint",
+                       "repro.obs.manifest"):
+            findings = _check(
+                'open("x", "w")\n', module=module, rule="R009")
+            assert _ids(findings) == ["R009"], module
+
+
+# ---------------------------------------------------------------------------
+# R010 — telemetry naming + manifest key registry
+# ---------------------------------------------------------------------------
+
+class TestR010TelemetryNaming:
+    def test_bad_constant_name_fires(self):
+        findings = _check(
+            """\
+            import repro.telemetry as telemetry
+            telemetry.get_registry().counter("CacheHits").inc()
+            """,
+            rule="R010",
+        )
+        assert _ids(findings) == ["R010"]
+        assert "dotted grammar" in findings[0].message
+
+    def test_single_segment_fires(self):
+        findings = _check(
+            'registry.counter("hits").inc()\n', rule="R010")
+        assert _ids(findings) == ["R010"]
+
+    def test_good_names_are_quiet(self):
+        findings = _check(
+            """\
+            registry.counter("cache.pass.disk.write_race").inc()
+            registry.gauge("queue.lease.claimed").set(1)
+            registry.histogram("executor.serial_fallback").observe(2)
+            """,
+            rule="R010",
+        )
+        assert findings == []
+
+    def test_fstring_skeleton_validated(self):
+        good = _check(
+            'registry.counter(f"cache.pass.disk.{what}").inc()\n',
+            rule="R010")
+        assert good == []
+        bad = _check(
+            'registry.counter(f"Cache {what}").inc()\n', rule="R010")
+        assert _ids(bad) == ["R010"]
+
+    def test_concat_skeleton_validated(self):
+        good = _check(
+            'registry.counter(base + ".probes").inc()\n', rule="R010")
+        assert good == []
+
+    def test_fully_dynamic_name_skipped(self):
+        findings = _check(
+            'registry.counter(pick_name()).inc()\n', rule="R010")
+        assert findings == []
+
+    def test_suppression_silences(self):
+        findings = _check(
+            'registry.counter("Legacy")  # repro: allow[R010] external name\n',
+            rule="R010")
+        assert findings == []
+
+    def test_manifest_registry_mismatch_fires_both_ways(self):
+        source = """\
+            MANIFEST_KEYS = frozenset({"schema", "ghost"})
+
+
+            def build_manifest():
+                return {"schema": 1, "novel": 2}
+            """
+        findings = _check(source, module="repro.obs.manifest", rule="R010")
+        messages = " / ".join(f.message for f in findings)
+        assert _ids(findings) == ["R010", "R010"]
+        assert "'novel'" in messages and "'ghost'" in messages
+
+    def test_missing_registry_fires(self):
+        findings = _check(
+            """\
+            def build_manifest():
+                return {"schema": 1}
+            """,
+            module="repro.obs.manifest", rule="R010")
+        assert _ids(findings) == ["R010"]
+        assert "MANIFEST_KEYS" in findings[0].message
+
+    def test_matching_registry_quiet(self):
+        findings = _check(
+            """\
+            MANIFEST_KEYS = frozenset({"schema", "status"})
+
+
+            def build_manifest():
+                return {"schema": 1, "status": "ok"}
+            """,
+            module="repro.obs.manifest", rule="R010")
+        assert findings == []
+
+    def test_other_modules_need_no_registry(self):
+        findings = _check(
+            """\
+            def build_manifest():
+                return {"schema": 1}
+            """,
+            module="repro.obs.other", rule="R010")
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Decorated-definition suppressions (the satellite fix)
+# ---------------------------------------------------------------------------
+
+class _DefAnchoredRule(Rule):
+    """Fixture rule: one finding anchored at every def/class statement.
+
+    Mirrors the anchoring shape of project rules whose findings land on
+    decorated definitions, so decorated-marker coverage is tested on the
+    engine mechanism itself rather than on one rule's incidental anchor.
+    """
+
+    rule_id = "R999"
+    title = "fixture: flags every definition"
+    hint = ""
+
+    def check(self, module):
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                yield self.finding(module, node, f"definition {node.name}")
+
+
+def _check_defs(source):
+    return check_source(textwrap.dedent(source),
+                        module="repro.core.fixture",
+                        rules=[_DefAnchoredRule()])
+
+
+class TestDecoratedSuppressions:
+    def test_marker_above_decorator_covers_the_def(self):
+        findings = _check_defs(
+            """\
+            import functools
+
+
+            # repro: allow[R999] fixture marker above the decorator
+            @functools.lru_cache
+            def helper():
+                return 1
+            """,
+        )
+        assert findings == []
+
+    def test_marker_inline_on_decorator_covers_the_def(self):
+        findings = _check_defs(
+            """\
+            import functools
+
+
+            @functools.lru_cache  # repro: allow[R999] fixture marker
+            def helper():
+                return 1
+            """,
+        )
+        assert findings == []
+
+    def test_marker_between_stacked_decorators_covers_the_class(self):
+        findings = _check_defs(
+            """\
+            import functools
+
+
+            @functools.wraps(object)
+            # repro: allow[R999] fixture marker between decorators
+            @functools.lru_cache
+            class Spec:
+                pass
+            """,
+        )
+        assert [f for f in findings if "Spec" in f.message] == []
+
+    def test_undecorated_def_not_covered_from_two_lines_up(self):
+        # Without a decorator stack there is nothing to extend: a marker
+        # two lines above a plain def must NOT silence it.
+        findings = _check_defs(
+            """\
+            # repro: allow[R999] too far away
+            x = 1
+            def helper():
+                return 1
+            """,
+        )
+        assert _ids(findings) == ["R999"]
+
+    def test_decorated_marker_does_not_leak_to_body_or_siblings(self):
+        findings = _check_defs(
+            """\
+            import functools
+
+
+            @functools.lru_cache  # repro: allow[R999] covers helper only
+            def helper():
+                def inner():
+                    return 1
+                return inner
+
+
+            def sibling():
+                return 2
+            """,
+        )
+        assert sorted(f.message for f in findings) == [
+            "definition inner", "definition sibling"]

@@ -1,0 +1,301 @@
+"""Engine-v2 orchestration: result cache, parallelism, --diff, baseline.
+
+The contract under test everywhere here: none of the accelerations may
+change a single output byte.  cold == warm == parallel == serial, and
+``--diff`` only *narrows* which files contribute findings — it never
+invents or reorders any.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import subprocess
+
+import pytest
+
+from repro.staticcheck.baseline import (
+    BASELINE_SCHEMA,
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from repro.staticcheck.cache import (
+    CACHE_SCHEMA,
+    CacheEntry,
+    ResultCache,
+    rules_digest,
+)
+from repro.staticcheck.cli import EXIT_FINDINGS, EXIT_OK, run_check
+from repro.staticcheck.engine import Finding
+from repro.staticcheck.rules import rules_for
+from repro.staticcheck.runner import run_analysis
+
+
+def _run(*args, **kwargs):
+    out, err = io.StringIO(), io.StringIO()
+    code = run_check(*args, out=out, err=err, **kwargs)
+    return code, out.getvalue(), err.getvalue()
+
+
+def _tree(tmp_path):
+    """A small package tree with one violation per file."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "alpha.py").write_text("assert True\n")
+    (pkg / "beta.py").write_text("import random\nx = random.random()\n")
+    (pkg / "gamma.py").write_text("assert 1 + 1 == 2\n")
+    return pkg
+
+
+class TestResultCache:
+    def test_cold_then_warm_replays_identically(self, tmp_path):
+        pkg = _tree(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        rules = rules_for(["R001", "R005"])
+
+        cold = run_analysis([str(pkg)], rules, cache_dir=cache_dir)
+        assert cold.cache_stats == {"hits": 0, "misses": 3, "stores": 3}
+
+        warm = run_analysis([str(pkg)], rules, cache_dir=cache_dir)
+        assert warm.cache_stats == {"hits": 3, "misses": 0, "stores": 0}
+        assert warm.findings == cold.findings
+        assert warm.checked_files == cold.checked_files == 3
+
+    def test_changed_file_misses_unchanged_files_hit(self, tmp_path):
+        pkg = _tree(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        rules = rules_for(["R005"])
+        run_analysis([str(pkg)], rules, cache_dir=cache_dir)
+
+        (pkg / "alpha.py").write_text("assert True  # touched\n")
+        second = run_analysis([str(pkg)], rules, cache_dir=cache_dir)
+        assert second.cache_stats == {"hits": 2, "misses": 1, "stores": 1}
+
+    def test_rule_set_change_invalidates(self, tmp_path):
+        # The digest covers the selected rule ids: results computed for
+        # one rule set can never replay for another.
+        pkg = _tree(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        run_analysis([str(pkg)], rules_for(["R005"]), cache_dir=cache_dir)
+        other = run_analysis([str(pkg)], rules_for(["R001"]),
+                             cache_dir=cache_dir)
+        assert other.cache_stats["hits"] == 0
+        assert [f.rule_id for f in other.findings] == ["R001"]
+
+    def test_rules_digest_depends_on_rule_ids(self):
+        assert rules_digest(["R001"]) != rules_digest(["R001", "R005"])
+        assert rules_digest(["R005", "R001"]) == rules_digest(
+            ["R001", "R005"])
+
+    def test_corrupt_entries_read_as_misses(self, tmp_path):
+        pkg = _tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        rules = rules_for(["R005"])
+        baseline = run_analysis([str(pkg)], rules,
+                                cache_dir=str(cache_dir))
+        for entry in cache_dir.glob("*.json"):
+            entry.write_text("{not json")
+        recovered = run_analysis([str(pkg)], rules,
+                                 cache_dir=str(cache_dir))
+        assert recovered.cache_stats["hits"] == 0
+        assert recovered.findings == baseline.findings
+
+    def test_schema_or_digest_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"), ("R005",))
+        entry = CacheEntry(path="x.py", module=None, imports=(),
+                           findings=(Finding(
+                               rule_id="R005", path="x.py", line=1, col=1,
+                               message="m"),))
+        cache.store("x.py", b"data", entry)
+        # Same bytes, same rules: a hit.
+        assert cache.load("x.py", b"data") is not None
+        # Doctor the stored digest: must degrade to a miss.
+        stored = next((tmp_path / "c").glob("*.json"))
+        payload = json.loads(stored.read_text())
+        assert payload["schema"] == CACHE_SCHEMA
+        payload["digest"] = "0" * 64
+        stored.write_text(json.dumps(payload))
+        fresh = ResultCache(str(tmp_path / "c"), ("R005",))
+        assert fresh.load("x.py", b"data") is None
+
+    def test_disabled_cache_is_a_noop(self, tmp_path):
+        pkg = _tree(tmp_path)
+        result = run_analysis([str(pkg)], rules_for(["R005"]))
+        assert result.cache_stats == {"hits": 0, "misses": 0, "stores": 0}
+        assert len(result.findings) == 2
+
+    def test_readonly_cache_dir_degrades_silently(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"), ("R005",))
+        cache.cache_dir = str(tmp_path / "c" / "missing" / "deep")
+        entry = CacheEntry(path="x.py", module=None, imports=(),
+                           findings=())
+        cache.store("x.py", b"data", entry)  # must not raise
+        assert cache.stats()["stores"] == 0
+
+
+class TestParallelDeterminism:
+    def test_jobs_do_not_change_output(self, tmp_path):
+        pkg = _tree(tmp_path)
+        rules = rules_for(None)
+        serial = run_analysis([str(pkg)], rules, jobs=1)
+        parallel = run_analysis([str(pkg)], rules, jobs=4)
+        assert serial.findings == parallel.findings
+
+    def test_jobs_zero_resolves_to_cpus(self, tmp_path):
+        pkg = _tree(tmp_path)
+        result = run_analysis([str(pkg)], rules_for(["R005"]), jobs=0)
+        assert len(result.findings) == 2
+
+    def test_parallel_populates_the_cache(self, tmp_path):
+        pkg = _tree(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        rules = rules_for(["R005"])
+        cold = run_analysis([str(pkg)], rules, cache_dir=cache_dir, jobs=3)
+        assert cold.cache_stats["stores"] == 3
+        warm = run_analysis([str(pkg)], rules, cache_dir=cache_dir, jobs=1)
+        assert warm.cache_stats == {"hits": 3, "misses": 0, "stores": 0}
+        assert warm.findings == cold.findings
+
+
+def _git(repo, *argv):
+    subprocess.run(["git", "-C", str(repo), *argv], check=True,
+                   capture_output=True)
+
+
+@pytest.fixture
+def git_tree(tmp_path, monkeypatch):
+    """A committed package named ``repro`` so module names resolve."""
+    repo = tmp_path / "work"
+    pkg = repo / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "a.py").write_text("A = 1\n")
+    (pkg / "b.py").write_text("import repro.a\nB = repro.a.A\n")
+    (pkg / "c.py").write_text("assert True\n")
+    _git(repo, "init", "-q")
+    _git(repo, "config", "user.email", "check@example.com")
+    _git(repo, "config", "user.name", "check")
+    _git(repo, "add", ".")
+    _git(repo, "commit", "-q", "-m", "seed")
+    monkeypatch.chdir(repo)
+    return repo
+
+
+class TestDiffMode:
+    def test_no_changes_analyzes_nothing(self, git_tree):
+        result = run_analysis(["repro"], rules_for(["R005"]),
+                              diff_rev="HEAD")
+        assert result.checked_files == 4
+        assert result.analyzed_files == 0
+        assert result.findings == []
+
+    def test_changed_file_plus_reverse_importers(self, git_tree):
+        # a.py changes; b.py imports it; c.py is unrelated.  The closure
+        # is exactly {a, b} — c's violation must NOT be reported.
+        (git_tree / "repro" / "a.py").write_text("assert True\nA = 1\n")
+        result = run_analysis(["repro"], rules_for(["R005"]),
+                              diff_rev="HEAD")
+        assert result.analyzed_files == 2
+        assert [(f.rule_id, f.path) for f in result.findings] == [
+            ("R005", "repro/a.py")]
+
+    def test_leaf_change_stays_narrow(self, git_tree):
+        # c.py imports nothing and nothing imports it: closure == {c}.
+        (git_tree / "repro" / "c.py").write_text("assert False\n")
+        result = run_analysis(["repro"], rules_for(["R005"]),
+                              diff_rev="HEAD")
+        assert result.analyzed_files == 1
+        assert [f.path for f in result.findings] == ["repro/c.py"]
+
+    def test_untracked_file_counts_as_changed(self, git_tree):
+        (git_tree / "repro" / "d.py").write_text("assert True\n")
+        result = run_analysis(["repro"], rules_for(["R005"]),
+                              diff_rev="HEAD")
+        assert result.analyzed_files == 1
+        assert [f.path for f in result.findings] == ["repro/d.py"]
+
+    def test_diff_uses_cached_imports_when_warm(self, git_tree, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        rules = rules_for(["R005"])
+        run_analysis(["repro"], rules, cache_dir=cache_dir)
+        (git_tree / "repro" / "a.py").write_text("assert True\nA = 1\n")
+        result = run_analysis(["repro"], rules, cache_dir=cache_dir,
+                              diff_rev="HEAD")
+        # Unchanged files replay from cache (graph without re-parsing);
+        # only the changed file is a miss.
+        assert result.cache_stats["hits"] == 3
+        assert result.cache_stats["misses"] == 1
+        assert result.analyzed_files == 2
+
+    def test_bad_revision_raises_value_error(self, git_tree):
+        with pytest.raises(ValueError):
+            run_analysis(["repro"], rules_for(["R005"]),
+                         diff_rev="no-such-rev")
+
+    def test_outside_git_raises_value_error(self, tmp_path, monkeypatch):
+        pkg = _tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(ValueError):
+            run_analysis([str(pkg)], rules_for(["R005"]),
+                         diff_rev="HEAD")
+
+
+class TestBaseline:
+    def test_write_then_check_is_clean(self, tmp_path):
+        pkg = _tree(tmp_path)
+        baseline = str(tmp_path / "baseline.json")
+        code, out, _ = _run([str(pkg)], baseline_path=baseline,
+                            write_baseline_file=True)
+        assert code == EXIT_OK
+        assert "wrote baseline" in out
+
+        payload = json.loads((tmp_path / "baseline.json").read_text())
+        assert payload["schema"] == BASELINE_SCHEMA
+
+        code, out, _ = _run([str(pkg)], baseline_path=baseline)
+        assert code == EXIT_OK
+        assert "baselined" in out
+
+    def test_new_finding_still_fails(self, tmp_path):
+        pkg = _tree(tmp_path)
+        baseline = str(tmp_path / "baseline.json")
+        _run([str(pkg)], baseline_path=baseline, write_baseline_file=True)
+
+        (pkg / "delta.py").write_text("import time\nnow = time.time()\n")
+        code, out, _ = _run([str(pkg)], baseline_path=baseline)
+        assert code == EXIT_FINDINGS
+        assert "delta.py" in out
+        # Grandfathered findings stay subtracted from the report.
+        assert "alpha.py" not in out
+
+    def test_fixing_a_baselined_finding_ratchets(self, tmp_path):
+        # Once fixed, a finding's fingerprint no longer matches anything;
+        # re-writing the baseline shrinks it — the ratchet only tightens.
+        pkg = _tree(tmp_path)
+        baseline = str(tmp_path / "baseline.json")
+        _run([str(pkg)], baseline_path=baseline, write_baseline_file=True)
+        before = len(load_baseline(baseline))
+
+        (pkg / "alpha.py").write_text("X = 1\n")
+        code, _, _ = _run([str(pkg)], baseline_path=baseline)
+        assert code == EXIT_OK
+        _run([str(pkg)], baseline_path=baseline, write_baseline_file=True)
+        assert len(load_baseline(baseline)) == before - 1
+
+    def test_fingerprints_are_line_independent(self, tmp_path):
+        finding = Finding(rule_id="R005", path="pkg/alpha.py", line=1,
+                          col=1, message="assert vanishes")
+        moved = Finding(rule_id="R005", path="pkg/alpha.py", line=40,
+                        col=9, message="assert vanishes")
+        assert finding.fingerprint() == moved.fingerprint()
+        fresh, count = split_baselined(
+            [moved], {finding.fingerprint()})
+        assert fresh == [] and count == 1
+
+    def test_write_baseline_helper_roundtrip(self, tmp_path):
+        path = str(tmp_path / "b.json")
+        finding = Finding(rule_id="R001", path="x.py", line=3, col=1,
+                          message="m")
+        write_baseline(path, [finding])
+        assert load_baseline(path) == {finding.fingerprint()}
